@@ -1,0 +1,42 @@
+"""FIG11 bench: location-regression comparison (paper Figure 11).
+
+Regenerates the MAE rows for KNN vs homography vs linear vs RANSAC per
+scenario. Paper shape: KNN reaches the lowest (or near-lowest) MAE in the
+multi-angle scenarios S1/S3, and homography — which can only map
+ground-plane points — is substantially worse there.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.fig11_regression import evaluate_regressors
+from repro.experiments.report import format_table
+
+
+@pytest.mark.benchmark(group="fig11")
+@pytest.mark.parametrize("scenario", ["S1", "S2", "S3"])
+def test_fig11_regression(benchmark, scenario):
+    rows = benchmark.pedantic(
+        lambda: evaluate_regressors(scenario, duration_s=120.0, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["scenario", "model", "MAE (px)"],
+            [(r.scenario, r.model, round(r.mae_px, 1)) for r in rows],
+            title=f"Figure 11 ({scenario}): location regression",
+        )
+    )
+    by_model = {r.model: r.mae_px for r in rows}
+    assert set(by_model) == {"knn", "homography", "linear", "ransac"}
+    assert not math.isnan(by_model["knn"])
+    assert by_model["knn"] < 60.0  # usable accuracy on 1280 px frames
+    if scenario in ("S1", "S3"):
+        # Multi-angle deployments: KNN clearly beats homography.
+        assert by_model["knn"] < by_model["homography"]
+        # And is at or near the best over all baselines.
+        best = min(v for v in by_model.values() if not math.isnan(v))
+        assert by_model["knn"] <= best * 1.3

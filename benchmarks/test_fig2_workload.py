@@ -1,0 +1,56 @@
+"""FIG2 bench: per-camera workload variability on S1 (paper Figure 2).
+
+Regenerates the objects-per-camera time series (sampled every 2 s, like
+the paper) and prints the per-camera mean/std/CV rows. The paper's point —
+large absolute and relative temporal variation — is asserted as a shape
+property.
+"""
+
+import pytest
+
+from repro.experiments.fig2_workload import workload_trace
+from repro.experiments.report import format_table
+from repro.scenarios.aic21 import get_scenario
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_workload_variability(benchmark):
+    trace = benchmark.pedantic(
+        lambda: workload_trace(
+            scenario=get_scenario("S1", seed=0),
+            duration_s=120.0,
+            sample_interval_s=2.0,
+            warmup_s=30.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    means = trace.mean_per_camera()
+    stds = trace.std_per_camera()
+    cvs = trace.coefficient_of_variation()
+    print()
+    print(
+        format_table(
+            ["camera", "mean objs", "std", "CV"],
+            [
+                (cam, round(means[cam], 1), round(stds[cam], 1), cvs[cam])
+                for cam in sorted(means)
+            ],
+            title="Figure 2: S1 per-camera workload (sampled every 2 s)",
+        )
+    )
+    cams = sorted(means)
+    swing = trace.relative_workload_swings(cams[0], cams[-1])
+    print(f"relative-workload flips between cam{cams[0]}/cam{cams[-1]}: "
+          f"{swing:.2f} of samples")
+
+    # Paper shape: workload is non-trivial and varies substantially.
+    assert all(m > 0 for m in means.values())
+    assert max(cvs.values()) > 0.15
+    # Relative workload between camera pairs changes over time.
+    assert any(
+        trace.relative_workload_swings(a, b) > 0.0
+        for a in cams
+        for b in cams
+        if a < b
+    )

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the scheduler's hot paths.
+
+These measure real wall-clock timings (multiple rounds) of the components
+whose costs Table II models: the central-stage BALB solve, the Hungarian
+matcher and the KNN association queries. They document that the Python
+implementation itself runs at interactive speed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.association.pairwise import PairwiseAssociator
+from repro.association.training import AssociationDataset
+from repro.core.balb import balb_central
+from repro.experiments.ablations import jetson_fleet_profiles, random_instance
+from repro.geometry.box import BBox
+from repro.ml.hungarian import hungarian
+
+
+@pytest.mark.benchmark(group="micro")
+def test_balb_central_speed(benchmark):
+    """Central stage on a busy 5-camera / 40-object instance."""
+    profiles = jetson_fleet_profiles(0)
+    rng = np.random.default_rng(0)
+    instance = random_instance(profiles, 40, rng)
+    result = benchmark(lambda: balb_central(instance))
+    assert len(result.assignment) == 40
+
+
+@pytest.mark.benchmark(group="micro")
+def test_hungarian_speed_20x20(benchmark):
+    rng = np.random.default_rng(1)
+    cost = rng.random((20, 20))
+    pairs = benchmark(lambda: hungarian(cost))
+    assert len(pairs) == 20
+
+
+@pytest.mark.benchmark(group="micro")
+def test_knn_association_query_speed(benchmark):
+    """One pairwise visibility + location query, as run per object pair
+    at every key frame."""
+    rng = np.random.default_rng(2)
+    ds = AssociationDataset()
+    pair = ds.pair(0, 1)
+    for _ in range(2000):
+        cx, cy = rng.uniform(0, 1000), rng.uniform(0, 600)
+        w = rng.uniform(30, 80)
+        src = BBox.from_xywh(cx, cy, w, w * 0.7)
+        pair.add(src, src.translate(150, 0) if cx < 500 else None)
+    assoc = PairwiseAssociator().fit(ds)
+    probe = BBox.from_xywh(250, 300, 50, 35)
+
+    def query():
+        return assoc.predict_box(0, 1, probe)
+
+    result = benchmark(query)
+    assert result is not None

@@ -1,0 +1,86 @@
+"""Intersection monitoring: the paper's motivating deployment (S1).
+
+Five heterogeneous smart cameras (2x AGX Xavier, 2x TX2, 1x Nano fisheye)
+watch a signalized intersection. This example:
+
+1. shows the temporal workload variability that motivates dynamic
+   scheduling (paper Figure 2),
+2. compares all five scheduling policies on recall and latency
+   (paper Figures 12/13),
+3. prints the per-camera latency profile under BALB, showing how the
+   latency-balanced assignment protects the weakest device.
+
+Run:  python examples/intersection_monitoring.py
+"""
+
+from repro.experiments import workload_trace
+from repro.runtime import PipelineConfig, run_policy, speedup_vs, train_models
+from repro.scenarios import get_scenario
+
+
+def show_workload_variability() -> None:
+    print("=== Workload variability (Figure 2) ===")
+    trace = workload_trace(
+        scenario=get_scenario("S1", seed=0),
+        duration_s=120.0,
+        sample_interval_s=2.0,
+        warmup_s=30.0,
+    )
+    means = trace.mean_per_camera()
+    cvs = trace.coefficient_of_variation()
+    for cam in sorted(means):
+        bar = "#" * int(means[cam])
+        print(f"  cam{cam}: mean {means[cam]:5.1f} objs  CV {cvs[cam]:.2f}  {bar}")
+    cams = sorted(means)
+    flips = trace.relative_workload_swings(cams[0], cams[-1])
+    print(f"  heavier-camera flips between cam{cams[0]} and cam{cams[-1]}: "
+          f"{flips:.0%} of samples\n")
+
+
+def compare_policies() -> None:
+    print("=== Scheduling policies (Figures 12/13) ===")
+    scenario = get_scenario("S1", seed=0)
+    config = PipelineConfig(
+        policy="balb",
+        horizon=10,
+        n_horizons=25,
+        warmup_s=30.0,
+        train_duration_s=120.0,
+    )
+    trained = train_models(scenario, config)
+    runs = {}
+    for policy in ("full", "balb-ind", "sp", "balb-cen", "balb"):
+        runs[policy] = run_policy(scenario, policy, config, trained)
+
+    print(f"  {'policy':10s} {'recall':>8s} {'slowest-cam ms':>15s} "
+          f"{'speedup':>8s}")
+    for policy, result in runs.items():
+        print(
+            f"  {policy:10s} {result.object_recall():8.3f} "
+            f"{result.mean_slowest_latency():15.1f} "
+            f"{speedup_vs(runs['full'], result):8.2f}x"
+        )
+
+    print("\n=== Per-camera mean inference latency under BALB ===")
+    device_names = {
+        cam_id: profile.device_name
+        for cam_id, profile in trained.profiles.items()
+    }
+    for cam, ms in sorted(runs["balb"].per_camera_mean_latency().items()):
+        print(f"  cam{cam} ({device_names[cam]:18s}): {ms:7.1f} ms")
+    print()
+    print(
+        "Note how the Nano (slowest device, widest view) carries almost no\n"
+        "regular-frame load: BALB's central stage initializes its latency\n"
+        "with the large full-frame time, steering shared objects to the\n"
+        "Xaviers, and the priority masks keep new objects off it too."
+    )
+
+
+def main() -> None:
+    show_workload_variability()
+    compare_policies()
+
+
+if __name__ == "__main__":
+    main()

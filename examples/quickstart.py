@@ -1,0 +1,52 @@
+"""Quickstart: run BALB on the sparse residential scenario (S2).
+
+Trains the cross-camera association models on a simulated training
+segment, profiles the two devices (a Jetson AGX Xavier and a Jetson Nano),
+then replays a test segment under the full BALB scheduler and under
+full-frame inspection, and prints the headline comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.runtime import PipelineConfig, run_policy, speedup_vs, train_models
+from repro.scenarios import get_scenario
+
+
+def main() -> None:
+    scenario = get_scenario("S2", seed=0)
+    config = PipelineConfig(
+        policy="balb",
+        horizon=10,  # one full-frame key frame every 10 frames (1 s @ 10 FPS)
+        n_horizons=30,
+        warmup_s=30.0,
+        train_duration_s=120.0,
+    )
+
+    print(f"Scenario: {scenario.name} — {scenario.description}")
+    print("Training association models and profiling devices...")
+    trained = train_models(scenario, config)
+    for cam_id, profile in sorted(trained.profiles.items()):
+        print(
+            f"  camera {cam_id}: {profile.device_name}, "
+            f"full-frame {profile.t_full:.0f} ms"
+        )
+
+    print("Running full-frame baseline...")
+    full = run_policy(scenario, "full", config, trained)
+    print("Running BALB...")
+    balb = run_policy(scenario, "balb", config, trained)
+
+    print()
+    print(f"{'policy':10s} {'recall':>8s} {'slowest-cam ms':>15s}")
+    for result in (full, balb):
+        print(
+            f"{result.policy:10s} {result.object_recall():8.3f} "
+            f"{result.mean_slowest_latency():15.1f}"
+        )
+    print()
+    print(f"BALB speedup over full-frame inspection: "
+          f"{speedup_vs(full, balb):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

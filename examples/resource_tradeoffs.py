@@ -1,0 +1,86 @@
+"""Alternative resource formulations (paper Section V) in one tour.
+
+The paper's limitations section sketches three alternative objectives
+beyond min-max latency; this example runs all three on the same profiled
+Jetson fleet:
+
+1. **Bandwidth** (centralized processing): upload only the minimum set of
+   camera views covering every object.
+2. **Energy**: minimize fleet energy subject to a real-time deadline.
+3. **Quality**: trade latency balance against view quality with the
+   ``alpha`` knob.
+
+Run:  python examples/resource_tradeoffs.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    all_cameras_upload_mbps,
+    assignment_energy_mj,
+    balb_central,
+    energy_aware_assignment,
+    quality_aware_central,
+    system_latency,
+    upload_plan_for_instance,
+)
+from repro.experiments import jetson_fleet_profiles, random_instance
+
+
+def main() -> None:
+    profiles = jetson_fleet_profiles(seed=0)
+    rng = np.random.default_rng(11)
+    instance = random_instance(profiles, n_objects=25, rng=rng)
+    names = {cam: p.device_name for cam, p in instance.profiles.items()}
+    print(f"Fleet: {', '.join(names[c] for c in sorted(names))}")
+    print(f"Objects: {len(instance.objects)} "
+          f"({sum(1 for o in instance.objects if len(o.coverage) > 1)} "
+          f"multi-view)\n")
+
+    # 1. Bandwidth: minimum view cover vs streaming everything.
+    frame_sizes = {cam: (1280, 704) for cam in profiles}
+    plan = upload_plan_for_instance(instance, frame_sizes)
+    print("1) Centralized offload (min view cover)")
+    print(f"   cameras uploading : {plan.n_cameras}/{len(profiles)} "
+          f"{plan.cameras}")
+    print(f"   uplink bandwidth  : {plan.total_upload_mbps:.1f} Mbps vs "
+          f"{all_cameras_upload_mbps(frame_sizes):.1f} Mbps streaming all\n")
+
+    # 2. Energy under a deadline.
+    deadline = 100.0  # one frame interval at 10 FPS
+    balb = balb_central(instance, include_full_frame=False)
+    energy_assignment = energy_aware_assignment(instance, deadline)
+    print(f"2) Energy-aware scheduling (deadline {deadline:.0f} ms)")
+    for label, assignment in (
+        ("BALB (latency-only)", balb.assignment),
+        ("energy-aware", energy_assignment),
+    ):
+        print(
+            f"   {label:22s}: {assignment_energy_mj(instance, assignment):7.0f} mJ "
+            f"at {system_latency(instance, assignment):6.1f} ms max latency"
+        )
+    print()
+
+    # 3. Quality-efficiency trade-off.
+    qualities = {}
+    for obj in instance.objects:
+        for cam in obj.coverage:
+            qualities[(obj.key, cam)] = float(rng.uniform(0.2, 0.95))
+    print("3) Quality-efficiency trade-off (alpha sweep)")
+    print(f"   {'alpha':>5s} {'mean quality':>13s} {'max latency ms':>15s}")
+    for alpha in (0.0, 0.3, 0.7, 1.0):
+        result = quality_aware_central(
+            instance, qualities, alpha=alpha, include_full_frame=False
+        )
+        print(
+            f"   {alpha:5.1f} {result.mean_quality:13.3f} "
+            f"{max(result.camera_latencies.values()):15.1f}"
+        )
+    print(
+        "\nHigher alpha buys better views at the cost of latency balance —\n"
+        "the trade-off the paper's Section V leaves open, made executable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Post-run analysis of pipeline results.
+
+Utilities a downstream user needs to interrogate a
+:class:`~repro.runtime.metrics.RunResult` beyond the headline metrics:
+load-balance quality across cameras, tail latencies, per-horizon series,
+and side-by-side policy comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.runtime.metrics import RunResult
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index over per-camera loads.
+
+    1.0 means perfectly balanced; 1/n means one camera does everything.
+    The latency-balancing objective of BALB should push this toward 1
+    relative to static policies.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if np.any(arr < 0):
+        raise ValueError("loads must be non-negative")
+    total = arr.sum()
+    if total == 0:
+        return 1.0
+    return float(total**2 / (arr.size * np.sum(arr**2)))
+
+
+def load_balance_index(result: RunResult) -> float:
+    """Jain fairness of the per-camera mean inference latencies."""
+    means = result.per_camera_mean_latency()
+    return jain_fairness(list(means.values()))
+
+
+def latency_percentiles(
+    result: RunResult, percentiles: Sequence[float] = (50.0, 90.0, 99.0)
+) -> Dict[float, float]:
+    """Percentiles of the per-frame *slowest-camera* latency."""
+    per_frame = [
+        max(f.inference_ms.values()) for f in result.frames if f.inference_ms
+    ]
+    if not per_frame:
+        raise ValueError("result has no latency samples")
+    values = np.percentile(np.asarray(per_frame), list(percentiles))
+    return {p: float(v) for p, v in zip(percentiles, values)}
+
+
+def per_horizon_latency(result: RunResult) -> List[float]:
+    """The Figure 13 quantity per horizon (before averaging)."""
+    out: List[float] = []
+    for start in range(0, len(result.frames), result.horizon):
+        chunk = result.frames[start : start + result.horizon]
+        per_cam: Dict[int, List[float]] = {}
+        for frame in chunk:
+            for cam, ms in frame.inference_ms.items():
+                per_cam.setdefault(cam, []).append(ms)
+        if per_cam:
+            out.append(max(float(np.mean(v)) for v in per_cam.values()))
+    return out
+
+
+def per_horizon_recall(result: RunResult) -> List[float]:
+    """Object recall per horizon."""
+    out: List[float] = []
+    for start in range(0, len(result.frames), result.horizon):
+        chunk = result.frames[start : start + result.horizon]
+        num = sum(f.recall_numerator for f in chunk)
+        den = sum(f.recall_denominator for f in chunk)
+        out.append(num / den if den else 1.0)
+    return out
+
+
+def slice_load_series(result: RunResult, camera_id: int) -> List[int]:
+    """Per-frame slice counts of one camera (regular frames only)."""
+    return [
+        f.n_slices.get(camera_id, 0)
+        for f in result.frames
+        if not f.is_key_frame
+    ]
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """A compact cross-policy summary table."""
+
+    rows: Dict[str, Dict[str, float]]
+
+    def as_table_rows(self) -> List[tuple]:
+        """Rows matching :attr:`HEADERS`, ready for table rendering."""
+        return [
+            (
+                policy,
+                round(stats["recall"], 3),
+                round(stats["latency_ms"], 1),
+                round(stats["p99_ms"], 1),
+                round(stats["fairness"], 3),
+            )
+            for policy, stats in self.rows.items()
+        ]
+
+    HEADERS = ("policy", "recall", "mean slowest ms", "p99 ms", "fairness")
+
+
+def compare_policies(results: Mapping[str, RunResult]) -> PolicyComparison:
+    """Summarize several runs (of the same scenario) side by side."""
+    if not results:
+        raise ValueError("need at least one result")
+    rows: Dict[str, Dict[str, float]] = {}
+    for policy, result in results.items():
+        rows[policy] = {
+            "recall": result.object_recall(),
+            "latency_ms": result.mean_slowest_latency(),
+            "p99_ms": latency_percentiles(result, (99.0,))[99.0],
+            "fairness": load_balance_index(result),
+        }
+    return PolicyComparison(rows=rows)

@@ -1,0 +1,47 @@
+"""Cross-camera object association: training, pair models, matching."""
+
+from repro.association.baselines import (
+    CLASSIFIER_FACTORIES,
+    REGRESSOR_FACTORIES,
+    HomographyBoxRegressor,
+)
+from repro.association.matcher import (
+    CrossCameraMatcher,
+    GlobalObject,
+    LocalObservation,
+    association_quality,
+)
+from repro.association.pairwise import (
+    PairModel,
+    PairwiseAssociator,
+    default_classifier_factory,
+    default_regressor_factory,
+)
+from repro.association.training import (
+    AssociationDataset,
+    PairDataset,
+    box_features,
+    box_target,
+    collect_association_dataset,
+    target_to_box,
+)
+
+__all__ = [
+    "AssociationDataset",
+    "PairDataset",
+    "collect_association_dataset",
+    "box_features",
+    "box_target",
+    "target_to_box",
+    "PairModel",
+    "PairwiseAssociator",
+    "default_classifier_factory",
+    "default_regressor_factory",
+    "CrossCameraMatcher",
+    "GlobalObject",
+    "LocalObservation",
+    "association_quality",
+    "HomographyBoxRegressor",
+    "CLASSIFIER_FACTORIES",
+    "REGRESSOR_FACTORIES",
+]

@@ -1,0 +1,74 @@
+"""Baseline models for the association study (Figures 10 and 11).
+
+Classification baselines: linear SVM, logistic regression, decision tree.
+Regression baselines: homography, linear regression, RANSAC. All are
+exposed as factories compatible with :class:`PairwiseAssociator` so the
+experiment harness swaps them in without touching the association logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.geometry.transforms import Homography
+from repro.ml.base import Classifier, Regressor, check_xy, require_fitted
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.knn import KNNClassifier, KNNRegressor
+from repro.ml.linear import LinearRegressor, LogisticClassifier
+from repro.ml.ransac import RANSACRegressor
+from repro.ml.svm import LinearSVM
+
+
+class HomographyBoxRegressor(Regressor):
+    """The paper's *Homography* baseline for box location mapping.
+
+    Fits a planar homography on box centre points and a linear map on box
+    sizes. As the paper notes, a homography can only correctly map points
+    lying in a single world plane; box centres (affected by object height
+    and orientation) violate that, so this baseline underperforms the
+    data-driven models — which is exactly the behaviour Figure 11 reports.
+    """
+
+    def __init__(self) -> None:
+        self._h: Homography | None = None
+        self._size_model: LinearRegressor | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "HomographyBoxRegressor":
+        x, y = check_xy(x, y, allow_vector_target=True)
+        if x.shape[1] < 4 or y.shape[1] != 4:
+            raise ValueError(
+                "expected features [cx, cy, w, h, ...] and targets [cx, cy, w, h]"
+            )
+        src_pts = [(float(r[0]), float(r[1])) for r in x]
+        dst_pts = [(float(r[0]), float(r[1])) for r in y]
+        self._h = Homography.fit(src_pts, dst_pts)
+        self._size_model = LinearRegressor().fit(x[:, 2:4], y[:, 2:4])
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        require_fitted(self, "_h")
+        assert self._h is not None and self._size_model is not None
+        x = np.asarray(x, dtype=float)
+        centers = self._h.apply_many(x[:, :2])
+        sizes = self._size_model.predict(x[:, 2:4])
+        return np.hstack([centers, sizes])
+
+
+# ----------------------------------------------------------------------
+# Factory registries used by the Figure 10 / Figure 11 harnesses
+# ----------------------------------------------------------------------
+CLASSIFIER_FACTORIES: Dict[str, Callable[[], Classifier]] = {
+    "knn": lambda: KNNClassifier(k=7),
+    "svm": lambda: LinearSVM(c=1.0, n_iter=800),
+    "logistic": lambda: LogisticClassifier(l2=1e-3, lr=0.5, n_iter=500),
+    "decision-tree": lambda: DecisionTreeClassifier(max_depth=8),
+}
+
+REGRESSOR_FACTORIES: Dict[str, Callable[[], Regressor]] = {
+    "knn": lambda: KNNRegressor(k=5, weighted=True),
+    "homography": HomographyBoxRegressor,
+    "linear": LinearRegressor,
+    "ransac": lambda: RANSACRegressor(n_trials=50),
+}

@@ -1,0 +1,140 @@
+"""Per-camera-pair visibility classification and location regression.
+
+Implements the first two steps of the paper's association procedure
+(Section II-C): a classifier decides whether a box seen on camera ``i``
+also appears on camera ``i'``; when positive, a regressor predicts its
+box on ``i'``. Models are pluggable so the Figure 10/11 baselines reuse
+the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.association.training import (
+    AssociationDataset,
+    PairDataset,
+    PairKey,
+    box_features,
+    target_to_box,
+)
+from repro.geometry.box import BBox
+from repro.ml.base import Classifier, Regressor
+from repro.ml.knn import KNNClassifier, KNNRegressor
+from repro.ml.scaling import StandardScaler
+
+ClassifierFactory = Callable[[], Classifier]
+RegressorFactory = Callable[[], Regressor]
+
+
+def default_classifier_factory() -> Classifier:
+    """The paper's choice: KNN classification."""
+    return KNNClassifier(k=7)
+
+
+def default_regressor_factory() -> Regressor:
+    """The paper's choice: KNN regression (distance weighted)."""
+    return KNNRegressor(k=5, weighted=True)
+
+
+@dataclass
+class PairModel:
+    """Fitted classifier + regressor for one ordered camera pair."""
+
+    pair: PairKey
+    classifier: Optional[Classifier]
+    regressor: Optional[Regressor]
+    feature_scaler: Optional[StandardScaler]
+    constant_label: Optional[int] = None  # when training labels are constant
+
+    def predict_visible(self, box: BBox, threshold: float = 0.5) -> bool:
+        """Is a source-camera ``box`` visible on the target camera?"""
+        if self.constant_label is not None:
+            return bool(self.constant_label)
+        if self.classifier is None or self.feature_scaler is None:
+            return False
+        feats = self._scaled_features(box)
+        return bool(self.classifier.predict_proba(feats)[0] >= threshold)
+
+    def predict_box(self, box: BBox) -> Optional[BBox]:
+        """Predicted target-camera box for a source ``box`` (None if no regressor)."""
+        if self.regressor is None or self.feature_scaler is None:
+            return None
+        feats = self._scaled_features(box)
+        return target_to_box(self.regressor.predict(feats)[0])
+
+    def _scaled_features(self, box: BBox) -> np.ndarray:
+        assert self.feature_scaler is not None
+        raw = np.asarray([box_features(box)], dtype=float)
+        return self.feature_scaler.transform(raw)
+
+
+class PairwiseAssociator:
+    """All pair models for a camera rig, fitted from an AssociationDataset."""
+
+    def __init__(
+        self,
+        classifier_factory: ClassifierFactory = default_classifier_factory,
+        regressor_factory: RegressorFactory = default_regressor_factory,
+    ) -> None:
+        self.classifier_factory = classifier_factory
+        self.regressor_factory = regressor_factory
+        self._models: Dict[PairKey, PairModel] = {}
+
+    def fit(self, dataset: AssociationDataset) -> "PairwiseAssociator":
+        """Fit one classifier/regressor pair per ordered camera pair."""
+        for key, pair_ds in dataset.pairs.items():
+            self._models[key] = self._fit_pair(pair_ds)
+        return self
+
+    def model(self, source: int, target: int) -> Optional[PairModel]:
+        """The fitted model for the ordered pair, or None if untrained."""
+        return self._models.get((source, target))
+
+    def predict_visible(self, source: int, target: int, box: BBox) -> bool:
+        """Visibility of a source-camera box on the target camera."""
+        model = self._models.get((source, target))
+        return model.predict_visible(box) if model else False
+
+    def predict_box(self, source: int, target: int, box: BBox) -> Optional[BBox]:
+        """Predicted target box when classified visible, else None."""
+        model = self._models.get((source, target))
+        if model is None or not model.predict_visible(box):
+            return None
+        return model.predict_box(box)
+
+    # ------------------------------------------------------------------
+    def _fit_pair(self, pair_ds: PairDataset) -> PairModel:
+        if pair_ds.n_samples == 0:
+            return PairModel(
+                pair=pair_ds.pair,
+                classifier=None,
+                regressor=None,
+                feature_scaler=None,
+                constant_label=0,
+            )
+        x_cls, y_cls = pair_ds.classification_arrays()
+        scaler = StandardScaler().fit(x_cls)
+        labels = set(np.unique(y_cls).tolist())
+        constant = int(y_cls[0]) if len(labels) == 1 else None
+        classifier = None
+        if constant is None:
+            classifier = self.classifier_factory().fit(
+                scaler.transform(x_cls), y_cls
+            )
+        regressor = None
+        if pair_ds.n_positive >= 3:
+            x_reg, y_reg = pair_ds.regression_arrays()
+            regressor = self.regressor_factory().fit(
+                scaler.transform(x_reg), y_reg
+            )
+        return PairModel(
+            pair=pair_ds.pair,
+            classifier=classifier,
+            regressor=regressor,
+            feature_scaler=scaler,
+            constant_label=constant,
+        )

@@ -1,0 +1,14 @@
+"""Camera models and multi-camera rigs."""
+
+from repro.cameras.camera import Camera, CameraIntrinsics, CameraPose
+from repro.cameras.occlusion import OcclusionModel, visible_fractions
+from repro.cameras.rig import CameraRig
+
+__all__ = [
+    "Camera",
+    "CameraIntrinsics",
+    "CameraPose",
+    "CameraRig",
+    "OcclusionModel",
+    "visible_fractions",
+]

@@ -1,0 +1,168 @@
+"""Pinhole camera model mapping world objects to pixel bounding boxes.
+
+Each simulated smart camera is a statically mounted pinhole camera with a
+pose (position, yaw, downward pitch) and intrinsics (focal length in
+pixels, image size). Objects are 3-D boxes; their image bounding box is the
+extent of the 8 projected corners. Because object height and orientation
+enter the projection, the mapping of 2-D boxes *between* cameras is
+non-linear — the property that motivates the paper's data-driven
+association over plain homography.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.box import BBox
+from repro.geometry.polygon import ConvexPolygon
+from repro.world.entities import WorldObject
+
+
+@dataclass(frozen=True)
+class CameraIntrinsics:
+    """Pinhole intrinsics: square pixels, principal point at image centre."""
+
+    focal_px: float
+    image_width: int
+    image_height: int
+
+    def __post_init__(self) -> None:
+        if self.focal_px <= 0:
+            raise ValueError("focal_px must be positive")
+        if self.image_width <= 0 or self.image_height <= 0:
+            raise ValueError("image size must be positive")
+
+    @property
+    def horizontal_fov(self) -> float:
+        """Full horizontal field of view in radians."""
+        return 2.0 * math.atan2(self.image_width / 2.0, self.focal_px)
+
+
+@dataclass(frozen=True)
+class CameraPose:
+    """Extrinsics: position in metres, yaw (ccw from +x), pitch down (rad)."""
+
+    x: float
+    y: float
+    z: float
+    yaw: float
+    pitch_down: float
+
+    def __post_init__(self) -> None:
+        if self.z <= 0:
+            raise ValueError("camera must be mounted above the ground (z > 0)")
+        if not 0.0 <= self.pitch_down < math.pi / 2:
+            raise ValueError("pitch_down must be in [0, pi/2)")
+
+
+class Camera:
+    """A statically mounted camera observing the ground-plane world."""
+
+    def __init__(
+        self,
+        camera_id: int,
+        pose: CameraPose,
+        intrinsics: CameraIntrinsics,
+        max_range: float = 80.0,
+        min_box_pixels: float = 8.0,
+        name: str = "",
+    ) -> None:
+        if max_range <= 0:
+            raise ValueError("max_range must be positive")
+        self.camera_id = camera_id
+        self.pose = pose
+        self.intrinsics = intrinsics
+        self.max_range = max_range
+        self.min_box_pixels = min_box_pixels
+        self.name = name or f"cam{camera_id}"
+        self._rotation = _rotation_matrix(pose.yaw, pose.pitch_down)
+        self._position = np.array([pose.x, pose.y, pose.z])
+
+    # ------------------------------------------------------------------
+    @property
+    def frame_size(self) -> Tuple[int, int]:
+        return (self.intrinsics.image_width, self.intrinsics.image_height)
+
+    def project_point(
+        self, x: float, y: float, z: float = 0.0
+    ) -> Optional[Tuple[float, float]]:
+        """Project a world point to pixels; None when behind the camera."""
+        cam = self._rotation @ (np.array([x, y, z]) - self._position)
+        if cam[2] < 0.5:  # near plane at 0.5 m
+            return None
+        f = self.intrinsics.focal_px
+        u = f * cam[0] / cam[2] + self.intrinsics.image_width / 2.0
+        v = f * cam[1] / cam[2] + self.intrinsics.image_height / 2.0
+        return (float(u), float(v))
+
+    def project_object(self, obj: WorldObject) -> Optional[BBox]:
+        """The object's clipped image bounding box, or None if not visible.
+
+        Visibility requires: within range, in front of the camera, at least
+        a third of the raw box inside the frame, and a box at least
+        ``min_box_pixels`` on each side after clipping.
+        """
+        if obj.distance_to(self.pose.x, self.pose.y) > self.max_range:
+            return None
+        pts = []
+        for cx, cy, cz in obj.corners_3d():
+            uv = self.project_point(cx, cy, cz)
+            if uv is None:
+                return None  # partially behind the camera: treat as invisible
+            pts.append(uv)
+        raw = BBox.from_points(pts)
+        w, h = self.frame_size
+        clipped = raw.clip(float(w), float(h))
+        if clipped.is_empty():
+            return None
+        if raw.area > 0 and clipped.area / raw.area < 1.0 / 3.0:
+            return None
+        if clipped.width < self.min_box_pixels or clipped.height < self.min_box_pixels:
+            return None
+        return clipped
+
+    def can_see(self, obj: WorldObject) -> bool:
+        """True when the object projects to a valid visible box."""
+        return self.project_object(obj) is not None
+
+    def sees_ground_point(self, x: float, y: float) -> bool:
+        """Whether the ground point projects into the frame within range."""
+        if math.hypot(x - self.pose.x, y - self.pose.y) > self.max_range:
+            return False
+        uv = self.project_point(x, y, 0.0)
+        if uv is None:
+            return False
+        u, v = uv
+        w, h = self.frame_size
+        return 0.0 <= u <= w and 0.0 <= v <= h
+
+    def ground_fov_polygon(self, arc_segments: int = 10) -> ConvexPolygon:
+        """Approximate ground-plane field of view as a view cone polygon."""
+        half = min(self.intrinsics.horizontal_fov / 2.0, math.pi / 2 - 1e-3)
+        return ConvexPolygon.sector(
+            apex=(self.pose.x, self.pose.y),
+            heading_rad=self.pose.yaw,
+            half_angle_rad=half,
+            radius=self.max_range,
+            arc_segments=arc_segments,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Camera({self.name}, pos=({self.pose.x:.1f},{self.pose.y:.1f}))"
+
+
+def _rotation_matrix(yaw: float, pitch_down: float) -> np.ndarray:
+    """World->camera rotation: camera x=right, y=down, z=forward."""
+    cy, sy = math.cos(yaw), math.sin(yaw)
+    cp, sp = math.cos(pitch_down), math.sin(pitch_down)
+    forward = np.array([cy * cp, sy * cp, -sp])
+    right = np.array([sy, -cy, 0.0])
+    down = np.cross(forward, right)
+    # Guard against numerical drift: ensure 'down' has negative-z-up sense.
+    if down[2] > 0:
+        down = -down
+    return np.vstack([right, down, forward])

@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli run --scenario S1 --policy balb --horizons 30
+    python -m repro.cli compare --scenario S2
+    python -m repro.cli experiments --only FIG13 --out report.txt
+    python -m repro.cli scenarios
+
+Every subcommand prints plain-text tables; ``experiments`` can also write
+the combined report to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.report import format_table
+from repro.runtime.metrics import speedup_vs
+from repro.runtime.pipeline import (
+    POLICIES,
+    PipelineConfig,
+    run_policy,
+    train_models,
+)
+from repro.scenarios.aic21 import ALL_SCENARIOS, get_scenario
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", default="S1", help="S1, S2 or S3")
+    parser.add_argument("--horizon", type=int, default=10,
+                        help="frames per scheduling horizon (T)")
+    parser.add_argument("--horizons", type=int, default=30,
+                        help="number of horizons to simulate")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--train-duration", type=float, default=120.0,
+                        help="association training segment (seconds)")
+    parser.add_argument("--occlusion", action="store_true",
+                        help="enable inter-object occlusion")
+    parser.add_argument("--redundancy", type=int, default=1,
+                        help="cameras per object (Section V extension)")
+
+
+def _config_from(args: argparse.Namespace, policy: str) -> PipelineConfig:
+    return PipelineConfig(
+        policy=policy,
+        horizon=args.horizon,
+        n_horizons=args.horizons,
+        warmup_s=30.0,
+        train_duration_s=args.train_duration,
+        seed=args.seed,
+        occlusion=args.occlusion,
+        redundancy=args.redundancy,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one policy on one scenario and print its metrics."""
+    scenario = get_scenario(args.scenario, seed=args.seed)
+    config = _config_from(args, args.policy)
+    print(f"Scenario {scenario.name}: {scenario.description}")
+    trained = train_models(scenario, config)
+    result = run_policy(scenario, args.policy, config, trained)
+    print(
+        format_table(
+            ["policy", "recall", "slowest-cam ms"],
+            [(result.policy, result.object_recall(),
+              round(result.mean_slowest_latency(), 1))],
+        )
+    )
+    per_cam = result.per_camera_mean_latency()
+    print(
+        format_table(
+            ["camera", "device", "mean inference ms"],
+            [
+                (cam, trained.profiles[cam].device_name, round(ms, 1))
+                for cam, ms in sorted(per_cam.items())
+            ],
+            title="per-camera latency",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run several policies with shared trained models and compare."""
+    scenario = get_scenario(args.scenario, seed=args.seed)
+    config = _config_from(args, "balb")
+    print(f"Scenario {scenario.name}: {scenario.description}")
+    print("Training shared models...")
+    trained = train_models(scenario, config)
+    runs = {}
+    for policy in args.policies:
+        runs[policy] = run_policy(scenario, policy, config, trained)
+    baseline = runs.get("full") or next(iter(runs.values()))
+    print(
+        format_table(
+            ["policy", "recall", "slowest-cam ms", "speedup"],
+            [
+                (
+                    policy,
+                    result.object_recall(),
+                    round(result.mean_slowest_latency(), 1),
+                    round(speedup_vs(baseline, result), 2),
+                )
+                for policy, result in runs.items()
+            ],
+            title="policy comparison",
+        )
+    )
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Regenerate the paper's figures/tables (all, or one via --only)."""
+    # Imported lazily: pulls in every harness.
+    from repro.experiments.runner import run_all
+
+    if args.only:
+        from repro.experiments import (
+            run_ablations,
+            run_extensions,
+            run_figure10,
+            run_figure11,
+            run_figure12,
+            run_figure13,
+            run_figure14,
+            run_table2,
+        )
+        from repro.experiments.runner import run_figure2_text
+
+        registry = {
+            "FIG2": lambda: run_figure2_text(args.seed),
+            "FIG10": lambda: run_figure10(seed=args.seed),
+            "FIG11": lambda: run_figure11(seed=args.seed),
+            "FIG12": lambda: run_figure12(seed=args.seed),
+            "FIG13": lambda: run_figure13(seed=args.seed),
+            "FIG14": lambda: run_figure14(seed=args.seed),
+            "TAB2": lambda: run_table2(seed=args.seed),
+            "ABLATIONS": lambda: run_ablations(seed=args.seed),
+            "EXTENSIONS": lambda: run_extensions(seed=args.seed),
+        }
+        key = args.only.upper()
+        if key not in registry:
+            print(f"unknown experiment {args.only!r}; options: "
+                  f"{', '.join(registry)}", file=sys.stderr)
+            return 2
+        body = registry[key]()
+        print(body)
+        if args.out:
+            with open(args.out, "w") as f:
+                f.write(body + "\n")
+        return 0
+
+    report = run_all(seed=args.seed, out_path=args.out)
+    print(report)
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the available scenario deployments."""
+    rows = []
+    for name, factory in sorted(ALL_SCENARIOS.items()):
+        scenario = factory()
+        devices = ", ".join(d.name.replace("jetson-", "") for d in scenario.devices)
+        rows.append((name, len(scenario.cameras), devices,
+                     scenario.description))
+    print(
+        format_table(
+            ["name", "cameras", "devices", "description"],
+            rows,
+            title="available scenarios",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-view scheduling reproduction (ICDCS 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one policy on one scenario")
+    _add_run_options(run_parser)
+    run_parser.add_argument("--policy", default="balb", choices=POLICIES)
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare", help="run several policies with shared models"
+    )
+    _add_run_options(compare_parser)
+    compare_parser.add_argument(
+        "--policies", nargs="+", default=list(POLICIES),
+        choices=POLICIES,
+    )
+    compare_parser.set_defaults(func=cmd_compare)
+
+    exp_parser = sub.add_parser(
+        "experiments", help="regenerate the paper's figures/tables"
+    )
+    exp_parser.add_argument("--only", default=None,
+                            help="one of FIG2/FIG10/.../TAB2/ABLATIONS/"
+                                 "EXTENSIONS")
+    exp_parser.add_argument("--out", default=None, help="also write to file")
+    exp_parser.add_argument("--seed", type=int, default=0)
+    exp_parser.set_defaults(func=cmd_experiments)
+
+    scen_parser = sub.add_parser("scenarios", help="list scenarios")
+    scen_parser.set_defaults(func=cmd_scenarios)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

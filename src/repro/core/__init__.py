@@ -1,0 +1,103 @@
+"""Core contribution: the MVS problem and the BALB scheduling algorithm."""
+
+from repro.core.balb import BALBResult, balb_central, order_objects
+from repro.core.baselines import (
+    full_frame_latencies,
+    greedy_min_latency_assignment,
+    independent_latencies,
+    unordered_balb_assignment,
+)
+from repro.core.distributed import DistributedPolicy
+from repro.core.bandwidth import (
+    UploadPlan,
+    all_cameras_upload_mbps,
+    frame_upload_mbps,
+    min_view_cover,
+    upload_plan_for_instance,
+)
+from repro.core.energy import (
+    DEFAULT_ENERGY_MODELS,
+    EnergyModel,
+    assignment_energy_mj,
+    energy_aware_assignment,
+    energy_models_for,
+)
+from repro.core.hardness import bins_fit, mvs_from_bin_packing
+from repro.core.quality import (
+    QualityResult,
+    qualities_from_boxes,
+    quality_aware_central,
+    view_quality,
+)
+from repro.core.redundancy import (
+    MultiAssignment,
+    RedundantResult,
+    balb_redundant,
+    is_feasible_multi,
+    multi_camera_latency,
+    multi_system_latency,
+)
+from repro.core.masks import (
+    CameraMask,
+    build_camera_masks,
+    capacity_owner,
+    priority_owner,
+)
+from repro.core.optimal import approximation_ratio, optimal_assignment
+from repro.core.problem import (
+    Assignment,
+    MVSInstance,
+    SchedObject,
+    camera_latency,
+    camera_size_counts,
+    is_feasible,
+    latency_profile,
+    system_latency,
+)
+
+__all__ = [
+    "MVSInstance",
+    "SchedObject",
+    "Assignment",
+    "is_feasible",
+    "camera_latency",
+    "camera_size_counts",
+    "system_latency",
+    "latency_profile",
+    "BALBResult",
+    "balb_central",
+    "order_objects",
+    "DistributedPolicy",
+    "CameraMask",
+    "build_camera_masks",
+    "priority_owner",
+    "capacity_owner",
+    "full_frame_latencies",
+    "independent_latencies",
+    "greedy_min_latency_assignment",
+    "unordered_balb_assignment",
+    "optimal_assignment",
+    "approximation_ratio",
+    "mvs_from_bin_packing",
+    "bins_fit",
+    "UploadPlan",
+    "min_view_cover",
+    "upload_plan_for_instance",
+    "frame_upload_mbps",
+    "all_cameras_upload_mbps",
+    "EnergyModel",
+    "DEFAULT_ENERGY_MODELS",
+    "energy_models_for",
+    "assignment_energy_mj",
+    "energy_aware_assignment",
+    "QualityResult",
+    "view_quality",
+    "qualities_from_boxes",
+    "quality_aware_central",
+    "MultiAssignment",
+    "RedundantResult",
+    "balb_redundant",
+    "is_feasible_multi",
+    "multi_camera_latency",
+    "multi_system_latency",
+]

@@ -1,0 +1,133 @@
+"""Centralized-processing extension (paper Section V).
+
+When cameras have no usable GPU, frames must be offloaded to an edge
+server and the bottleneck becomes *network bandwidth*. The paper sketches
+the multi-view answer: "scheduling only one camera to upload its images or
+... uploading the minimum number of views that offers complete coverage of
+all objects".
+
+This module implements that formulation: choose the smallest set of
+cameras whose combined views cover every object (weighted set cover,
+solved greedily with the classical ln(n) guarantee), and account the
+uplink bandwidth the selection consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Tuple
+
+from repro.core.problem import MVSInstance
+
+
+@dataclass(frozen=True)
+class UploadPlan:
+    """Result of the minimum-view-cover selection."""
+
+    cameras: Tuple[int, ...]  # selected cameras, in selection order
+    covered_objects: FrozenSet[int]
+    uncovered_objects: FrozenSet[int]  # objects no camera sees
+    total_upload_mbps: float
+
+    @property
+    def n_cameras(self) -> int:
+        return len(self.cameras)
+
+
+def frame_upload_mbps(
+    frame_size: Tuple[int, int],
+    fps: float = 10.0,
+    bits_per_pixel: float = 0.15,
+) -> float:
+    """Compressed video bitrate of one camera's stream in Mbps.
+
+    ``bits_per_pixel`` ~0.1-0.2 is typical for H.264 at surveillance
+    quality.
+    """
+    if fps <= 0 or bits_per_pixel <= 0:
+        raise ValueError("fps and bits_per_pixel must be positive")
+    w, h = frame_size
+    return w * h * bits_per_pixel * fps / 1e6
+
+
+def min_view_cover(
+    coverage_sets: Mapping[int, Sequence[int]],
+    upload_costs: Mapping[int, float],
+) -> UploadPlan:
+    """Greedy weighted set cover: cheapest coverage of all objects.
+
+    ``coverage_sets`` maps object key -> cameras that see it;
+    ``upload_costs`` maps camera -> Mbps of uploading its stream. Each
+    round picks the camera with the lowest cost per newly covered object.
+    """
+    remaining = {
+        key for key, cams in coverage_sets.items() if len(cams) > 0
+    }
+    uncovered_forever = frozenset(
+        key for key, cams in coverage_sets.items() if len(cams) == 0
+    )
+    objects_by_camera: Dict[int, set] = {}
+    for key, cams in coverage_sets.items():
+        for cam in cams:
+            objects_by_camera.setdefault(cam, set()).add(key)
+
+    chosen: List[int] = []
+    total_cost = 0.0
+    while remaining:
+        best_cam = None
+        best_ratio = float("inf")
+        for cam, objs in objects_by_camera.items():
+            if cam in chosen:
+                continue
+            gain = len(objs & remaining)
+            if gain == 0:
+                continue
+            cost = upload_costs.get(cam, 1.0)
+            ratio = cost / gain
+            if ratio < best_ratio or (
+                ratio == best_ratio and (best_cam is None or cam < best_cam)
+            ):
+                best_ratio = ratio
+                best_cam = cam
+        if best_cam is None:
+            break  # no camera can cover the rest (shouldn't happen)
+        chosen.append(best_cam)
+        total_cost += upload_costs.get(best_cam, 1.0)
+        remaining -= objects_by_camera[best_cam]
+
+    covered = frozenset(
+        key
+        for key, cams in coverage_sets.items()
+        if any(cam in chosen for cam in cams)
+    )
+    return UploadPlan(
+        cameras=tuple(chosen),
+        covered_objects=covered,
+        uncovered_objects=uncovered_forever,
+        total_upload_mbps=total_cost,
+    )
+
+
+def upload_plan_for_instance(
+    instance: MVSInstance,
+    frame_sizes: Mapping[int, Tuple[int, int]],
+    fps: float = 10.0,
+) -> UploadPlan:
+    """Minimum view cover for an MVS instance's current object set."""
+    coverage = {
+        obj.key: sorted(obj.coverage) for obj in instance.objects
+    }
+    costs = {
+        cam: frame_upload_mbps(frame_sizes[cam], fps=fps)
+        for cam in instance.camera_ids
+    }
+    return min_view_cover(coverage, costs)
+
+
+def all_cameras_upload_mbps(
+    frame_sizes: Mapping[int, Tuple[int, int]], fps: float = 10.0
+) -> float:
+    """Baseline: every camera streams (the cost min-cover avoids)."""
+    return sum(
+        frame_upload_mbps(size, fps=fps) for size in frame_sizes.values()
+    )

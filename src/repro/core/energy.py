@@ -1,0 +1,167 @@
+"""Energy-aware alternative formulation (paper Section V).
+
+"An alternative formulation might ... minimize consumption of a different
+resource, such as energy, as opposed to latency." This module provides
+that variant: per-device energy models (calibrated to Jetson power
+envelopes), the energy cost of an assignment, and a greedy scheduler that
+minimizes *total energy* subject to a per-camera latency deadline — e.g.
+the camera frame interval, so the fleet stays real-time while spending as
+few joules as possible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.core.balb import balb_central, order_objects
+from repro.core.problem import (
+    Assignment,
+    MVSInstance,
+    camera_latency,
+    is_feasible,
+)
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-device inference energy: ``E = power_w * time`` + idle floor.
+
+    ``active_power_w`` is the board's power draw while the GPU runs
+    inference; energy per task is therefore proportional to its latency,
+    which is how the schedulers trade energy against time.
+    """
+
+    active_power_w: float
+    idle_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.active_power_w <= 0:
+            raise ValueError("active_power_w must be positive")
+        if self.idle_power_w < 0:
+            raise ValueError("idle_power_w must be non-negative")
+
+    def inference_energy_mj(self, latency_ms: float) -> float:
+        """Millijoules spent running the GPU for ``latency_ms``."""
+        if latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        return self.active_power_w * latency_ms  # W * ms = mJ
+
+
+#: Approximate inference-mode power draw of the Jetson boards (10W/15W/30W
+#: nominal envelopes; Nano pulls proportionally more of its budget).
+DEFAULT_ENERGY_MODELS: Dict[str, EnergyModel] = {
+    "jetson-nano": EnergyModel(active_power_w=8.0, idle_power_w=1.5),
+    "jetson-tx2": EnergyModel(active_power_w=12.0, idle_power_w=2.5),
+    "jetson-xavier-nx": EnergyModel(active_power_w=15.0, idle_power_w=3.0),
+    "jetson-agx-xavier": EnergyModel(active_power_w=28.0, idle_power_w=5.0),
+}
+
+
+def energy_models_for(instance: MVSInstance) -> Dict[int, EnergyModel]:
+    """Energy models per camera, resolved from device names (with a
+    generic fallback for unknown devices)."""
+    fallback = EnergyModel(active_power_w=12.0)
+    return {
+        cam: DEFAULT_ENERGY_MODELS.get(profile.device_name, fallback)
+        for cam, profile in instance.profiles.items()
+    }
+
+
+def assignment_energy_mj(
+    instance: MVSInstance,
+    assignment: Assignment,
+    energy_models: Optional[Mapping[int, EnergyModel]] = None,
+    include_full_frame: bool = False,
+) -> float:
+    """Total per-frame inference energy across the fleet (mJ)."""
+    models = energy_models or energy_models_for(instance)
+    total = 0.0
+    for cam in instance.camera_ids:
+        latency = camera_latency(
+            instance, assignment, cam, include_full_frame=include_full_frame
+        )
+        total += models[cam].inference_energy_mj(latency)
+    return total
+
+
+def energy_aware_assignment(
+    instance: MVSInstance,
+    latency_deadline_ms: float,
+    energy_models: Optional[Mapping[int, EnergyModel]] = None,
+) -> Assignment:
+    """Greedy min-energy assignment under a per-camera latency deadline.
+
+    Objects are visited least-flexible-first (as in Algorithm 1); each
+    goes to the coverage camera with the smallest *marginal energy* whose
+    post-assignment latency stays within the deadline. When no camera
+    meets the deadline, the min-latency camera is used (coverage beats
+    the deadline — an object must never go untracked).
+
+    The greedy pass is myopic about batch sharing, so the result is
+    finally compared against the latency-balanced BALB assignment: if
+    BALB also meets the deadline and spends less energy, BALB's
+    assignment is returned. The output therefore never uses more energy
+    than BALB under any deadline both can satisfy.
+    """
+    if latency_deadline_ms <= 0:
+        raise ValueError("latency_deadline_ms must be positive")
+    models = energy_models or energy_models_for(instance)
+    assignment: Assignment = {}
+    counts: Dict[int, Dict[int, int]] = {cam: {} for cam in instance.camera_ids}
+
+    def latency_of(cam: int) -> float:
+        profile = instance.profiles[cam]
+        total = 0.0
+        for size, count in counts[cam].items():
+            total += math.ceil(
+                count / profile.batch_limit(size)
+            ) * profile.t_size(size)
+        return total
+
+    for obj in order_objects(list(instance.objects)):
+        best_cam = None
+        best_energy = float("inf")
+        fallback_cam = None
+        fallback_latency = float("inf")
+        for cam in sorted(obj.coverage):
+            size = obj.size_on(cam)
+            counts[cam][size] = counts[cam].get(size, 0) + 1
+            new_latency = latency_of(cam)
+            counts[cam][size] -= 1
+            if counts[cam][size] == 0:
+                del counts[cam][size]
+            if new_latency < fallback_latency:
+                fallback_latency = new_latency
+                fallback_cam = cam
+            if new_latency > latency_deadline_ms:
+                continue
+            old_latency = latency_of(cam)
+            marginal = models[cam].inference_energy_mj(
+                new_latency
+            ) - models[cam].inference_energy_mj(old_latency)
+            if marginal < best_energy:
+                best_energy = marginal
+                best_cam = cam
+        chosen = best_cam if best_cam is not None else fallback_cam
+        assert chosen is not None  # coverage sets are non-empty
+        size = obj.size_on(chosen)
+        counts[chosen][size] = counts[chosen].get(size, 0) + 1
+        assignment[obj.key] = chosen
+
+    assert is_feasible(instance, assignment)
+
+    # Best-of-both backstop: greedy marginal-energy placement can miss
+    # batch-sharing synergies that latency balancing happens to exploit.
+    balb = balb_central(instance, include_full_frame=False)
+    balb_meets_deadline = all(
+        camera_latency(instance, balb.assignment, cam) <= latency_deadline_ms
+        for cam in instance.camera_ids
+    )
+    if balb_meets_deadline:
+        greedy_energy = assignment_energy_mj(instance, assignment, models)
+        balb_energy = assignment_energy_mj(instance, balb.assignment, models)
+        if balb_energy < greedy_energy:
+            return dict(balb.assignment)
+    return assignment

@@ -1,0 +1,94 @@
+"""The bin-packing reduction behind Claim 1 (strong NP-hardness of MVS).
+
+The paper proves MVS strongly NP-hard by restricting it to identical
+machine scheduling and reducing bin packing to the decision version. This
+module makes the reduction executable: it converts a bin-packing instance
+into an MVS instance whose optimal system latency answers the bin-packing
+question, which the tests verify on small cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.problem import MVSInstance, SchedObject
+from repro.devices.profiler import DeviceProfile
+
+
+def mvs_from_bin_packing(
+    item_sizes: Sequence[float], n_bins: int
+) -> MVSInstance:
+    """Encode bin packing as MVS, per the Claim 1 construction.
+
+    * each bin becomes one camera (identical processing speed),
+    * batching is disabled (batch limit 1 everywhere),
+    * every object is visible from all cameras,
+    * each item becomes an object whose execution latency equals its size
+      (distinct sizes map to distinct entries of the size set).
+
+    With this encoding, ``optimal system latency <= capacity`` iff the
+    items fit into ``n_bins`` bins of that capacity.
+    """
+    if n_bins < 1:
+        raise ValueError("need at least one bin")
+    if not item_sizes:
+        raise ValueError("need at least one item")
+    if any(s <= 0 for s in item_sizes):
+        raise ValueError("item sizes must be positive")
+
+    # Distinct item sizes become the quantized size set. Sizes are floats;
+    # map them to integer keys to satisfy the DeviceProfile interface.
+    distinct = sorted(set(float(s) for s in item_sizes))
+    size_key: Dict[float, int] = {s: idx + 1 for idx, s in enumerate(distinct)}
+    size_set = tuple(size_key[s] for s in distinct)
+
+    profiles = {
+        cam: DeviceProfile(
+            device_name=f"bin-{cam}",
+            size_set=size_set,
+            # t_full is irrelevant to the reduction (use include_full_frame
+            # =False when solving); it just must be positive.
+            t_full=1.0,
+            batch_latency_ms={size_key[s]: s for s in distinct},
+            batch_limits={size_key[s]: 1 for s in distinct},
+        )
+        for cam in range(n_bins)
+    }
+    objects = [
+        SchedObject(
+            key=j,
+            target_sizes={cam: size_key[float(s)] for cam in range(n_bins)},
+        )
+        for j, s in enumerate(item_sizes)
+    ]
+    return MVSInstance(profiles=profiles, objects=tuple(objects))
+
+
+def bins_fit(
+    item_sizes: Sequence[float], n_bins: int, capacity: float
+) -> bool:
+    """Exact bin-packing feasibility by exhaustive search (small inputs).
+
+    Reference implementation used to validate the reduction in tests.
+    """
+    items = sorted((float(s) for s in item_sizes), reverse=True)
+    if any(s > capacity for s in items):
+        return False
+    loads = [0.0] * n_bins
+
+    def place(idx: int) -> bool:
+        if idx == len(items):
+            return True
+        seen: set = set()
+        for b in range(n_bins):
+            if loads[b] in seen:  # symmetry pruning
+                continue
+            seen.add(loads[b])
+            if loads[b] + items[idx] <= capacity + 1e-9:
+                loads[b] += items[idx]
+                if place(idx + 1):
+                    return True
+                loads[b] -= items[idx]
+        return False
+
+    return place(0)

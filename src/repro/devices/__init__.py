@@ -1,0 +1,42 @@
+"""Device substrate: Jetson catalogue, latency models, profiling, GPU sim."""
+
+from repro.devices.gpu import (
+    Batch,
+    ExecutionRecord,
+    GPUExecutor,
+    greedy_plan,
+    plan_from_counts,
+)
+from repro.devices.latency import GPUSpec, LatencyModel, speedup
+from repro.devices.profiler import DeviceProfile, profile_device
+from repro.devices.profiles import (
+    DEVICE_CATALOGUE,
+    JETSON_AGX_XAVIER,
+    JETSON_NANO,
+    JETSON_TX2,
+    JETSON_XAVIER_NX,
+    DeviceType,
+    device_by_name,
+    latency_model_for,
+)
+
+__all__ = [
+    "GPUSpec",
+    "LatencyModel",
+    "speedup",
+    "DeviceType",
+    "DEVICE_CATALOGUE",
+    "JETSON_NANO",
+    "JETSON_TX2",
+    "JETSON_XAVIER_NX",
+    "JETSON_AGX_XAVIER",
+    "device_by_name",
+    "latency_model_for",
+    "DeviceProfile",
+    "profile_device",
+    "Batch",
+    "ExecutionRecord",
+    "GPUExecutor",
+    "greedy_plan",
+    "plan_from_counts",
+]

@@ -1,0 +1,120 @@
+"""Simulated GPU batch executor.
+
+Executes *inference plans* — sequences of same-size batches — against a
+device's latency model, with optional run-to-run jitter. This is the
+substrate under the per-frame processing loop: a camera node turns its
+assigned partial regions into a plan, the executor "runs" it and returns
+the elapsed milliseconds. Batches execute sequentially and without
+preemption, matching Definition 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.devices.latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One GPU launch: ``count`` images of ``size`` x ``size`` pixels."""
+
+    size: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Outcome of executing one plan on the simulated GPU."""
+
+    batch_latencies_ms: tuple
+    total_ms: float
+    n_images: int
+
+
+class GPUExecutor:
+    """Runs inference plans against a latency model.
+
+    ``jitter_std_fraction`` injects multiplicative measurement noise so the
+    runtime behaves like real hardware rather than an oracle. The executor
+    enforces batch limits: plans exceeding a size's limit raise, because a
+    correct scheduler never emits them.
+    """
+
+    def __init__(
+        self,
+        model: LatencyModel,
+        jitter_std_fraction: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if jitter_std_fraction < 0:
+            raise ValueError("jitter_std_fraction must be non-negative")
+        self.model = model
+        self.jitter_std_fraction = jitter_std_fraction
+        self._rng = rng or np.random.default_rng(0)
+
+    def execute(self, plan: Sequence[Batch]) -> ExecutionRecord:
+        """Execute the batches sequentially; returns latencies and total."""
+        latencies: List[float] = []
+        images = 0
+        for batch in plan:
+            limit = self.model.batch_limit(batch.size)
+            if batch.count > limit:
+                raise ValueError(
+                    f"batch of {batch.count} images at size {batch.size} "
+                    f"exceeds the device batch limit {limit}"
+                )
+            true_ms = self.model.latency(batch.size, batch.count)
+            latencies.append(self._jitter(true_ms))
+            images += batch.count
+        return ExecutionRecord(
+            batch_latencies_ms=tuple(latencies),
+            total_ms=float(sum(latencies)),
+            n_images=images,
+        )
+
+    def execute_full_frame(self) -> float:
+        """Run one full-frame inference; returns elapsed ms."""
+        return self._jitter(self.model.full_frame_latency())
+
+    def _jitter(self, true_ms: float) -> float:
+        if self.jitter_std_fraction == 0.0:
+            return true_ms
+        factor = 1.0 + self._rng.normal(0.0, self.jitter_std_fraction)
+        return max(1e-3, true_ms * factor)
+
+
+def plan_from_counts(counts: dict) -> List[Batch]:
+    """Build a plan from a ``{size: n_images}`` mapping *without* splitting
+    into limit-sized launches — use :func:`greedy_plan` for that.
+    """
+    return [Batch(size=s, count=n) for s, n in sorted(counts.items()) if n > 0]
+
+
+def greedy_plan(counts: dict, model: LatencyModel) -> List[Batch]:
+    """Split per-size image counts into limit-respecting launches.
+
+    This is the paper's "optimal batch sequence": same-size images are
+    batched greedily, which minimizes the number of launches per size
+    (Section III-B).
+    """
+    plan: List[Batch] = []
+    for size in sorted(counts):
+        n = counts[size]
+        if n < 0:
+            raise ValueError("image counts must be non-negative")
+        limit = model.batch_limit(size)
+        while n > 0:
+            take = min(n, limit)
+            plan.append(Batch(size=size, count=take))
+            n -= take
+    return plan

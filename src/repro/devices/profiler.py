@@ -1,0 +1,104 @@
+"""Offline latency profiling.
+
+The paper profiles YOLO inference "with 200 runs on each Jetson board" and
+feeds the profiles to the BALB scheduler (Section IV-A3). We reproduce that
+workflow: the profiler repeatedly samples the analytic latency surface with
+measurement noise and stores the aggregated :class:`DeviceProfile`, which is
+what the scheduler actually consumes. This keeps the scheduler honest — it
+never peeks at the noise-free model, just like the real system never sees
+"true" silicon latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.latency import LatencyModel
+from repro.geometry.box import DEFAULT_SIZE_SET
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Profiled quantities the scheduler consumes for one camera device.
+
+    Mirrors Section III-A exactly: ``t_full`` is ``t_i^full``;
+    ``batch_latency_ms[s]`` is ``t_i^s``; ``batch_limits[s]`` is ``B_i^s``.
+    """
+
+    device_name: str
+    size_set: Tuple[int, ...]
+    t_full: float
+    batch_latency_ms: Dict[int, float] = field(default_factory=dict)
+    batch_limits: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.t_full <= 0:
+            raise ValueError("t_full must be positive")
+        for s in self.size_set:
+            if s not in self.batch_latency_ms or s not in self.batch_limits:
+                raise ValueError(f"profile missing entries for size {s}")
+            if self.batch_latency_ms[s] <= 0:
+                raise ValueError(f"non-positive latency for size {s}")
+            if self.batch_limits[s] < 1:
+                raise ValueError(f"batch limit < 1 for size {s}")
+
+    def t_size(self, size: int) -> float:
+        """``t_i^s`` for a quantized target size."""
+        try:
+            return self.batch_latency_ms[size]
+        except KeyError:
+            raise KeyError(
+                f"size {size} not in profiled set {self.size_set}"
+            ) from None
+
+    def batch_limit(self, size: int) -> int:
+        """``B_i^s`` for a quantized target size."""
+        try:
+            return self.batch_limits[size]
+        except KeyError:
+            raise KeyError(
+                f"size {size} not in profiled set {self.size_set}"
+            ) from None
+
+
+def profile_device(
+    model: LatencyModel,
+    device_name: str,
+    n_runs: int = 200,
+    noise_std_fraction: float = 0.03,
+    seed: int = 0,
+    size_set: Sequence[int] | None = None,
+) -> DeviceProfile:
+    """Profile a device by noisy repeated measurement, like the paper's
+    offline stage. Returns the median over ``n_runs`` noisy samples per
+    configuration.
+    """
+    if n_runs < 1:
+        raise ValueError("n_runs must be >= 1")
+    if noise_std_fraction < 0:
+        raise ValueError("noise_std_fraction must be non-negative")
+    sizes = tuple(sorted(size_set or model.size_set or DEFAULT_SIZE_SET))
+    rng = np.random.default_rng(seed)
+
+    def measure(true_ms: float) -> float:
+        samples = true_ms * (
+            1.0 + rng.normal(0.0, noise_std_fraction, size=n_runs)
+        )
+        return float(np.median(np.maximum(samples, 1e-3)))
+
+    batch_latency = {}
+    batch_limits = {}
+    for s in sizes:
+        limit = model.batch_limit(s)
+        batch_limits[s] = limit
+        batch_latency[s] = measure(model.latency(s, limit))
+    return DeviceProfile(
+        device_name=device_name,
+        size_set=sizes,
+        t_full=measure(model.full_frame_latency()),
+        batch_latency_ms=batch_latency,
+        batch_limits=batch_limits,
+    )

@@ -1,0 +1,114 @@
+"""Experiment harnesses: one module per paper figure/table, plus ablations."""
+
+from repro.experiments.ablations import (
+    AblationResult,
+    OptimalityResult,
+    ablate_batch_awareness,
+    ablate_coverage_ordering,
+    jetson_fleet_profiles,
+    measure_optimality_gap,
+    random_instance,
+    run_ablations,
+)
+from repro.experiments.assoc_data import PairSplit, collect_and_split, split_dataset
+from repro.experiments.extensions import (
+    BandwidthStudy,
+    EnergyStudy,
+    OcclusionStudy,
+    SynchronizationStudy,
+    bandwidth_study,
+    energy_study,
+    occlusion_redundancy_study,
+    run_extensions,
+    synchronization_study,
+)
+from repro.experiments.fig2_workload import WorkloadTrace, workload_trace
+from repro.experiments.fig10_classification import (
+    ClassificationRow,
+    evaluate_classifiers,
+    run_figure10,
+)
+from repro.experiments.fig11_regression import (
+    RegressionRow,
+    evaluate_regressors,
+    run_figure11,
+)
+from repro.experiments.fig12_recall import (
+    DEFAULT_POLICIES,
+    RecallRow,
+    recall_rows,
+    run_figure12,
+    run_policies,
+)
+from repro.experiments.fig13_latency import (
+    LATENCY_POLICIES,
+    LatencyRow,
+    SpeedupSummary,
+    latency_rows,
+    run_figure13,
+    speedup_summary,
+)
+from repro.experiments.fig14_horizon import (
+    DEFAULT_HORIZONS,
+    HorizonRow,
+    run_figure14,
+    sweep_horizons,
+)
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_all
+from repro.experiments.table2_overhead import (
+    OverheadRow,
+    measure_overheads,
+    run_table2,
+)
+
+__all__ = [
+    "WorkloadTrace",
+    "workload_trace",
+    "ClassificationRow",
+    "evaluate_classifiers",
+    "run_figure10",
+    "RegressionRow",
+    "evaluate_regressors",
+    "run_figure11",
+    "RecallRow",
+    "recall_rows",
+    "run_policies",
+    "run_figure12",
+    "DEFAULT_POLICIES",
+    "LatencyRow",
+    "SpeedupSummary",
+    "latency_rows",
+    "speedup_summary",
+    "run_figure13",
+    "LATENCY_POLICIES",
+    "HorizonRow",
+    "sweep_horizons",
+    "run_figure14",
+    "DEFAULT_HORIZONS",
+    "OverheadRow",
+    "measure_overheads",
+    "run_table2",
+    "AblationResult",
+    "OptimalityResult",
+    "ablate_batch_awareness",
+    "ablate_coverage_ordering",
+    "measure_optimality_gap",
+    "jetson_fleet_profiles",
+    "random_instance",
+    "run_ablations",
+    "PairSplit",
+    "collect_and_split",
+    "split_dataset",
+    "format_table",
+    "run_all",
+    "OcclusionStudy",
+    "BandwidthStudy",
+    "EnergyStudy",
+    "occlusion_redundancy_study",
+    "bandwidth_study",
+    "energy_study",
+    "run_extensions",
+    "SynchronizationStudy",
+    "synchronization_study",
+]

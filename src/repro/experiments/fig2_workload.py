@@ -1,0 +1,81 @@
+"""Figure 2: temporal variation of object workload across cameras.
+
+The paper samples the number of objects in each of S1's five camera views
+once every 2 seconds and shows (a) large absolute variation over time and
+(b) shifting *relative* workload between camera pairs. This harness
+regenerates those series from the simulated S1 world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.scenarios.aic21 import get_scenario
+from repro.scenarios.builder import Scenario
+
+
+@dataclass
+class WorkloadTrace:
+    """Objects-per-camera sampled over time."""
+
+    scenario: str
+    sample_times: List[float]
+    counts: Dict[int, List[int]]  # camera id -> series
+
+    def mean_per_camera(self) -> Dict[int, float]:
+        """Mean visible-object count per camera over the trace."""
+        return {cam: float(np.mean(series)) for cam, series in self.counts.items()}
+
+    def std_per_camera(self) -> Dict[int, float]:
+        """Standard deviation of the per-camera counts over the trace."""
+        return {cam: float(np.std(series)) for cam, series in self.counts.items()}
+
+    def coefficient_of_variation(self) -> Dict[int, float]:
+        """Temporal variability per camera (std / mean)."""
+        out = {}
+        for cam, series in self.counts.items():
+            mean = float(np.mean(series))
+            out[cam] = float(np.std(series)) / mean if mean > 0 else 0.0
+        return out
+
+    def relative_workload_swings(self, cam_a: int, cam_b: int) -> float:
+        """How often the heavier camera of a pair flips (fraction of samples)."""
+        a = np.asarray(self.counts[cam_a])
+        b = np.asarray(self.counts[cam_b])
+        sign = np.sign(a - b)
+        nonzero = sign[sign != 0]
+        if len(nonzero) < 2:
+            return 0.0
+        flips = np.sum(nonzero[1:] != nonzero[:-1])
+        return float(flips) / (len(nonzero) - 1)
+
+
+def workload_trace(
+    scenario: Scenario | None = None,
+    duration_s: float = 120.0,
+    sample_interval_s: float = 2.0,
+    warmup_s: float = 30.0,
+    seed: int = 0,
+) -> WorkloadTrace:
+    """Run the world and sample per-camera visible-object counts."""
+    if scenario is None:
+        scenario = get_scenario("S1", seed=seed)
+    world, rig = scenario.build(seed=seed)
+    dt = scenario.frame_interval
+    world.run(warmup_s, dt)
+    times: List[float] = []
+    counts: Dict[int, List[int]] = {cam: [] for cam in rig.camera_ids}
+    elapsed = 0.0
+    while elapsed < duration_s:
+        world.run(sample_interval_s, dt)
+        elapsed += sample_interval_s
+        snapshot = rig.visible_counts(world.objects)
+        times.append(elapsed)
+        for cam, n in snapshot.items():
+            counts[cam].append(n)
+    return WorkloadTrace(
+        scenario=scenario.name, sample_times=times, counts=counts
+    )

@@ -1,0 +1,76 @@
+"""Run every experiment and emit a single report.
+
+``python -m repro.experiments.runner`` regenerates all of the paper's
+figures/tables (plus the ablations) as text and prints them; pass a path
+to also write the report to a file.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.extensions import run_extensions
+from repro.experiments.fig2_workload import workload_trace
+from repro.experiments.fig10_classification import run_figure10
+from repro.experiments.fig11_regression import run_figure11
+from repro.experiments.fig12_recall import run_figure12
+from repro.experiments.fig13_latency import run_figure13
+from repro.experiments.fig14_horizon import run_figure14
+from repro.experiments.report import format_table
+from repro.experiments.table2_overhead import run_table2
+
+
+def run_figure2_text(seed: int = 0) -> str:
+    """Figure 2 as a text table (workload variability summary)."""
+    trace = workload_trace(seed=seed)
+    means = trace.mean_per_camera()
+    stds = trace.std_per_camera()
+    cvs = trace.coefficient_of_variation()
+    return format_table(
+        ["camera", "mean objects", "std", "coeff. of variation"],
+        [
+            (cam, round(means[cam], 1), round(stds[cam], 1), cvs[cam])
+            for cam in sorted(means)
+        ],
+        title="Figure 2: per-camera workload variability (S1)",
+    )
+
+
+def run_all(seed: int = 0, out_path: Optional[str] = None) -> str:
+    """Run every experiment; returns (and optionally writes) the report."""
+    sections: List[str] = []
+    for name, fn in [
+        ("FIG2", lambda: run_figure2_text(seed)),
+        ("FIG10", lambda: run_figure10(seed=seed)),
+        ("FIG11", lambda: run_figure11(seed=seed)),
+        ("FIG12", lambda: run_figure12(seed=seed)),
+        ("FIG13", lambda: run_figure13(seed=seed)),
+        ("FIG14", lambda: run_figure14(seed=seed)),
+        ("TAB2", lambda: run_table2(seed=seed)),
+        ("ABLATIONS", lambda: run_ablations(seed=seed)),
+        ("EXTENSIONS", lambda: run_extensions(seed=seed)),
+    ]:
+        start = time.perf_counter()
+        body = fn()
+        elapsed = time.perf_counter() - start
+        sections.append(f"== {name} ({elapsed:.1f}s) ==\n{body}")
+    report = "\n\n".join(sections)
+    if out_path:
+        with open(out_path, "w") as f:
+            f.write(report + "\n")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Module entry point: run all experiments, optionally write a file."""
+    argv = sys.argv[1:] if argv is None else argv
+    out_path = argv[0] if argv else None
+    print(run_all(out_path=out_path))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

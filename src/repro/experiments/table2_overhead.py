@@ -1,0 +1,85 @@
+"""Table II: breakdown of per-frame latency overhead.
+
+Per scenario, runs the full BALB pipeline and reports the mean per-frame
+overhead of each framework component: central stage (association + central
+BALB + scheduler communication, amortized over the horizon), optical-flow
+tracking, the distributed BALB stage, and GPU batching. Per the paper's
+protocol, each component's per-frame value is the maximum across cameras,
+then averaged over frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.report import format_table
+from repro.runtime.pipeline import PipelineConfig, run_policy, train_models
+from repro.scenarios.aic21 import get_scenario
+
+
+@dataclass
+class OverheadRow:
+    scenario: str
+    central_ms: float
+    tracking_ms: float
+    distributed_ms: float
+    batching_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.central_ms
+            + self.tracking_ms
+            + self.distributed_ms
+            + self.batching_ms
+        )
+
+
+def measure_overheads(
+    scenario_name: str,
+    config: Optional[PipelineConfig] = None,
+    seed: int = 0,
+) -> OverheadRow:
+    """Run BALB on one scenario and extract the Table II row."""
+    scenario = get_scenario(scenario_name, seed=seed)
+    config = config or PipelineConfig(
+        policy="balb", n_horizons=30, train_duration_s=120.0, warmup_s=30.0,
+        seed=seed,
+    )
+    trained = train_models(scenario, config)
+    result = run_policy(scenario, "balb", config, trained)
+    breakdown = result.overhead_breakdown()
+    return OverheadRow(
+        scenario=scenario_name,
+        central_ms=breakdown.get("central", 0.0),
+        tracking_ms=breakdown.get("tracking", 0.0),
+        distributed_ms=breakdown.get("distributed", 0.0),
+        batching_ms=breakdown.get("batching", 0.0),
+    )
+
+
+def run_table2(
+    scenarios: Tuple[str, ...] = ("S1", "S2", "S3"),
+    config: Optional[PipelineConfig] = None,
+    seed: int = 0,
+) -> str:
+    """Regenerate Table II as a text table."""
+    rows: List[OverheadRow] = [
+        measure_overheads(name, config=config, seed=seed) for name in scenarios
+    ]
+    return format_table(
+        ["scenario", "central", "tracking", "distributed", "batching", "total"],
+        [
+            (
+                r.scenario,
+                round(r.central_ms, 2),
+                round(r.tracking_ms, 2),
+                round(r.distributed_ms, 2),
+                round(r.batching_ms, 2),
+                round(r.total_ms, 2),
+            )
+            for r in rows
+        ],
+        title="Table II: per-frame latency overhead breakdown (ms)",
+    )

@@ -1,0 +1,21 @@
+"""Geometry primitives: boxes, convex polygons, and planar transforms."""
+
+from repro.geometry.box import (
+    DEFAULT_SIZE_SET,
+    BBox,
+    pairwise_iou_matrix,
+    quantize_size,
+    quantized_region,
+)
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.transforms import Homography
+
+__all__ = [
+    "BBox",
+    "ConvexPolygon",
+    "Homography",
+    "DEFAULT_SIZE_SET",
+    "pairwise_iou_matrix",
+    "quantize_size",
+    "quantized_region",
+]

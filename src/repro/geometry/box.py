@@ -1,0 +1,229 @@
+"""Axis-aligned bounding boxes in pixel coordinates.
+
+Boxes are the currency of the whole system: the simulated detector emits
+them, the optical-flow tracker predicts them, the cross-camera association
+models map them between views, and the scheduler sizes partial-frame
+inspection tasks from them.
+
+A box is stored as ``(x1, y1, x2, y2)`` with ``x1 <= x2`` and ``y1 <= y2``,
+following the convention of the paper's detector (YOLO-style corner format).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BBox:
+    """An axis-aligned rectangle ``(x1, y1) .. (x2, y2)`` in pixels.
+
+    Instances are immutable; all mutating operations return new boxes.
+    """
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if self.x2 < self.x1 or self.y2 < self.y1:
+            raise ValueError(
+                f"invalid box: ({self.x1}, {self.y1}, {self.x2}, {self.y2})"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    @property
+    def long_side(self) -> float:
+        """The longer of width/height — the quantity quantized for batching."""
+        return max(self.width, self.height)
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """The box as ``(x1, y1, x2, y2)``."""
+        return (self.x1, self.y1, self.x2, self.y2)
+
+    def as_xywh(self) -> Tuple[float, float, float, float]:
+        """Return ``(cx, cy, w, h)`` — the format the regression models use."""
+        cx, cy = self.center
+        return (cx, cy, self.width, self.height)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_xywh(cls, cx: float, cy: float, w: float, h: float) -> "BBox":
+        """Build a box from center + size; negative sizes are clamped to 0."""
+        w = max(0.0, w)
+        h = max(0.0, h)
+        return cls(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Tuple[float, float]]) -> "BBox":
+        """The tightest box containing all ``points``."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot build a box from zero points")
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    # ------------------------------------------------------------------
+    # Geometry operations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "BBox") -> float:
+        """Area of overlap with ``other`` (0 when disjoint)."""
+        iw = min(self.x2, other.x2) - max(self.x1, other.x1)
+        ih = min(self.y2, other.y2) - max(self.y1, other.y1)
+        if iw <= 0.0 or ih <= 0.0:
+            return 0.0
+        return iw * ih
+
+    def iou(self, other: "BBox") -> float:
+        """Intersection-over-union, the proximity measure used for matching."""
+        inter = self.intersection(other)
+        if inter == 0.0:
+            return 0.0
+        union = self.area + other.area - inter
+        if union <= 0.0:
+            return 0.0
+        return inter / union
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Is the point inside or on the boundary?"""
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    def contains_box(self, other: "BBox") -> bool:
+        """Does this box fully contain ``other``?"""
+        return (
+            self.x1 <= other.x1
+            and self.y1 <= other.y1
+            and self.x2 >= other.x2
+            and self.y2 >= other.y2
+        )
+
+    def expand(self, margin: float) -> "BBox":
+        """Grow the box by ``margin`` pixels on every side."""
+        if margin < 0 and (self.width < -2 * margin or self.height < -2 * margin):
+            cx, cy = self.center
+            return BBox(cx, cy, cx, cy)
+        return BBox(
+            self.x1 - margin, self.y1 - margin, self.x2 + margin, self.y2 + margin
+        )
+
+    def scale(self, factor: float) -> "BBox":
+        """Scale the box about its center by ``factor`` (must be >= 0)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        cx, cy = self.center
+        return BBox.from_xywh(cx, cy, self.width * factor, self.height * factor)
+
+    def translate(self, dx: float, dy: float) -> "BBox":
+        """The box shifted by ``(dx, dy)`` pixels."""
+        return BBox(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+    def clip(self, frame_w: float, frame_h: float) -> "BBox":
+        """Clip the box to a ``frame_w x frame_h`` image (may become empty)."""
+        return BBox(
+            min(max(self.x1, 0.0), frame_w),
+            min(max(self.y1, 0.0), frame_h),
+            min(max(self.x2, 0.0), frame_w),
+            min(max(self.y2, 0.0), frame_h),
+        )
+
+    def union_box(self, other: "BBox") -> "BBox":
+        """The tightest box containing both boxes."""
+        return BBox(
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+            max(self.x2, other.x2),
+            max(self.y2, other.y2),
+        )
+
+    def is_empty(self, eps: float = 1e-9) -> bool:
+        """True when either side is (numerically) zero."""
+        return self.width <= eps or self.height <= eps
+
+    def l1_distance(self, other: "BBox") -> float:
+        """Mean absolute error between the two boxes' corner coordinates.
+
+        This is the MAE metric of the paper's Figure 11 for a single pair.
+        """
+        return (
+            abs(self.x1 - other.x1)
+            + abs(self.y1 - other.y1)
+            + abs(self.x2 - other.x2)
+            + abs(self.y2 - other.y2)
+        ) / 4.0
+
+    def center_distance(self, other: "BBox") -> float:
+        """Euclidean distance between the two box centres."""
+        ax, ay = self.center
+        bx, by = other.center
+        return math.hypot(ax - bx, ay - by)
+
+
+# ----------------------------------------------------------------------
+# Size quantization (Section III-A: target sizes quantized to a set S)
+# ----------------------------------------------------------------------
+DEFAULT_SIZE_SET: Tuple[int, ...] = (64, 128, 256, 512)
+"""The paper's quantized partial-frame sizes (Section IV-A3)."""
+
+
+def quantize_size(extent: float, size_set: Sequence[int] = DEFAULT_SIZE_SET) -> int:
+    """Quantize a region extent to the smallest size in ``size_set`` >= extent.
+
+    Regions larger than the largest size are *downsampled* to it, exactly as
+    the paper does for regions above 512 px ("very large objects are easy to
+    be detected").
+    """
+    if not size_set:
+        raise ValueError("size_set must be non-empty")
+    ordered = sorted(size_set)
+    for s in ordered:
+        if extent <= s:
+            return s
+    return ordered[-1]
+
+
+def quantized_region(
+    box: BBox,
+    size_set: Sequence[int] = DEFAULT_SIZE_SET,
+    margin: float = 8.0,
+) -> Tuple[BBox, int]:
+    """Expand ``box`` by ``margin`` and square it up to a quantized size.
+
+    Returns the square search region centred on the object together with its
+    quantized target size. The region is what the simulated detector
+    inspects on regular frames; the target size is the batching key.
+    """
+    grown = box.expand(margin)
+    size = quantize_size(grown.long_side, size_set)
+    cx, cy = grown.center
+    return BBox.from_xywh(cx, cy, float(size), float(size)), size
+
+
+def pairwise_iou_matrix(
+    boxes_a: Sequence[BBox], boxes_b: Sequence[BBox]
+) -> List[List[float]]:
+    """Dense IoU matrix between two box lists (rows: a, cols: b)."""
+    return [[a.iou(b) for b in boxes_b] for a in boxes_a]

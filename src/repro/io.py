@@ -1,0 +1,167 @@
+"""Persistence: save/load profiles, association datasets, and GT traces.
+
+A deployed system profiles its devices and trains its association models
+*once*, offline, then reuses the artifacts (Section IV-A3: profiles are
+stored "as input to the BALB scheduling algorithm"). This module provides
+that storage layer:
+
+* device profiles   <-> JSON (human-inspectable),
+* association datasets <-> ``.npz`` (compact arrays; models are refit on
+  load — KNN "fitting" is just storing the data),
+* ground-truth traces  -> CSV (for external analysis or as a synthetic
+  stand-in for the AIC21 label files).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.association.training import AssociationDataset, PairDataset
+from repro.cameras.rig import CameraRig
+from repro.devices.profiler import DeviceProfile
+from repro.world.world import World
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Device profiles <-> JSON
+# ----------------------------------------------------------------------
+def profile_to_dict(profile: DeviceProfile) -> dict:
+    """JSON-serializable form of a device profile."""
+    return {
+        "device_name": profile.device_name,
+        "size_set": list(profile.size_set),
+        "t_full": profile.t_full,
+        "batch_latency_ms": {str(k): v for k, v in profile.batch_latency_ms.items()},
+        "batch_limits": {str(k): v for k, v in profile.batch_limits.items()},
+    }
+
+
+def profile_from_dict(data: dict) -> DeviceProfile:
+    """Inverse of :func:`profile_to_dict`."""
+    return DeviceProfile(
+        device_name=data["device_name"],
+        size_set=tuple(int(s) for s in data["size_set"]),
+        t_full=float(data["t_full"]),
+        batch_latency_ms={
+            int(k): float(v) for k, v in data["batch_latency_ms"].items()
+        },
+        batch_limits={int(k): int(v) for k, v in data["batch_limits"].items()},
+    )
+
+
+def save_profiles(profiles: Dict[int, DeviceProfile], path: PathLike) -> None:
+    """Write a fleet's profiles to a JSON file keyed by camera id."""
+    payload = {str(cam): profile_to_dict(p) for cam, p in profiles.items()}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_profiles(path: PathLike) -> Dict[int, DeviceProfile]:
+    """Read a fleet profile file written by :func:`save_profiles`."""
+    payload = json.loads(Path(path).read_text())
+    return {int(cam): profile_from_dict(d) for cam, d in payload.items()}
+
+
+# ----------------------------------------------------------------------
+# Association datasets <-> npz
+# ----------------------------------------------------------------------
+def save_association_dataset(
+    dataset: AssociationDataset, path: PathLike
+) -> None:
+    """Store every pair's arrays in one compressed ``.npz`` archive."""
+    arrays: Dict[str, np.ndarray] = {}
+    for (source, target), pair_ds in dataset.pairs.items():
+        prefix = f"pair_{source}_{target}"
+        arrays[f"{prefix}_features"] = np.asarray(pair_ds.features, dtype=float)
+        arrays[f"{prefix}_labels"] = np.asarray(
+            pair_ds.visible_labels, dtype=float
+        )
+        arrays[f"{prefix}_reg_features"] = np.asarray(
+            pair_ds.target_features, dtype=float
+        )
+        arrays[f"{prefix}_reg_targets"] = np.asarray(pair_ds.targets, dtype=float)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_association_dataset(path: PathLike) -> AssociationDataset:
+    """Read an archive written by :func:`save_association_dataset`."""
+    archive = np.load(Path(path))
+    dataset = AssociationDataset()
+    prefixes = sorted(
+        {name.rsplit("_", 1)[0].replace("_features", "").replace("_labels", "")
+         for name in archive.files if name.endswith("_features")
+         and not name.endswith("_reg_features")}
+    )
+    for name in archive.files:
+        if not name.endswith("_labels"):
+            continue
+        prefix = name[: -len("_labels")]
+        _, source, target = prefix.split("_")
+        pair_ds = PairDataset(pair=(int(source), int(target)))
+        pair_ds.features = archive[f"{prefix}_features"].tolist()
+        pair_ds.visible_labels = [
+            int(v) for v in archive[f"{prefix}_labels"].tolist()
+        ]
+        reg_features = archive[f"{prefix}_reg_features"]
+        reg_targets = archive[f"{prefix}_reg_targets"]
+        pair_ds.target_features = (
+            reg_features.tolist() if reg_features.size else []
+        )
+        pair_ds.targets = reg_targets.tolist() if reg_targets.size else []
+        dataset.pairs[pair_ds.pair] = pair_ds
+    return dataset
+
+
+# ----------------------------------------------------------------------
+# Ground-truth traces -> CSV
+# ----------------------------------------------------------------------
+def export_ground_truth_csv(
+    world: World,
+    rig: CameraRig,
+    path: PathLike,
+    duration_s: float,
+    dt: float = 0.1,
+) -> int:
+    """Simulate and dump per-frame, per-camera box labels as CSV.
+
+    Columns: ``frame, time_s, camera_id, object_id, object_class, x1, y1,
+    x2, y2``. Returns the number of rows written. The format mirrors
+    what multi-camera tracking datasets ship as label files.
+    """
+    if duration_s <= 0 or dt <= 0:
+        raise ValueError("duration_s and dt must be positive")
+    rows = 0
+    with open(Path(path), "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(
+            ["frame", "time_s", "camera_id", "object_id", "object_class",
+             "x1", "y1", "x2", "y2"]
+        )
+        n_frames = int(round(duration_s / dt))
+        for frame in range(n_frames):
+            world.step(dt)
+            projections = rig.project_all(world.objects)
+            classes = {o.object_id: o.object_class.value for o in world.objects}
+            for cam_id in sorted(projections):
+                for obj_id, box in sorted(projections[cam_id].items()):
+                    writer.writerow(
+                        [
+                            frame,
+                            round(world.time, 3),
+                            cam_id,
+                            obj_id,
+                            classes[obj_id],
+                            round(box.x1, 2),
+                            round(box.y1, 2),
+                            round(box.x2, 2),
+                            round(box.y2, 2),
+                        ]
+                    )
+                    rows += 1
+    return rows

@@ -1,0 +1,100 @@
+"""Shared interfaces and validation helpers for the ML substrate.
+
+The cross-camera association module (Section II-C of the paper) relies on a
+classifier ("does this object appear in camera j?") and a regressor ("where
+does it appear?"). The paper's primary models are K-nearest-neighbour
+variants; its evaluation compares them against SVM, logistic regression and
+decision trees (classification) and homography, linear regression and
+RANSAC (regression). All of those models are implemented here from scratch
+on top of numpy so the library has no learned-model dependencies.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+
+class Classifier(abc.ABC):
+    """Binary classifier over real-valued feature vectors (labels 0/1)."""
+
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Fit on features ``x`` of shape (n, d) and labels ``y`` of shape (n,)."""
+
+    @abc.abstractmethod
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row of ``x``."""
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """0/1 predictions by thresholding :meth:`predict_proba`."""
+        return (self.predict_proba(x) >= threshold).astype(int)
+
+
+class Regressor(abc.ABC):
+    """Vector-output regressor over real-valued feature vectors."""
+
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Regressor":
+        """Fit on features ``x`` (n, d) and targets ``y`` (n, k)."""
+
+    @abc.abstractmethod
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets, shape (n, k)."""
+
+
+def check_xy(
+    x: np.ndarray, y: np.ndarray, allow_vector_target: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and canonicalize a training pair.
+
+    Returns float arrays with ``x`` of shape (n, d) and ``y`` of shape (n,)
+    or (n, k) when ``allow_vector_target`` is set.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim == 1:
+        x = x[:, None]
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    if len(x) == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if allow_vector_target:
+        if y.ndim == 1:
+            y = y[:, None]
+        if y.ndim != 2:
+            raise ValueError(f"y must be 1-D or 2-D, got shape {y.shape}")
+    else:
+        if y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if len(x) != len(y):
+        raise ValueError(f"x and y length mismatch: {len(x)} vs {len(y)}")
+    if not np.all(np.isfinite(x)):
+        raise ValueError("x contains non-finite values")
+    if not np.all(np.isfinite(y)):
+        raise ValueError("y contains non-finite values")
+    return x, y
+
+
+def check_features(x: np.ndarray, n_features: int) -> np.ndarray:
+    """Validate prediction-time features against the fitted dimensionality."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x[:, None]
+    if x.ndim != 2 or x.shape[1] != n_features:
+        raise ValueError(
+            f"expected features of shape (n, {n_features}), got {x.shape}"
+        )
+    return x
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict is called before fit."""
+
+
+def require_fitted(obj: object, attr: str) -> None:
+    """Raise :class:`NotFittedError` when ``attr`` is still None."""
+    if getattr(obj, attr, None) is None:
+        raise NotFittedError(f"{type(obj).__name__} is not fitted yet")

@@ -1,0 +1,149 @@
+"""CART-style binary decision tree classifier.
+
+The last of the paper's visibility-classifier baselines (Figure 10).
+Greedy axis-aligned splits chosen by Gini impurity, with depth and
+min-samples stopping rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_features, check_xy, require_fitted
+
+
+@dataclass
+class _Node:
+    """A tree node: either a split (feature/threshold) or a leaf (proba)."""
+
+    proba: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeClassifier(Classifier):
+    """Binary classification tree grown greedily on Gini impurity."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 8,
+        min_samples_leaf: int = 3,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.root_: _Node | None = None
+        self._n_features = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x, y = check_xy(x, y)
+        if not np.all(np.isin(np.unique(y), (0.0, 1.0))):
+            raise ValueError("labels must be 0/1")
+        self._n_features = x.shape[1]
+        self.root_ = self._grow(x, y, depth=0)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        require_fitted(self, "root_")
+        assert self.root_ is not None
+        x = check_features(x, self._n_features)
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self.root_
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.proba
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (0 for a single leaf)."""
+        require_fitted(self, "root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(walk(node.left), walk(node.right))
+
+        assert self.root_ is not None
+        return walk(self.root_)
+
+    # ------------------------------------------------------------------
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        proba = float(y.mean())
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or proba in (0.0, 1.0)
+        ):
+            return _Node(proba=proba)
+        split = self._best_split(x, y)
+        if split is None:
+            return _Node(proba=proba)
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        left = self._grow(x[mask], y[mask], depth + 1)
+        right = self._grow(x[~mask], y[~mask], depth + 1)
+        return _Node(
+            proba=proba, feature=feature, threshold=threshold, left=left, right=right
+        )
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray) -> tuple[int, float] | None:
+        """The (feature, threshold) minimizing weighted Gini, if any improves."""
+        n = len(y)
+        best: tuple[int, float] | None = None
+        best_score = _gini(y)
+        for feature in range(x.shape[1]):
+            order = np.argsort(x[:, feature], kind="stable")
+            xs = x[order, feature]
+            ys = y[order]
+            # Prefix counts of positives let us score every split in O(n).
+            pos_prefix = np.cumsum(ys)
+            total_pos = pos_prefix[-1]
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if i < n and xs[i - 1] == xs[i]:
+                    continue  # can't split between equal values
+                if i >= n:
+                    break
+                left_n, right_n = i, n - i
+                left_pos = pos_prefix[i - 1]
+                right_pos = total_pos - left_pos
+                score = (
+                    left_n * _gini_from_counts(left_pos, left_n)
+                    + right_n * _gini_from_counts(right_pos, right_n)
+                ) / n
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best = (feature, float((xs[i - 1] + xs[i]) / 2.0))
+        return best
+
+
+def _gini(y: np.ndarray) -> float:
+    if len(y) == 0:
+        return 0.0
+    p = float(y.mean())
+    return 2.0 * p * (1.0 - p)
+
+
+def _gini_from_counts(pos: float, n: int) -> float:
+    if n == 0:
+        return 0.0
+    p = pos / n
+    return 2.0 * p * (1.0 - p)

@@ -1,0 +1,90 @@
+"""Hungarian algorithm for minimum-cost bipartite assignment.
+
+The association matcher (Section II-C, step 3) runs the Hungarian algorithm
+to pair predicted box locations with detected boxes by IoU proximity. This
+is a from-scratch O(n^2 m) implementation of the shortest-augmenting-path
+formulation with dual potentials, supporting rectangular cost matrices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def hungarian(cost: np.ndarray) -> List[Tuple[int, int]]:
+    """Solve min-cost assignment on an ``(n, m)`` cost matrix.
+
+    Returns a list of ``(row, col)`` pairs of length ``min(n, m)``, sorted
+    by row. Costs must be finite. For rectangular matrices the smaller side
+    is fully matched.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError("cost must be a 2-D matrix")
+    if cost.size == 0:
+        return []
+    if not np.all(np.isfinite(cost)):
+        raise ValueError("cost matrix contains non-finite entries")
+
+    transposed = cost.shape[0] > cost.shape[1]
+    if transposed:
+        cost = cost.T
+    n, m = cost.shape  # n <= m
+
+    # 1-based arrays; match[j] is the row assigned to column j (0 = free).
+    # Column 0 is a virtual column used to seed each augmentation.
+    u = np.zeros(n + 1)
+    v = np.zeros(m + 1)
+    match = np.zeros(m + 1, dtype=int)
+
+    for i in range(1, n + 1):
+        match[0] = i
+        j0 = 0
+        links = np.zeros(m + 1, dtype=int)
+        mins = np.full(m + 1, np.inf)
+        visited = np.zeros(m + 1, dtype=bool)
+        while True:
+            visited[j0] = True
+            i0 = match[j0]
+            delta = np.inf
+            j1 = 0
+            for j in range(1, m + 1):
+                if visited[j]:
+                    continue
+                reduced = cost[i0 - 1, j - 1] - u[i0] - v[j]
+                if reduced < mins[j]:
+                    mins[j] = reduced
+                    links[j] = j0
+                if mins[j] < delta:
+                    delta = mins[j]
+                    j1 = j
+            for j in range(m + 1):
+                if visited[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    mins[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        # Augment along the alternating path back to the virtual column.
+        while j0 != 0:
+            j1 = links[j0]
+            match[j0] = match[j1]
+            j0 = j1
+
+    pairs = []
+    for j in range(1, m + 1):
+        if match[j] != 0:
+            row, col = match[j] - 1, j - 1
+            pairs.append((col, row) if transposed else (row, col))
+    pairs.sort()
+    return pairs
+
+
+def assignment_cost(cost: np.ndarray, pairs: List[Tuple[int, int]]) -> float:
+    """Total cost of an assignment returned by :func:`hungarian`."""
+    cost = np.asarray(cost, dtype=float)
+    return float(sum(cost[r, c] for r, c in pairs))

@@ -1,0 +1,104 @@
+"""K-nearest-neighbour models.
+
+The paper's association module uses non-parametric KNN for both the
+cross-camera visibility classifier and the location regressor: "It works as
+a special lookup table which uses the nearest case(s) in the memory to
+generate the prediction" (Section II-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    Classifier,
+    Regressor,
+    check_features,
+    check_xy,
+    require_fitted,
+)
+
+
+def _k_nearest(train: np.ndarray, queries: np.ndarray, k: int) -> np.ndarray:
+    """Indices (n_queries, k) of the k nearest training rows per query.
+
+    Brute-force Euclidean search; the association training sets are a few
+    thousand rows, so this is both simple and fast enough.
+    """
+    # (q, t) squared distances via the expansion |a-b|^2 = |a|^2 - 2ab + |b|^2.
+    d2 = (
+        np.sum(queries**2, axis=1)[:, None]
+        - 2.0 * queries @ train.T
+        + np.sum(train**2, axis=1)[None, :]
+    )
+    k = min(k, len(train))
+    idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+    # Sort the selected k by distance so weighting is stable.
+    rows = np.arange(len(queries))[:, None]
+    order = np.argsort(d2[rows, idx], axis=1)
+    return idx[rows, order]
+
+
+class KNNClassifier(Classifier):
+    """Majority-vote KNN binary classifier with optional distance weighting."""
+
+    def __init__(self, k: int = 5, weighted: bool = False) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.weighted = weighted
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        x, y = check_xy(x, y)
+        labels = np.unique(y)
+        if not np.all(np.isin(labels, (0.0, 1.0))):
+            raise ValueError("labels must be 0/1")
+        self._x = x
+        self._y = y
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        require_fitted(self, "_x")
+        assert self._x is not None and self._y is not None
+        x = check_features(x, self._x.shape[1])
+        idx = _k_nearest(self._x, x, self.k)
+        votes = self._y[idx]
+        if not self.weighted:
+            return votes.mean(axis=1)
+        dists = np.linalg.norm(x[:, None, :] - self._x[idx], axis=2)
+        weights = 1.0 / (dists + 1e-9)
+        return (votes * weights).sum(axis=1) / weights.sum(axis=1)
+
+
+class KNNRegressor(Regressor):
+    """Mean-of-neighbours KNN regressor with optional distance weighting."""
+
+    def __init__(self, k: int = 5, weighted: bool = True) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.weighted = weighted
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        x, y = check_xy(x, y, allow_vector_target=True)
+        self._x = x
+        self._y = y
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        require_fitted(self, "_x")
+        assert self._x is not None and self._y is not None
+        x = check_features(x, self._x.shape[1])
+        idx = _k_nearest(self._x, x, self.k)
+        targets = self._y[idx]  # (q, k, out)
+        if not self.weighted:
+            return targets.mean(axis=1)
+        dists = np.linalg.norm(x[:, None, :] - self._x[idx], axis=2)
+        weights = 1.0 / (dists + 1e-9)
+        return (targets * weights[:, :, None]).sum(axis=1) / weights.sum(axis=1)[
+            :, None
+        ]

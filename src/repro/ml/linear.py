@@ -1,0 +1,104 @@
+"""Linear models: least-squares regression and logistic classification.
+
+Linear regression is the paper's "learnable homography transformation"
+baseline for cross-camera location mapping (Figure 11); logistic
+classification is one of its visibility-classifier baselines (Figure 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    Classifier,
+    Regressor,
+    check_features,
+    check_xy,
+    require_fitted,
+)
+
+
+class LinearRegressor(Regressor):
+    """Ridge-regularized least squares with an intercept term.
+
+    A tiny ridge term (``l2``) keeps the normal equations well conditioned
+    on nearly collinear bounding-box features.
+    """
+
+    def __init__(self, l2: float = 1e-8) -> None:
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.l2 = l2
+        self.coef_: np.ndarray | None = None  # (d + 1, k), last row = intercept
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegressor":
+        x, y = check_xy(x, y, allow_vector_target=True)
+        xb = np.hstack([x, np.ones((len(x), 1))])
+        gram = xb.T @ xb
+        reg = self.l2 * np.eye(gram.shape[0])
+        reg[-1, -1] = 0.0  # do not penalize the intercept
+        self.coef_ = np.linalg.solve(gram + reg, xb.T @ y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        require_fitted(self, "coef_")
+        assert self.coef_ is not None
+        x = check_features(x, self.coef_.shape[0] - 1)
+        xb = np.hstack([x, np.ones((len(x), 1))])
+        return xb @ self.coef_
+
+
+class LogisticClassifier(Classifier):
+    """L2-regularized logistic regression trained by gradient descent.
+
+    Plain batch gradient descent with a fixed number of iterations is
+    sufficient for the small association training sets and keeps the
+    implementation dependency free.
+    """
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        lr: float = 0.5,
+        n_iter: int = 500,
+    ) -> None:
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        self.l2 = l2
+        self.lr = lr
+        self.n_iter = n_iter
+        self.weights_: np.ndarray | None = None  # (d,)
+        self.bias_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticClassifier":
+        x, y = check_xy(x, y)
+        if not np.all(np.isin(np.unique(y), (0.0, 1.0))):
+            raise ValueError("labels must be 0/1")
+        n, d = x.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.n_iter):
+            p = _sigmoid(x @ w + b)
+            err = p - y
+            grad_w = x.T @ err / n + self.l2 * w
+            grad_b = float(err.mean())
+            w -= self.lr * grad_w
+            b -= self.lr * grad_b
+        self.weights_ = w
+        self.bias_ = b
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        require_fitted(self, "weights_")
+        assert self.weights_ is not None
+        x = check_features(x, len(self.weights_))
+        return _sigmoid(x @ self.weights_ + self.bias_)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clip to keep exp() in range; probabilities saturate at ~1e-14.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))

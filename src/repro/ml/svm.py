@@ -1,0 +1,68 @@
+"""Linear support vector machine.
+
+One of the paper's visibility-classifier baselines (Figure 10). Trained as
+a primal L2-regularized hinge-loss problem with sub-gradient descent
+(Pegasos-style learning-rate schedule), which is robust and dependency
+free. Probabilities are obtained by squashing the margin with a sigmoid so
+the SVM exposes the common ``Classifier`` interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_features, check_xy, require_fitted
+
+
+class LinearSVM(Classifier):
+    """Primal linear SVM with hinge loss and L2 regularization."""
+
+    def __init__(self, c: float = 1.0, n_iter: int = 800, seed: int = 0) -> None:
+        if c <= 0:
+            raise ValueError("c must be positive")
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        self.c = c
+        self.n_iter = n_iter
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        x, y01 = check_xy(x, y)
+        if not np.all(np.isin(np.unique(y01), (0.0, 1.0))):
+            raise ValueError("labels must be 0/1")
+        y_pm = 2.0 * y01 - 1.0  # hinge loss wants +/-1 labels
+        n, d = x.shape
+        lam = 1.0 / (self.c * n)
+        w = np.zeros(d)
+        b = 0.0
+        for t in range(1, self.n_iter + 1):
+            eta = 1.0 / (lam * t)
+            margins = y_pm * (x @ w + b)
+            violating = margins < 1.0
+            # Sub-gradient of the averaged hinge loss plus the L2 term.
+            if np.any(violating):
+                grad_w = lam * w - (y_pm[violating, None] * x[violating]).sum(
+                    axis=0
+                ) / n
+                grad_b = -float(y_pm[violating].sum()) / n
+            else:
+                grad_w = lam * w
+                grad_b = 0.0
+            w -= eta * grad_w
+            b -= eta * grad_b
+        self.weights_ = w
+        self.bias_ = b
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Signed margins ``w.x + b`` (positive = class 1 side)."""
+        require_fitted(self, "weights_")
+        assert self.weights_ is not None
+        x = check_features(x, len(self.weights_))
+        return x @ self.weights_ + self.bias_
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        margin = self.decision_function(x)
+        return 1.0 / (1.0 + np.exp(-np.clip(margin, -30.0, 30.0)))

@@ -1,0 +1,20 @@
+"""Network substrate: links and scheduler protocol messages."""
+
+from repro.net.link import (
+    TESTBED_DOWNLINK,
+    TESTBED_UPLINK,
+    DuplexChannel,
+    Link,
+    LinkSpec,
+)
+from repro.net.messages import AssignmentMessage, DetectionReport
+
+__all__ = [
+    "LinkSpec",
+    "Link",
+    "DuplexChannel",
+    "TESTBED_UPLINK",
+    "TESTBED_DOWNLINK",
+    "DetectionReport",
+    "AssignmentMessage",
+]

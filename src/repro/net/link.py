@@ -1,0 +1,81 @@
+"""Point-to-point network links with bandwidth and propagation delay.
+
+Models the paper's testbed links: wired Ethernet with 100 Mbps downlink /
+20 Mbps uplink between each camera and the central scheduler. Transfer
+latency = propagation + size / bandwidth (+ optional jitter), which is all
+the scheduling framework is sensitive to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One direction of a link."""
+
+    bandwidth_mbps: float
+    propagation_ms: float = 1.0
+    jitter_ms_std: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+        if self.propagation_ms < 0:
+            raise ValueError("propagation_ms must be non-negative")
+        if self.jitter_ms_std < 0:
+            raise ValueError("jitter_ms_std must be non-negative")
+
+
+#: Paper testbed: 100 Mbps downlink (scheduler -> camera).
+TESTBED_DOWNLINK = LinkSpec(bandwidth_mbps=100.0, propagation_ms=1.0)
+#: Paper testbed: 20 Mbps uplink (camera -> scheduler).
+TESTBED_UPLINK = LinkSpec(bandwidth_mbps=20.0, propagation_ms=1.0)
+
+
+class Link:
+    """A unidirectional link that computes transfer latencies."""
+
+    def __init__(
+        self, spec: LinkSpec, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        self.spec = spec
+        self._rng = rng or np.random.default_rng(0)
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def transfer_ms(self, payload_bytes: int) -> float:
+        """Latency to move ``payload_bytes`` across the link, in ms."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        serialization = payload_bytes * 8.0 / (self.spec.bandwidth_mbps * 1e6) * 1e3
+        jitter = (
+            abs(self._rng.normal(0.0, self.spec.jitter_ms_std))
+            if self.spec.jitter_ms_std > 0
+            else 0.0
+        )
+        self.bytes_sent += payload_bytes
+        self.messages_sent += 1
+        return self.spec.propagation_ms + serialization + jitter
+
+
+class DuplexChannel:
+    """Camera <-> scheduler channel with asymmetric up/down links."""
+
+    def __init__(
+        self,
+        uplink: LinkSpec = TESTBED_UPLINK,
+        downlink: LinkSpec = TESTBED_DOWNLINK,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.up = Link(uplink, rng)
+        self.down = Link(downlink, rng)
+
+    def round_trip_ms(self, up_bytes: int, down_bytes: int) -> float:
+        """Upload + download latency for one request/response exchange."""
+        return self.up.transfer_ms(up_bytes) + self.down.transfer_ms(down_bytes)

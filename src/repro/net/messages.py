@@ -1,0 +1,57 @@
+"""Message types exchanged between camera nodes and the central scheduler.
+
+The protocol mirrors Section II/III of the paper: after a key-frame
+inspection each camera uploads its detected-object list; the central
+scheduler answers with the object-to-camera assignment, per-camera
+priorities and the cell masks used by the distributed stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.geometry.box import BBox
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """One camera's key-frame upload: its local detections."""
+
+    camera_id: int
+    frame_index: int
+    boxes: Tuple[BBox, ...]
+    track_ids: Tuple[int, ...]  # local track ids, parallel to boxes
+    gt_ids: Tuple[int, ...]  # ground-truth ids (evaluation only)
+
+    def __post_init__(self) -> None:
+        if not (len(self.boxes) == len(self.track_ids) == len(self.gt_ids)):
+            raise ValueError("boxes, track_ids and gt_ids must be parallel")
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.boxes)
+
+    def payload_bytes(self) -> int:
+        """Serialized size: 4 floats + 2 ids + header per box, plus envelope."""
+        return 64 + self.n_objects * (4 * 4 + 2 * 4)
+
+
+@dataclass(frozen=True)
+class AssignmentMessage:
+    """Central scheduler's reply to one camera."""
+
+    camera_id: int
+    frame_index: int
+    assigned_track_ids: Tuple[int, ...]  # local tracks this camera must track
+    camera_priority_order: Tuple[int, ...]  # increasing-latency camera ids
+    mask_cells: Tuple[Tuple[int, int], ...]  # grid cells this camera owns
+
+    def payload_bytes(self) -> int:
+        """Serialized size of the assignment reply in bytes."""
+        return (
+            64
+            + len(self.assigned_track_ids) * 4
+            + len(self.camera_priority_order) * 4
+            + len(self.mask_cells) * 8
+        )

@@ -1,0 +1,126 @@
+"""Run metrics: object recall, latency statistics, overhead breakdown.
+
+Implements the paper's evaluation metrics:
+
+* **Object recall** (Figure 12): at every frame, a ground-truth object
+  visible to at least one camera counts as a true positive if at least one
+  camera detected it.
+* **Per-frame inference latency** (Figure 13): for each scheduling
+  horizon, the mean per-frame YOLO-equivalent inference time of the
+  slowest camera (key-frame time averaged with regular frames).
+* **Overhead breakdown** (Table II): per-frame maxima across cameras of
+  the non-DNN pipeline components, averaged over frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class FrameRecord:
+    """Everything measured at one frame."""
+
+    frame_index: int
+    is_key_frame: bool
+    inference_ms: Dict[int, float]  # per camera
+    visible_gt: FrozenSet[int]
+    detected_gt: FrozenSet[int]
+    overheads_ms: Dict[str, float] = field(default_factory=dict)
+    n_slices: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def recall_numerator(self) -> int:
+        return len(self.visible_gt & self.detected_gt)
+
+    @property
+    def recall_denominator(self) -> int:
+        return len(self.visible_gt)
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one pipeline run."""
+
+    policy: str
+    scenario: str
+    horizon: int
+    frames: List[FrameRecord] = field(default_factory=list)
+
+    def add(self, record: FrameRecord) -> None:
+        """Append one frame record to the run."""
+        self.frames.append(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    def object_recall(self) -> float:
+        """Figure 12 metric over the whole run."""
+        num = sum(f.recall_numerator for f in self.frames)
+        den = sum(f.recall_denominator for f in self.frames)
+        return num / den if den else 1.0
+
+    def mean_slowest_latency(self) -> float:
+        """Figure 13 metric: per-horizon slowest-camera mean, averaged.
+
+        For each scheduling horizon, compute each camera's mean per-frame
+        inference time (key + regular frames averaged), take the slowest
+        camera, then average across horizons.
+        """
+        if not self.frames:
+            return 0.0
+        horizon_values: List[float] = []
+        for start in range(0, len(self.frames), self.horizon):
+            chunk = self.frames[start : start + self.horizon]
+            per_cam: Dict[int, List[float]] = {}
+            for f in chunk:
+                for cam, ms in f.inference_ms.items():
+                    per_cam.setdefault(cam, []).append(ms)
+            if per_cam:
+                horizon_values.append(
+                    max(float(np.mean(v)) for v in per_cam.values())
+                )
+        return float(np.mean(horizon_values)) if horizon_values else 0.0
+
+    def per_camera_mean_latency(self) -> Dict[int, float]:
+        """Mean per-frame inference ms per camera over the run."""
+        acc: Dict[int, List[float]] = {}
+        for f in self.frames:
+            for cam, ms in f.inference_ms.items():
+                acc.setdefault(cam, []).append(ms)
+        return {cam: float(np.mean(v)) for cam, v in acc.items()}
+
+    def overhead_breakdown(self) -> Dict[str, float]:
+        """Table II: mean per-frame overhead by component, plus total."""
+        keys: set = set()
+        for f in self.frames:
+            keys.update(f.overheads_ms)
+        breakdown = {
+            key: float(np.mean([f.overheads_ms.get(key, 0.0) for f in self.frames]))
+            for key in sorted(keys)
+        }
+        breakdown["total"] = float(sum(breakdown.values()))
+        return breakdown
+
+    def recall_over_time(self, window: int = 10) -> List[float]:
+        """Windowed recall trace (diagnostics)."""
+        out: List[float] = []
+        for start in range(0, len(self.frames), window):
+            chunk = self.frames[start : start + window]
+            num = sum(f.recall_numerator for f in chunk)
+            den = sum(f.recall_denominator for f in chunk)
+            out.append(num / den if den else 1.0)
+        return out
+
+
+def speedup_vs(baseline: RunResult, improved: RunResult) -> float:
+    """Multiplicative latency speedup of ``improved`` over ``baseline``."""
+    lat = improved.mean_slowest_latency()
+    if lat <= 0:
+        raise ValueError("improved run has non-positive latency")
+    return baseline.mean_slowest_latency() / lat

@@ -1,0 +1,396 @@
+"""End-to-end pipeline: scenario -> trained models -> scheduled run.
+
+This is the top-level entry point of the reproduction. Given a scenario
+and a policy name it (1) trains the cross-camera association models on a
+training segment of the simulated world (the paper's first-half-of-video
+protocol), (2) profiles the devices offline, (3) replays a test segment
+under the chosen scheduling policy, and (4) returns a
+:class:`~repro.runtime.metrics.RunResult` with the recall/latency/overhead
+metrics of Figures 12-14 and Table II.
+
+Policies: ``full``, ``balb``, ``balb-cen``, ``balb-ind``, ``sp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.association.pairwise import PairwiseAssociator
+from repro.cameras.occlusion import OcclusionModel, visible_fractions
+from repro.association.training import collect_association_dataset
+from repro.cameras.rig import CameraRig
+from repro.core.distributed import DistributedPolicy
+from repro.devices.profiler import DeviceProfile, profile_device
+from repro.devices.profiles import latency_model_for
+from repro.net.link import DuplexChannel
+from repro.runtime.camera_node import CameraNode
+from repro.runtime.metrics import FrameRecord, RunResult
+from repro.runtime.overhead import OverheadModel
+from repro.runtime.policies import (
+    BALBPolicy,
+    CentralOnlyPolicy,
+    IndependentPolicy,
+    RegularFramePolicy,
+    StaticPartitioningPolicy,
+)
+from repro.runtime.scheduler_node import CentralScheduler
+from repro.runtime.synchronization import SkewModel, WorldHistory
+from repro.scenarios.builder import Scenario
+
+POLICIES = ("full", "balb", "balb-cen", "balb-ind", "sp")
+_CENTRALIZED = ("balb", "balb-cen", "sp")
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs of one pipeline run."""
+
+    policy: str = "balb"
+    horizon: int = 10  # frames per scheduling horizon (T)
+    n_horizons: int = 30
+    warmup_s: float = 20.0
+    train_duration_s: float = 120.0
+    seed: int = 0
+    mask_grid: Tuple[int, int] = (16, 12)
+    gpu_jitter: float = 0.02
+    use_network: bool = True
+    occlusion: bool = False  # inter-object occlusion in the detector
+    redundancy: int = 1  # cameras per object (Section V extension)
+    max_camera_lag_frames: int = 0  # imperfect synchronization (Section V)
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; options: {POLICIES}"
+            )
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if self.n_horizons < 1:
+            raise ValueError("n_horizons must be >= 1")
+        if self.redundancy < 1:
+            raise ValueError("redundancy must be >= 1")
+        if self.max_camera_lag_frames < 0:
+            raise ValueError("max_camera_lag_frames must be non-negative")
+
+
+@dataclass
+class TrainedModels:
+    """Artifacts shared between runs of the same scenario/seed."""
+
+    associator: Optional[PairwiseAssociator]
+    typical_box_sizes: Dict[int, float]
+    profiles: Dict[int, DeviceProfile]
+
+
+def train_models(
+    scenario: Scenario, config: PipelineConfig, need_association: bool = True
+) -> TrainedModels:
+    """Offline stage: fit association models and profile devices."""
+    device_map = scenario.device_map()
+    profiles: Dict[int, DeviceProfile] = {}
+    for cam in scenario.cameras:
+        device = device_map[cam.camera_id]
+        model = latency_model_for(
+            device, full_frame=cam.frame_size
+        )
+        profiles[cam.camera_id] = profile_device(
+            model, device.name, seed=config.seed + cam.camera_id
+        )
+
+    associator: Optional[PairwiseAssociator] = None
+    typical: Dict[int, float] = {c.camera_id: 60.0 for c in scenario.cameras}
+    if need_association:
+        world, rig = scenario.build(seed=config.seed)
+        world.run(config.warmup_s, scenario.frame_interval)
+        dataset = collect_association_dataset(
+            world, rig, duration_s=config.train_duration_s,
+            dt=scenario.frame_interval,
+        )
+        associator = PairwiseAssociator().fit(dataset)
+        typical.update(_typical_box_sizes(dataset, typical))
+    return TrainedModels(
+        associator=associator, typical_box_sizes=typical, profiles=profiles
+    )
+
+
+def _typical_box_sizes(dataset, default: Dict[int, float]) -> Dict[int, float]:
+    """Median box side per source camera, from the training features."""
+    per_cam: Dict[int, List[float]] = {}
+    for (source, _), pair_ds in dataset.pairs.items():
+        for feats in pair_ds.features:
+            per_cam.setdefault(source, []).append(max(feats[2], feats[3]))
+    return {
+        cam: float(np.median(v)) for cam, v in per_cam.items() if v
+    } or dict(default)
+
+
+class Pipeline:
+    """Runs one policy over one scenario and collects metrics."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: Optional[PipelineConfig] = None,
+        trained: Optional[TrainedModels] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config or PipelineConfig()
+        need_assoc = self.config.policy in _CENTRALIZED
+        self.trained = trained or train_models(
+            scenario, self.config, need_association=need_assoc
+        )
+        if need_assoc and self.trained.associator is None:
+            raise ValueError(
+                f"policy {self.config.policy!r} needs trained association models"
+            )
+        self.overheads = OverheadModel()
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the configured run and return its metrics."""
+        config = self.config
+        scenario = self.scenario
+        dt = scenario.frame_interval
+
+        # Fresh test world, decorrelated from the training segment.
+        world, rig = scenario.build(seed=config.seed + 10_000)
+        world.run(config.warmup_s, dt)
+
+        nodes = self._build_nodes(rig, dt)
+        scheduler = self._build_scheduler(rig) if config.policy in _CENTRALIZED else None
+        policies: Dict[int, RegularFramePolicy] = self._static_policies(rig, scheduler)
+
+        result = RunResult(
+            policy=config.policy,
+            scenario=scenario.name,
+            horizon=config.horizon,
+        )
+        central_amortized = 0.0
+        total_frames = config.horizon * config.n_horizons
+
+        occlusion = OcclusionModel() if config.occlusion else None
+        history: Optional[WorldHistory] = None
+        camera_lags: Dict[int, int] = {cam.camera_id: 0 for cam in rig}
+        if config.max_camera_lag_frames > 0:
+            skew = SkewModel(max_lag_frames=config.max_camera_lag_frames)
+            lag_rng = np.random.default_rng(config.seed + 777)
+            camera_lags = skew.sample_lags(
+                [cam.camera_id for cam in rig], lag_rng
+            )
+            history = WorldHistory(depth=config.max_camera_lag_frames + 1)
+
+        for frame_idx in range(total_frames):
+            world.step(dt)
+            objects = world.objects
+            if history is not None:
+                history.push(objects)
+            lagged_objects = {
+                cam_id: (
+                    history.view(lag) if history is not None else objects
+                )
+                for cam_id, lag in camera_lags.items()
+            }
+            multipliers: Dict[int, Dict[int, float]] = {}
+            if occlusion is not None:
+                fractions_by_cam = {
+                    cam.camera_id: visible_fractions(cam, objects)
+                    for cam in rig
+                }
+                multipliers = {
+                    cam_id: {
+                        oid: occlusion.miss_multiplier(frac)
+                        for oid, frac in fractions.items()
+                    }
+                    for cam_id, fractions in fractions_by_cam.items()
+                }
+                visible_gt = frozenset(
+                    o.object_id
+                    for o in objects
+                    if any(
+                        occlusion.effectively_visible(
+                            fractions_by_cam[c].get(o.object_id, 0.0)
+                        )
+                        for c in fractions_by_cam
+                    )
+                )
+            else:
+                visible_gt = frozenset(
+                    o.object_id for o in objects if rig.coverage_set(o)
+                )
+            in_horizon = frame_idx % config.horizon
+            is_key = config.policy == "full" or in_horizon == 0
+
+            inference: Dict[int, float] = {}
+            detected: set = set()
+            overheads: Dict[str, float] = {}
+            n_slices: Dict[int, int] = {}
+
+            if is_key:
+                reports = {}
+                tracking = []
+                for cam_id, node in nodes.items():
+                    outcome = node.process_key_frame(
+                        lagged_objects[cam_id], multipliers.get(cam_id)
+                    )
+                    inference[cam_id] = outcome.inference_ms
+                    detected.update(
+                        d.gt_object_id
+                        for d in outcome.detections
+                        if d.gt_object_id >= 0
+                    )
+                    reports[cam_id] = outcome.report
+                    tracking.append(outcome.tracking_ms)
+                overheads["tracking"] = max(tracking) if tracking else 0.0
+                if scheduler is not None:
+                    decision = scheduler.schedule(reports, frame_idx)
+                    for cam_id, node in nodes.items():
+                        node.apply_schedule(
+                            decision.assigned.get(cam_id, []),
+                            decision.shadows.get(cam_id, {}),
+                        )
+                    if config.policy in ("balb", "balb-cen"):
+                        policies = self._balb_policies(
+                            scheduler, decision.priority_order
+                        )
+                    central_amortized = (
+                        decision.central_ms + decision.comm_ms
+                    ) / config.horizon
+                overheads["central"] = central_amortized
+            else:
+                tracking, distributed, batching = [], [], []
+                for cam_id, node in nodes.items():
+                    outcome = node.process_regular_frame(
+                        lagged_objects[cam_id],
+                        policies[cam_id],
+                        multipliers.get(cam_id),
+                    )
+                    inference[cam_id] = outcome.inference_ms
+                    detected.update(
+                        d.gt_object_id
+                        for d in outcome.detections
+                        if d.gt_object_id >= 0
+                    )
+                    n_slices[cam_id] = outcome.n_slices
+                    tracking.append(outcome.tracking_ms)
+                    distributed.append(outcome.distributed_ms)
+                    batching.append(outcome.batching_ms)
+                overheads["tracking"] = max(tracking) if tracking else 0.0
+                overheads["distributed"] = (
+                    max(distributed) if distributed else 0.0
+                )
+                overheads["batching"] = max(batching) if batching else 0.0
+                overheads["central"] = central_amortized
+
+            result.add(
+                FrameRecord(
+                    frame_index=frame_idx,
+                    is_key_frame=is_key,
+                    inference_ms=inference,
+                    visible_gt=visible_gt,
+                    detected_gt=frozenset(detected),
+                    overheads_ms=overheads,
+                    n_slices=n_slices,
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def _build_nodes(self, rig: CameraRig, dt: float) -> Dict[int, CameraNode]:
+        device_map = self.scenario.device_map()
+        nodes: Dict[int, CameraNode] = {}
+        for cam in rig:
+            device = device_map[cam.camera_id]
+            model = latency_model_for(device, full_frame=cam.frame_size)
+            nodes[cam.camera_id] = CameraNode(
+                camera=cam,
+                latency_model=model,
+                profile=self.trained.profiles[cam.camera_id],
+                seed=self.config.seed * 101 + cam.camera_id,
+                gpu_jitter=self.config.gpu_jitter,
+                overhead_model=self.overheads,
+                frame_dt=dt,
+            )
+        return nodes
+
+    def _build_scheduler(self, rig: CameraRig) -> CentralScheduler:
+        assert self.trained.associator is not None
+        channels = (
+            {
+                cam.camera_id: DuplexChannel(
+                    rng=np.random.default_rng(self.config.seed + cam.camera_id)
+                )
+                for cam in rig
+            }
+            if self.config.use_network
+            else None
+        )
+        mode = self.config.policy if self.config.policy != "balb-cen" else "balb-cen"
+        positions = {
+            c.camera_id: (c.pose.x, c.pose.y) for c in rig
+        }
+        return CentralScheduler(
+            profiles=self.trained.profiles,
+            associator=self.trained.associator,
+            frame_sizes={c.camera_id: c.frame_size for c in rig},
+            typical_box_sizes=self.trained.typical_box_sizes,
+            size_set=next(iter(self.trained.profiles.values())).size_set,
+            mode=mode,
+            mask_grid=self.config.mask_grid,
+            overhead_model=self.overheads,
+            channels=channels,
+            redundancy=self.config.redundancy,
+            camera_positions=positions,
+        )
+
+    def _static_policies(
+        self, rig: CameraRig, scheduler: Optional[CentralScheduler]
+    ) -> Dict[int, RegularFramePolicy]:
+        policy_name = self.config.policy
+        if policy_name == "sp":
+            assert scheduler is not None
+            return {
+                cam.camera_id: StaticPartitioningPolicy(
+                    camera_id=cam.camera_id,
+                    mask=scheduler.masks[cam.camera_id],
+                    capacities=scheduler.capacities,
+                )
+                for cam in rig
+            }
+        if policy_name in ("balb", "balb-cen") and scheduler is not None:
+            # Placeholder priorities until the first key frame decides.
+            order = tuple(sorted(c.camera_id for c in rig))
+            return self._balb_policies(scheduler, order)
+        return {cam.camera_id: IndependentPolicy() for cam in rig}
+
+    def _balb_policies(
+        self, scheduler: CentralScheduler, priority_order: Tuple[int, ...]
+    ) -> Dict[int, RegularFramePolicy]:
+        out: Dict[int, RegularFramePolicy] = {}
+        for cam_id, mask in scheduler.masks.items():
+            distributed = DistributedPolicy(
+                camera_id=cam_id,
+                mask=mask,
+                priority_order=priority_order,
+            )
+            if self.config.policy == "balb":
+                out[cam_id] = BALBPolicy(distributed)
+            else:
+                out[cam_id] = CentralOnlyPolicy(distributed)
+        return out
+
+
+def run_policy(
+    scenario: Scenario,
+    policy: str,
+    config: Optional[PipelineConfig] = None,
+    trained: Optional[TrainedModels] = None,
+) -> RunResult:
+    """Convenience wrapper: run one policy with defaults."""
+    if config is None:
+        config = PipelineConfig(policy=policy)
+    else:
+        config = PipelineConfig(**{**config.__dict__, "policy": policy})
+    return Pipeline(scenario, config, trained).run()

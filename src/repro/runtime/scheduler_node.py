@@ -1,0 +1,223 @@
+"""The central scheduler node.
+
+Runs at every key frame: receives each camera's detected-object report,
+associates them into global objects, solves the MVS instance with the
+central-stage BALB algorithm (or the static-partitioning rule for the SP
+baseline), and returns per-camera assignments, the camera priority order
+and communication cost. Cell masks are computed once — they depend only on
+the static camera poses, through the association models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.association.matcher import (
+    CrossCameraMatcher,
+    GlobalObject,
+    LocalObservation,
+)
+from repro.association.pairwise import PairwiseAssociator
+from repro.core.balb import balb_central
+from repro.core.redundancy import balb_redundant
+from repro.core.masks import CameraMask, build_camera_masks, capacity_owner
+from repro.core.problem import MVSInstance, SchedObject
+from repro.devices.profiler import DeviceProfile
+from repro.geometry.box import BBox, quantize_size
+from repro.net.link import DuplexChannel
+from repro.net.messages import AssignmentMessage, DetectionReport
+from repro.runtime.overhead import OverheadModel
+
+ReportEntry = Tuple[int, BBox, int]  # (track_id, bbox, gt_id)
+
+
+@dataclass
+class ScheduleDecision:
+    """What the central scheduler sends back after a key frame."""
+
+    assigned: Dict[int, List[int]]  # camera -> local track ids to inspect
+    shadows: Dict[int, Dict[int, int]]  # camera -> {track_id: assigned_cam}
+    priority_order: Tuple[int, ...]
+    n_global_objects: int
+    central_ms: float  # association + BALB, modeled
+    comm_ms: float  # report upload + assignment download
+    global_objects: List[GlobalObject] = field(default_factory=list)
+
+
+class CentralScheduler:
+    """Key-frame coordinator implementing the BALB central stage."""
+
+    def __init__(
+        self,
+        profiles: Dict[int, DeviceProfile],
+        associator: PairwiseAssociator,
+        frame_sizes: Dict[int, Tuple[int, int]],
+        typical_box_sizes: Dict[int, float],
+        size_set: Sequence[int],
+        mode: str = "balb",
+        mask_grid: Tuple[int, int] = (16, 12),
+        iou_threshold: float = 0.15,
+        overhead_model: Optional[OverheadModel] = None,
+        channels: Optional[Dict[int, DuplexChannel]] = None,
+        redundancy: int = 1,
+        camera_positions: Optional[Dict[int, Tuple[float, float]]] = None,
+    ) -> None:
+        if redundancy < 1:
+            raise ValueError("redundancy must be >= 1")
+        if mode not in ("balb", "balb-cen", "sp"):
+            raise ValueError(f"unknown scheduler mode {mode!r}")
+        if set(profiles) != set(frame_sizes):
+            raise ValueError("profiles and frame_sizes must cover the same cameras")
+        self.profiles = dict(profiles)
+        self.mode = mode
+        self.size_set = tuple(sorted(size_set))
+        self.matcher = CrossCameraMatcher(associator, iou_threshold)
+        self.overheads = overhead_model or OverheadModel()
+        self.channels = channels or {}
+        self.redundancy = redundancy
+        self.camera_positions = dict(camera_positions or {})
+        self.masks: Dict[int, CameraMask] = build_camera_masks(
+            frame_sizes, associator, typical_box_sizes, mask_grid
+        )
+        #: Processing power per camera (1 / full-frame time), the SP weight.
+        self.capacities: Dict[int, float] = {
+            cam: 1.0 / profile.t_full for cam, profile in profiles.items()
+        }
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self, reports: Dict[int, List[ReportEntry]], frame_index: int = 0
+    ) -> ScheduleDecision:
+        """One central-stage round over the key-frame reports."""
+        observations = {
+            cam: [
+                LocalObservation(camera_id=cam, track_id=tid, bbox=box, gt_id=gt)
+                for tid, box, gt in entries
+            ]
+            for cam, entries in reports.items()
+        }
+        global_objects = self.matcher.associate(observations)
+        instance = self._build_instance(global_objects)
+
+        if self.mode in ("balb", "balb-cen"):
+            if self.redundancy > 1:
+                redundant = balb_redundant(
+                    instance,
+                    k=self.redundancy,
+                    include_full_frame=True,
+                    vantage_positions=self.camera_positions or None,
+                )
+                assignment = redundant.assignment
+                priority = redundant.priority_order
+            else:
+                result = balb_central(instance, include_full_frame=True)
+                assignment = result.assignment
+                priority = result.priority_order
+        else:  # static partitioning
+            assignment = self._sp_assignment(global_objects)
+            priority = tuple(
+                sorted(
+                    self.profiles,
+                    key=lambda cam: (-self.capacities[cam], cam),
+                )
+            )
+
+        assigned: Dict[int, List[int]] = {cam: [] for cam in self.profiles}
+        shadows: Dict[int, Dict[int, int]] = {cam: {} for cam in self.profiles}
+        for obj in global_objects:
+            chosen = assignment.get(obj.global_id)
+            if chosen is None:
+                continue
+            chosen_set = chosen if isinstance(chosen, tuple) else (chosen,)
+            primary = chosen_set[0]
+            for cam, obs in obj.members.items():
+                if cam in chosen_set:
+                    assigned[cam].append(obs.track_id)
+                else:
+                    shadows[cam][obs.track_id] = primary
+
+        n_objects = len(global_objects)
+        central_ms = self.overheads.central_stage_ms(n_objects, len(self.profiles))
+        comm_ms = self._communication_ms(reports, assigned, priority, frame_index)
+        return ScheduleDecision(
+            assigned=assigned,
+            shadows=shadows,
+            priority_order=priority,
+            n_global_objects=n_objects,
+            central_ms=central_ms,
+            comm_ms=comm_ms,
+            global_objects=global_objects,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_instance(
+        self, global_objects: Sequence[GlobalObject]
+    ) -> MVSInstance:
+        objects = []
+        for obj in global_objects:
+            target_sizes = {
+                cam: quantize_size(
+                    obs.bbox.expand(8.0).long_side, self.size_set
+                )
+                for cam, obs in obj.members.items()
+            }
+            objects.append(SchedObject(key=obj.global_id, target_sizes=target_sizes))
+        return MVSInstance(profiles=self.profiles, objects=tuple(objects))
+
+    def _sp_assignment(
+        self, global_objects: Sequence[GlobalObject]
+    ) -> Dict[int, int]:
+        """SP: each object goes to the static owner of its position.
+
+        Each observing camera checks its own mask; the owner among the
+        observers wins. When no observer owns the object's cell (mask
+        imperfection), the object is unassigned — the quality cost the
+        paper attributes to SP under imperfect correlation models.
+        """
+        assignment: Dict[int, int] = {}
+        for obj in global_objects:
+            for cam in sorted(obj.members):
+                obs = obj.members[cam]
+                mask = self.masks[cam]
+                cell = mask.cell_of(obs.bbox)
+                coverage = mask.coverage_of(obs.bbox)
+                if capacity_owner(coverage, self.capacities, cell, mask.nx) == cam:
+                    assignment[obj.global_id] = cam
+                    break
+        return assignment
+
+    def _communication_ms(
+        self,
+        reports: Dict[int, List[ReportEntry]],
+        assigned: Dict[int, List[int]],
+        priority: Tuple[int, ...],
+        frame_index: int,
+    ) -> float:
+        """Max camera-to-scheduler round trip (cameras talk in parallel)."""
+        if not self.channels:
+            return 0.0
+        worst = 0.0
+        for cam, channel in self.channels.items():
+            entries = reports.get(cam, [])
+            report = DetectionReport(
+                camera_id=cam,
+                frame_index=frame_index,
+                boxes=tuple(b for _, b, _ in entries),
+                track_ids=tuple(t for t, _, _ in entries),
+                gt_ids=tuple(g for _, _, g in entries),
+            )
+            reply = AssignmentMessage(
+                camera_id=cam,
+                frame_index=frame_index,
+                assigned_track_ids=tuple(assigned.get(cam, [])),
+                camera_priority_order=priority,
+                mask_cells=(),  # masks are static; sent once at startup
+            )
+            worst = max(
+                worst,
+                channel.round_trip_ms(
+                    report.payload_bytes(), reply.payload_bytes()
+                ),
+            )
+        return worst

@@ -1,0 +1,109 @@
+"""Imperfect camera synchronization (paper Section V).
+
+"The approach requires the cameras to be approximately synchronized ...
+while some cameras are processing the 'current' scene, others might still
+be working on older versions of the scene." This module models that
+effect: each camera observes the world with a per-camera *lag* of whole
+frames, drawn from a configurable skew model. The pipeline keeps a short
+history of world snapshots so a lagging camera detects against the state
+several frames old — which is exactly how handover anomalies arise (one
+camera believes an object left while the lagging camera has not seen it
+arrive yet).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.world.entities import WorldObject
+
+
+@dataclass(frozen=True)
+class SkewModel:
+    """Per-camera processing lag, in whole frames.
+
+    ``max_lag_frames`` bounds the skew; each camera is assigned a fixed
+    lag sampled uniformly from ``[0, max_lag_frames]`` (static skew, the
+    common case for mismatched pipeline depths), optionally with
+    per-frame jitter of +/- 1 frame.
+    """
+
+    max_lag_frames: int = 2
+    jitter: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_lag_frames < 0:
+            raise ValueError("max_lag_frames must be non-negative")
+
+    def sample_lags(
+        self, camera_ids: Sequence[int], rng: np.random.Generator
+    ) -> Dict[int, int]:
+        """Draw a fixed per-camera lag for every camera id."""
+        return {
+            cam: int(rng.integers(0, self.max_lag_frames + 1))
+            for cam in sorted(camera_ids)
+        }
+
+    def jittered_lag(self, base_lag: int, rng: np.random.Generator) -> int:
+        """The per-frame lag with optional +/-1 frame jitter."""
+        if not self.jitter:
+            return base_lag
+        return max(0, base_lag + int(rng.integers(-1, 2)))
+
+
+class WorldHistory:
+    """A rolling buffer of world snapshots for lagged observation.
+
+    Snapshots are deep-enough copies of the object list (positions and
+    kinematics), so later world mutation does not alter history.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        self._buffer: Deque[List[WorldObject]] = deque(maxlen=depth)
+
+    def push(self, objects: Sequence[WorldObject]) -> None:
+        """Record the current object list as the newest snapshot."""
+        self._buffer.append([_copy_object(o) for o in objects])
+
+    def view(self, lag_frames: int) -> List[WorldObject]:
+        """The object list ``lag_frames`` ago (clamped to buffer depth).
+
+        ``lag_frames = 0`` is the most recent snapshot. Before the buffer
+        fills, the oldest available snapshot is returned.
+        """
+        if lag_frames < 0:
+            raise ValueError("lag_frames must be non-negative")
+        if not self._buffer:
+            return []
+        index = len(self._buffer) - 1 - lag_frames
+        index = max(0, index)
+        return self._buffer[index]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+def _copy_object(obj: WorldObject) -> WorldObject:
+    return WorldObject(
+        object_id=obj.object_id,
+        object_class=obj.object_class,
+        x=obj.x,
+        y=obj.y,
+        heading=obj.heading,
+        speed=obj.speed,
+        length=obj.length,
+        width=obj.width,
+        height=obj.height,
+        spawn_time=obj.spawn_time,
+        route_id=obj.route_id,
+        route_progress=obj.route_progress,
+        alive=obj.alive,
+        attributes=dict(obj.attributes),
+    )

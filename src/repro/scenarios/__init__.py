@@ -1,0 +1,20 @@
+"""Evaluation scenarios modelled after the AI City Challenge deployments."""
+
+from repro.scenarios.aic21 import (
+    ALL_SCENARIOS,
+    get_scenario,
+    scenario_s1,
+    scenario_s2,
+    scenario_s3,
+)
+from repro.scenarios.builder import Scenario, heading_towards
+
+__all__ = [
+    "Scenario",
+    "heading_towards",
+    "scenario_s1",
+    "scenario_s2",
+    "scenario_s3",
+    "ALL_SCENARIOS",
+    "get_scenario",
+]

@@ -1,0 +1,274 @@
+"""The three evaluation scenarios, modelled after AI City Challenge 2021.
+
+The paper evaluates on three AIC21 deployments (Section IV-A2):
+
+* **S1** — 5 cameras around a traffic intersection facing different
+  directions, with regular traffic patterns caused by the traffic lights.
+  Hardware: 2x Jetson Xavier, 2x Jetson TX2, 1x Jetson Nano.
+* **S2** — 2 cameras at a residential roadside with sparse vehicles.
+  Hardware: 1x Jetson Xavier, 1x Jetson Nano.
+* **S3** — 3 cameras: 2 monitoring a fork road + 1 facing the roadside,
+  with busy traffic. Hardware: 1x Xavier, 1x TX2, 1x Nano.
+
+We reproduce the deployments as synthetic worlds with the same structure:
+camera counts, view-overlap patterns, traffic density regimes and the
+Table I device fleets. Camera 5 of S1 uses the fisheye-style 1280x960
+frame of the dataset; the rest use 1280x704.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.cameras.camera import Camera, CameraIntrinsics, CameraPose
+from repro.devices.profiles import (
+    JETSON_AGX_XAVIER,
+    JETSON_NANO,
+    JETSON_TX2,
+)
+from repro.scenarios.builder import Scenario, heading_towards
+from repro.world.entities import ObjectClass
+from repro.world.motion import MotionParams, Route, TrafficLight
+from repro.world.spawn import SpawnSpec, rush_hour_modulator
+from repro.world.world import WorldConfig
+
+REGULAR_FRAME = CameraIntrinsics(focal_px=950.0, image_width=1280, image_height=704)
+FISHEYE_FRAME = CameraIntrinsics(focal_px=620.0, image_width=1280, image_height=960)
+
+_VEHICLE_MIX = {
+    ObjectClass.CAR: 0.8,
+    ObjectClass.TRUCK: 0.12,
+    ObjectClass.BUS: 0.08,
+}
+
+
+def _camera_at(
+    camera_id: int,
+    x: float,
+    y: float,
+    z: float,
+    look_at: tuple,
+    intrinsics: CameraIntrinsics = REGULAR_FRAME,
+    max_range: float = 70.0,
+    pitch_down: float = 0.32,
+) -> Camera:
+    yaw = heading_towards((x, y), look_at)
+    return Camera(
+        camera_id=camera_id,
+        pose=CameraPose(x=x, y=y, z=z, yaw=yaw, pitch_down=pitch_down),
+        intrinsics=intrinsics,
+        max_range=max_range,
+    )
+
+
+# ----------------------------------------------------------------------
+# S1: five cameras around a signalized intersection
+# ----------------------------------------------------------------------
+def _s1_routes() -> List[Route]:
+    return [
+        Route(0, ((-90.0, -3.0), (90.0, -3.0)), name="eastbound"),
+        Route(1, ((90.0, 3.0), (-90.0, 3.0)), name="westbound"),
+        Route(2, ((3.0, -90.0), (3.0, 90.0)), name="northbound"),
+        Route(3, ((-3.0, 90.0), (-3.0, -90.0)), name="southbound"),
+    ]
+
+
+def _s1_world(seed: int) -> WorldConfig:
+    routes = _s1_routes()
+    light = TrafficLight(
+        stop_positions={0: 78.0, 1: 78.0, 2: 78.0, 3: 78.0},
+        green_routes=[frozenset({0, 1}), frozenset({2, 3})],
+        phase_duration=20.0,
+    )
+    specs = [
+        SpawnSpec(
+            routes[0],
+            rate_per_s=0.50,
+            class_mix=_VEHICLE_MIX,
+            rate_modulator=rush_hour_modulator(period_s=150.0, low=0.4, high=1.8),
+        ),
+        SpawnSpec(
+            routes[1],
+            rate_per_s=0.42,
+            class_mix=_VEHICLE_MIX,
+            rate_modulator=rush_hour_modulator(period_s=110.0, low=0.3, high=1.6),
+        ),
+        SpawnSpec(
+            routes[2],
+            rate_per_s=0.65,
+            class_mix=_VEHICLE_MIX,
+            rate_modulator=rush_hour_modulator(period_s=90.0, low=0.3, high=1.9),
+        ),
+        SpawnSpec(
+            routes[3],
+            rate_per_s=0.32,
+            class_mix=_VEHICLE_MIX,
+            rate_modulator=rush_hour_modulator(period_s=130.0, low=0.4, high=1.7),
+        ),
+    ]
+    return WorldConfig(
+        routes=routes,
+        spawn_specs=specs,
+        traffic_light=light,
+        motion=MotionParams(),
+        seed=seed,
+    )
+
+
+def scenario_s1(seed: int = 0) -> Scenario:
+    """S1: signalized intersection, 5 cameras, heterogeneous fleet."""
+    cameras = (
+        _camera_at(0, 35.0, -14.0, 7.0, look_at=(0.0, 0.0)),
+        _camera_at(1, -35.0, 14.0, 7.0, look_at=(0.0, 0.0)),
+        _camera_at(2, 14.0, 35.0, 7.0, look_at=(0.0, 0.0)),
+        _camera_at(3, -14.0, -35.0, 7.0, look_at=(0.0, 0.0)),
+        _camera_at(
+            4, 0.0, -26.0, 11.0, look_at=(0.0, 0.0),
+            intrinsics=FISHEYE_FRAME, max_range=60.0, pitch_down=0.45,
+        ),
+    )
+    return Scenario(
+        name="S1",
+        description="5-camera signalized intersection (regular traffic)",
+        world_factory=_s1_world,
+        cameras=cameras,
+        devices=(
+            JETSON_AGX_XAVIER,
+            JETSON_AGX_XAVIER,
+            JETSON_TX2,
+            JETSON_TX2,
+            JETSON_NANO,
+        ),
+        default_seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# S2: two cameras on a sparse residential road
+# ----------------------------------------------------------------------
+def _s2_routes() -> List[Route]:
+    return [
+        Route(0, ((-70.0, -2.0), (70.0, -2.0)), name="eastbound"),
+        Route(1, ((70.0, 2.0), (-70.0, 2.0)), name="westbound"),
+    ]
+
+
+def _s2_world(seed: int) -> WorldConfig:
+    routes = _s2_routes()
+    specs = [
+        SpawnSpec(
+            routes[0],
+            rate_per_s=0.15,
+            class_mix={ObjectClass.CAR: 0.65, ObjectClass.TRUCK: 0.05,
+                       ObjectClass.PEDESTRIAN: 0.3},
+            rate_modulator=rush_hour_modulator(period_s=180.0, low=0.3, high=1.5),
+        ),
+        SpawnSpec(
+            routes[1],
+            rate_per_s=0.12,
+            class_mix={ObjectClass.CAR: 0.7, ObjectClass.PEDESTRIAN: 0.3},
+            rate_modulator=rush_hour_modulator(period_s=140.0, low=0.3, high=1.4),
+        ),
+    ]
+    return WorldConfig(routes=routes, spawn_specs=specs, seed=seed)
+
+
+def scenario_s2(seed: int = 0) -> Scenario:
+    """S2: sparse residential roadside, 2 cameras with a large overlap."""
+    cameras = (
+        _camera_at(0, -10.0, -25.0, 7.0, look_at=(0.0, 0.0), max_range=85.0,
+                   pitch_down=0.26),
+        _camera_at(1, 10.0, -25.0, 7.0, look_at=(0.0, 0.0), max_range=85.0,
+                   pitch_down=0.26),
+    )
+    return Scenario(
+        name="S2",
+        description="2-camera sparse residential roadside",
+        world_factory=_s2_world,
+        cameras=cameras,
+        devices=(JETSON_AGX_XAVIER, JETSON_NANO),
+        default_seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# S3: three cameras on a busy fork road
+# ----------------------------------------------------------------------
+def _s3_routes() -> List[Route]:
+    return [
+        Route(0, ((-110.0, 0.0), (-10.0, 0.0), (90.0, 34.0)), name="main-to-north-branch"),
+        Route(1, ((-110.0, -4.0), (-10.0, -4.0), (90.0, -38.0)), name="main-to-south-branch"),
+        Route(2, ((90.0, 40.0), (-10.0, 4.0), (-110.0, 4.0)), name="north-branch-to-main"),
+        Route(3, ((90.0, -44.0), (-10.0, -8.0), (-110.0, -8.0)), name="south-branch-to-main"),
+    ]
+
+
+def _s3_world(seed: int) -> WorldConfig:
+    routes = _s3_routes()
+    # Busy traffic: high base rates with strong bursts.
+    specs = [
+        SpawnSpec(
+            routes[0],
+            rate_per_s=0.65,
+            class_mix=_VEHICLE_MIX,
+            rate_modulator=rush_hour_modulator(period_s=100.0, low=0.5, high=2.0),
+        ),
+        SpawnSpec(
+            routes[1],
+            rate_per_s=0.50,
+            class_mix=_VEHICLE_MIX,
+            rate_modulator=rush_hour_modulator(period_s=80.0, low=0.5, high=1.8),
+        ),
+        SpawnSpec(
+            routes[2],
+            rate_per_s=0.55,
+            class_mix=_VEHICLE_MIX,
+            rate_modulator=rush_hour_modulator(period_s=120.0, low=0.4, high=1.9),
+        ),
+        SpawnSpec(
+            routes[3],
+            rate_per_s=0.42,
+            class_mix=_VEHICLE_MIX,
+            rate_modulator=rush_hour_modulator(period_s=95.0, low=0.4, high=1.7),
+        ),
+    ]
+    return WorldConfig(routes=routes, spawn_specs=specs, seed=seed)
+
+
+def scenario_s3(seed: int = 0) -> Scenario:
+    """S3: busy fork road; 2 cameras at the fork + 1 roadside camera.
+
+    The view overlaps are smaller than in S1/S2, which is why the paper
+    reports the smallest speedup here.
+    """
+    cameras = (
+        _camera_at(0, -45.0, -25.0, 8.0, look_at=(-20.0, -2.0), max_range=70.0),
+        _camera_at(1, -5.0, 30.0, 8.0, look_at=(5.0, -5.0), max_range=65.0),
+        _camera_at(2, 58.0, -4.0, 6.0, look_at=(75.0, -32.0), max_range=65.0),
+    )
+    return Scenario(
+        name="S3",
+        description="3-camera busy fork road",
+        world_factory=_s3_world,
+        cameras=cameras,
+        devices=(JETSON_AGX_XAVIER, JETSON_TX2, JETSON_NANO),
+        default_seed=seed,
+    )
+
+
+ALL_SCENARIOS = {
+    "S1": scenario_s1,
+    "S2": scenario_s2,
+    "S3": scenario_s3,
+}
+
+
+def get_scenario(name: str, seed: int = 0) -> Scenario:
+    """Look up a scenario factory by name (case insensitive)."""
+    try:
+        factory = ALL_SCENARIOS[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(ALL_SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+    return factory(seed)

@@ -1,0 +1,194 @@
+"""Simulated object detector (the YOLOv5 stand-in).
+
+The real system runs YOLOv5 on full frames (key frames) and on sliced
+partial regions (regular frames). Here the detector consumes ground truth
+from the world model through a camera's projection and produces *noisy*
+detections:
+
+* localization jitter proportional to box size,
+* size-dependent miss probability (small boxes are missed more often),
+* occasional false positives on full-frame inspections,
+* region queries only find objects whose true box overlaps the region.
+
+Detections carry the ground-truth object id **for evaluation and
+supervision only** — scheduling and association logic never reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cameras.camera import Camera
+from repro.geometry.box import BBox
+from repro.world.entities import ObjectClass, WorldObject
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detector output box on one camera."""
+
+    bbox: BBox
+    confidence: float
+    object_class: ObjectClass
+    gt_object_id: int  # -1 for false positives; for evaluation only
+    camera_id: int
+
+
+@dataclass(frozen=True)
+class DetectorErrorModel:
+    """Tunables of the detection noise process."""
+
+    center_jitter_frac: float = 0.03  # std of centre noise, fraction of size
+    size_jitter_frac: float = 0.05  # std of width/height noise
+    base_miss_prob: float = 0.02
+    small_box_pixels: float = 32.0  # boxes below this side length miss more
+    small_box_extra_miss: float = 0.25
+    false_positive_rate: float = 0.05  # expected FPs per full-frame run
+    min_confidence: float = 0.35
+
+    def miss_probability(self, box: BBox) -> float:
+        """Per-inspection miss probability for a box of this size."""
+        side = min(box.width, box.height)
+        p = self.base_miss_prob
+        if side < self.small_box_pixels:
+            deficit = 1.0 - side / self.small_box_pixels
+            p += self.small_box_extra_miss * deficit
+        return min(0.95, p)
+
+
+class SimulatedDetector:
+    """Generates detections for full-frame and region-sliced inspections."""
+
+    def __init__(
+        self,
+        camera: Camera,
+        error_model: Optional[DetectorErrorModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.camera = camera
+        self.errors = error_model or DetectorErrorModel()
+        self._rng = rng or np.random.default_rng(camera.camera_id)
+
+    # ------------------------------------------------------------------
+    def detect_full_frame(
+        self,
+        objects: Sequence[WorldObject],
+        miss_multipliers: Optional[dict] = None,
+    ) -> List[Detection]:
+        """Full-frame inspection: sees every visible object, with noise.
+
+        ``miss_multipliers`` optionally scales each object's miss
+        probability (e.g. from the occlusion model); ``inf`` forces a miss.
+        """
+        detections = [
+            d
+            for obj in objects
+            if (
+                d := self._detect_object(
+                    obj,
+                    miss_multiplier=(miss_multipliers or {}).get(
+                        obj.object_id, 1.0
+                    ),
+                )
+            )
+            is not None
+        ]
+        detections.extend(self._false_positives())
+        return detections
+
+    def detect_regions(
+        self,
+        objects: Sequence[WorldObject],
+        regions: Sequence[BBox],
+        miss_multipliers: Optional[dict] = None,
+    ) -> List[Detection]:
+        """Partial-frame inspection: only objects whose true box centre lies
+        in some region are detectable. One object yields at most one
+        detection even when regions overlap.
+        """
+        detections: List[Detection] = []
+        seen: set[int] = set()
+        for obj in objects:
+            if obj.object_id in seen:
+                continue
+            true_box = self.camera.project_object(obj)
+            if true_box is None:
+                continue
+            cx, cy = true_box.center
+            if not any(r.contains_point(cx, cy) for r in regions):
+                continue
+            det = self._detect_object(
+                obj,
+                true_box=true_box,
+                miss_multiplier=(miss_multipliers or {}).get(
+                    obj.object_id, 1.0
+                ),
+            )
+            if det is not None:
+                seen.add(obj.object_id)
+                detections.append(det)
+        return detections
+
+    # ------------------------------------------------------------------
+    def _detect_object(
+        self,
+        obj: WorldObject,
+        true_box: Optional[BBox] = None,
+        miss_multiplier: float = 1.0,
+    ) -> Optional[Detection]:
+        box = true_box if true_box is not None else self.camera.project_object(obj)
+        if box is None:
+            return None
+        miss_prob = self.errors.miss_probability(box) * miss_multiplier
+        if miss_multiplier == float("inf") or self._rng.random() < min(
+            miss_prob, 1.0
+        ):
+            return None
+        noisy = self._jitter_box(box)
+        w, h = self.camera.frame_size
+        noisy = noisy.clip(float(w), float(h))
+        if noisy.is_empty():
+            return None
+        confidence = float(
+            np.clip(self._rng.normal(0.85, 0.08), self.errors.min_confidence, 0.99)
+        )
+        return Detection(
+            bbox=noisy,
+            confidence=confidence,
+            object_class=obj.object_class,
+            gt_object_id=obj.object_id,
+            camera_id=self.camera.camera_id,
+        )
+
+    def _jitter_box(self, box: BBox) -> BBox:
+        cx, cy = box.center
+        w, h = box.width, box.height
+        cj = self.errors.center_jitter_frac
+        sj = self.errors.size_jitter_frac
+        ncx = cx + self._rng.normal(0.0, cj * w)
+        ncy = cy + self._rng.normal(0.0, cj * h)
+        nw = max(2.0, w * (1.0 + self._rng.normal(0.0, sj)))
+        nh = max(2.0, h * (1.0 + self._rng.normal(0.0, sj)))
+        return BBox.from_xywh(ncx, ncy, nw, nh)
+
+    def _false_positives(self) -> List[Detection]:
+        n = int(self._rng.poisson(self.errors.false_positive_rate))
+        out: List[Detection] = []
+        w, h = self.camera.frame_size
+        for _ in range(n):
+            size = float(self._rng.uniform(20, 120))
+            cx = float(self._rng.uniform(size, w - size))
+            cy = float(self._rng.uniform(size, h - size))
+            out.append(
+                Detection(
+                    bbox=BBox.from_xywh(cx, cy, size, size * 0.7),
+                    confidence=float(self._rng.uniform(0.35, 0.6)),
+                    object_class=ObjectClass.CAR,
+                    gt_object_id=-1,
+                    camera_id=self.camera.camera_id,
+                )
+            )
+        return out

@@ -1,0 +1,108 @@
+"""Tracking-based image slicing (Section II-B).
+
+On regular frames the DNN only inspects square regions around the
+predicted object locations, quantized to the size set so same-size regions
+can be batched. The quantized size of an object is **fixed within a
+scheduling horizon** on a given camera — with one exception: when the
+object grows beyond its region, the region is re-quantized upward (the
+paper performs "downsizing" of the image content instead, which costs the
+same; we model it as the size staying servable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.box import DEFAULT_SIZE_SET, BBox, quantize_size
+
+
+@dataclass(frozen=True)
+class Slice:
+    """One partial-frame inspection task: a search region + batching key."""
+
+    key: int  # local track id on this camera
+    region: BBox
+    target_size: int
+
+
+class TargetSizeBook:
+    """Per-horizon registry fixing each object's quantized target size.
+
+    ``assign`` pins a size at the start of a horizon (or on first sight);
+    ``lookup`` returns the pinned size; ``reset`` starts a new horizon.
+    """
+
+    def __init__(self, size_set: Sequence[int] = DEFAULT_SIZE_SET) -> None:
+        if not size_set:
+            raise ValueError("size_set must be non-empty")
+        self.size_set = tuple(sorted(size_set))
+        self._sizes: Dict[int, int] = {}
+
+    def assign(self, key: int, box: BBox, margin: float = 8.0) -> int:
+        """Pin (or re-pin) the quantized size for ``key`` from its box."""
+        size = quantize_size(box.expand(margin).long_side, self.size_set)
+        self._sizes[key] = size
+        return size
+
+    def lookup(self, key: int) -> Optional[int]:
+        """The pinned size for ``key``, or None if unassigned."""
+        return self._sizes.get(key)
+
+    def lookup_or_assign(self, key: int, box: BBox, margin: float = 8.0) -> int:
+        """Return the pinned size, assigning it on first sight."""
+        existing = self._sizes.get(key)
+        if existing is not None:
+            return existing
+        return self.assign(key, box, margin)
+
+    def drop(self, key: int) -> None:
+        """Remove ``key``'s pinned size."""
+        self._sizes.pop(key, None)
+
+    def reset(self) -> None:
+        """Start a new horizon: clear every pinned size."""
+        self._sizes.clear()
+
+    def sizes(self) -> Dict[int, int]:
+        """A snapshot copy of all pinned sizes."""
+        return dict(self._sizes)
+
+
+def build_slices(
+    predicted: Dict[int, BBox],
+    book: TargetSizeBook,
+    frame_size: Tuple[int, int],
+    margin: float = 8.0,
+) -> List[Slice]:
+    """Turn predicted boxes into quantized, frame-clipped slices.
+
+    The square region is centred on the predicted box; its side is the
+    pinned target size. Regions are shifted (not shrunk) to stay inside the
+    frame so the batching key remains exact.
+    """
+    w, h = frame_size
+    slices: List[Slice] = []
+    for key in sorted(predicted):
+        box = predicted[key]
+        size = book.lookup_or_assign(key, box, margin)
+        cx, cy = box.center
+        half = size / 2.0
+        # Shift the centre so the square fits the frame where possible.
+        cx = min(max(cx, half), max(half, w - half))
+        cy = min(max(cy, half), max(half, h - half))
+        region = BBox.from_xywh(cx, cy, float(size), float(size)).clip(
+            float(w), float(h)
+        )
+        if region.is_empty():
+            continue
+        slices.append(Slice(key=key, region=region, target_size=size))
+    return slices
+
+
+def slice_counts_by_size(slices: Sequence[Slice]) -> Dict[int, int]:
+    """``{target_size: n_slices}`` — the GPU planner's input."""
+    counts: Dict[int, int] = {}
+    for s in slices:
+        counts[s.target_size] = counts.get(s.target_size, 0) + 1
+    return counts

@@ -1,0 +1,152 @@
+"""Local track management: tracking-by-detection with IoU association.
+
+Each camera node maintains a set of :class:`Track` objects. New detections
+are associated to existing tracks by IoU using the Hungarian matcher (the
+SORT recipe the paper builds on, its reference [14]); unmatched detections
+open new tracks; tracks unseen for too long are retired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.box import BBox
+from repro.ml.hungarian import hungarian
+from repro.vision.detector import Detection
+from repro.world.entities import ObjectClass
+
+
+@dataclass
+class Track:
+    """A locally tracked object on one camera."""
+
+    track_id: int
+    bbox: BBox
+    object_class: ObjectClass
+    last_gt_id: int  # ground-truth id of last matched detection (eval only)
+    age: int = 0  # frames since creation
+    misses: int = 0  # consecutive frames without a matched detection
+    hits: int = 1  # total matched detections
+
+    def mark_matched(self, det: Detection) -> None:
+        """Refresh the track from a matched detection."""
+        self.bbox = det.bbox
+        self.object_class = det.object_class
+        self.last_gt_id = det.gt_object_id
+        self.misses = 0
+        self.hits += 1
+
+    def mark_missed(self) -> None:
+        """Record one frame without a matched detection."""
+        self.misses += 1
+
+
+class TrackManager:
+    """IoU/Hungarian tracking-by-detection for a single camera."""
+
+    def __init__(
+        self,
+        iou_threshold: float = 0.25,
+        max_misses: int = 3,
+        first_track_id: int = 0,
+    ) -> None:
+        if not 0.0 < iou_threshold < 1.0:
+            raise ValueError("iou_threshold must be in (0, 1)")
+        if max_misses < 0:
+            raise ValueError("max_misses must be non-negative")
+        self.iou_threshold = iou_threshold
+        self.max_misses = max_misses
+        self._tracks: Dict[int, Track] = {}
+        self._next_id = first_track_id
+
+    # ------------------------------------------------------------------
+    @property
+    def tracks(self) -> List[Track]:
+        return [self._tracks[k] for k in sorted(self._tracks)]
+
+    def track(self, track_id: int) -> Optional[Track]:
+        """Look up a live track by id (None if absent)."""
+        return self._tracks.get(track_id)
+
+    def update(
+        self,
+        detections: Sequence[Detection],
+        predicted: Optional[Dict[int, BBox]] = None,
+    ) -> Tuple[List[Track], List[Track]]:
+        """Associate ``detections`` with live tracks.
+
+        ``predicted`` optionally supplies flow-predicted boxes per track id
+        to match against (instead of each track's last box), which is the
+        paper's optical-flow-aided association. Returns
+        ``(matched_or_new_tracks, retired_tracks)``.
+        """
+        track_ids = sorted(self._tracks)
+        ref_boxes = [
+            (predicted or {}).get(tid, self._tracks[tid].bbox) for tid in track_ids
+        ]
+        matched_tids, unmatched_dets = self._match(ref_boxes, track_ids, detections)
+
+        touched: List[Track] = []
+        for tid, det in matched_tids:
+            self._tracks[tid].mark_matched(det)
+            touched.append(self._tracks[tid])
+        matched_set = {tid for tid, _ in matched_tids}
+        for tid in track_ids:
+            if tid not in matched_set:
+                self._tracks[tid].mark_missed()
+        for det in unmatched_dets:
+            track = Track(
+                track_id=self._next_id,
+                bbox=det.bbox,
+                object_class=det.object_class,
+                last_gt_id=det.gt_object_id,
+            )
+            self._next_id += 1
+            self._tracks[track.track_id] = track
+            touched.append(track)
+
+        retired = self._retire()
+        for track in self._tracks.values():
+            track.age += 1
+        return touched, retired
+
+    def retire_track(self, track_id: int) -> None:
+        """Drop a track immediately, regardless of its miss count."""
+        self._tracks.pop(track_id, None)
+
+    def reset(self) -> None:
+        """Clear all tracks."""
+        self._tracks.clear()
+
+    # ------------------------------------------------------------------
+    def _match(
+        self,
+        ref_boxes: Sequence[BBox],
+        track_ids: Sequence[int],
+        detections: Sequence[Detection],
+    ) -> Tuple[List[Tuple[int, Detection]], List[Detection]]:
+        if not track_ids or not detections:
+            return [], list(detections)
+        cost = np.array(
+            [[1.0 - ref.iou(det.bbox) for det in detections] for ref in ref_boxes]
+        )
+        pairs = hungarian(cost)
+        matched: List[Tuple[int, Detection]] = []
+        used_dets = set()
+        for r, c in pairs:
+            if cost[r, c] <= 1.0 - self.iou_threshold:
+                matched.append((track_ids[r], detections[c]))
+                used_dets.add(c)
+        unmatched = [d for i, d in enumerate(detections) if i not in used_dets]
+        return matched, unmatched
+
+    def _retire(self) -> List[Track]:
+        dead = [
+            tid
+            for tid, t in self._tracks.items()
+            if t.misses > self.max_misses
+        ]
+        return [self._tracks.pop(tid) for tid in dead]

@@ -1,0 +1,139 @@
+"""ASCII visualization of scenes and runs.
+
+Terminal-friendly rendering for debugging and the examples: a top-down
+ground-plane map of a scenario (roads, cameras, objects, view cones) and
+sparkline-style series for metrics. No plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cameras.rig import CameraRig
+from repro.world.world import World
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def render_ground_plane(
+    world: World,
+    rig: CameraRig,
+    width: int = 72,
+    height: int = 28,
+    extent: Optional[Tuple[float, float, float, float]] = None,
+) -> str:
+    """Top-down ASCII map: routes '.', objects 'o'/'O', cameras digits,
+    view-cone rays '~'.
+
+    Objects seen by >= 2 cameras render as 'O', single-view as 'o',
+    unseen as 'x'. ``extent`` is ``(x_min, y_min, x_max, y_max)`` in
+    metres; by default it is fitted to the routes and cameras.
+    """
+    if width < 10 or height < 5:
+        raise ValueError("canvas too small")
+    if extent is None:
+        extent = _fit_extent(world, rig)
+    x_min, y_min, x_max, y_max = extent
+    if x_max <= x_min or y_max <= y_min:
+        raise ValueError("degenerate extent")
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, char: str, overwrite: bool = True) -> None:
+        if not (x_min <= x <= x_max and y_min <= y <= y_max):
+            return
+        col = int((x - x_min) / (x_max - x_min) * (width - 1))
+        # Image rows grow downward; world y grows upward.
+        row = int((y_max - y) / (y_max - y_min) * (height - 1))
+        if overwrite or grid[row][col] == " ":
+            grid[row][col] = char
+
+    # Routes as dotted polylines.
+    for route in world.config.routes:
+        s = 0.0
+        step = route.length / max(2, int(route.length))
+        while s <= route.length:
+            x, y = route.point_at(s)
+            plot(x, y, ".", overwrite=False)
+            s += step
+
+    # View cone rays.
+    for camera in rig:
+        half = camera.intrinsics.horizontal_fov / 2.0
+        for angle in (camera.pose.yaw - half, camera.pose.yaw + half):
+            for r in range(2, int(camera.max_range), 3):
+                plot(
+                    camera.pose.x + r * math.cos(angle),
+                    camera.pose.y + r * math.sin(angle),
+                    "~",
+                    overwrite=False,
+                )
+
+    # Objects, coded by coverage.
+    for obj in world.objects:
+        n = len(rig.coverage_set(obj))
+        char = "O" if n >= 2 else ("o" if n == 1 else "x")
+        plot(obj.x, obj.y, char)
+
+    # Cameras last so they stay visible.
+    for camera in rig:
+        plot(camera.pose.x, camera.pose.y, str(camera.camera_id % 10))
+
+    legend = (
+        "legend: digits=cameras  ~=view cone  .=route  "
+        "O=multi-view  o=single-view  x=unseen"
+    )
+    return "\n".join("".join(row) for row in grid) + "\n" + legend
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compress a series into one line of density characters."""
+    if not values:
+        return ""
+    values = list(values)
+    if len(values) > width:
+        # Average pooling down to the target width.
+        pooled = []
+        chunk = len(values) / width
+        for i in range(width):
+            lo = int(i * chunk)
+            hi = max(lo + 1, int((i + 1) * chunk))
+            pooled.append(sum(values[lo:hi]) / (hi - lo))
+        values = pooled
+    v_min, v_max = min(values), max(values)
+    span = (v_max - v_min) or 1.0
+    chars = []
+    for v in values:
+        idx = int((v - v_min) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[idx])
+    return "".join(chars)
+
+
+def render_workload_series(
+    counts: Dict[int, List[int]], width: int = 60
+) -> str:
+    """One sparkline per camera (the Figure 2 visual), labelled."""
+    lines = []
+    for cam in sorted(counts):
+        series = counts[cam]
+        peak = max(series) if series else 0
+        lines.append(
+            f"cam{cam} (max {peak:2d}): {sparkline(series, width)}"
+        )
+    return "\n".join(lines)
+
+
+def _fit_extent(
+    world: World, rig: CameraRig, margin: float = 8.0
+) -> Tuple[float, float, float, float]:
+    xs: List[float] = []
+    ys: List[float] = []
+    for route in world.config.routes:
+        for x, y in route.waypoints:
+            xs.append(x)
+            ys.append(y)
+    for camera in rig:
+        xs.append(camera.pose.x)
+        ys.append(camera.pose.y)
+    return (min(xs) - margin, min(ys) - margin, max(xs) + margin, max(ys) + margin)

@@ -1,0 +1,26 @@
+"""Ground-plane world simulator: entities, motion, arrivals, stepping."""
+
+from repro.world.entities import (
+    CLASS_DIMENSIONS,
+    CLASS_SPEED_RANGES,
+    ObjectClass,
+    WorldObject,
+)
+from repro.world.motion import MotionParams, Route, TrafficLight
+from repro.world.spawn import SpawnSpec, Spawner, rush_hour_modulator
+from repro.world.world import World, WorldConfig
+
+__all__ = [
+    "ObjectClass",
+    "WorldObject",
+    "CLASS_DIMENSIONS",
+    "CLASS_SPEED_RANGES",
+    "Route",
+    "TrafficLight",
+    "MotionParams",
+    "SpawnSpec",
+    "Spawner",
+    "rush_hour_modulator",
+    "World",
+    "WorldConfig",
+]

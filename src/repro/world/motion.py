@@ -1,0 +1,176 @@
+"""Motion substrate: routes, traffic lights and car-following.
+
+Objects follow polyline *routes* through the scene. Their speed along the
+route is governed by a simple car-following rule (do not run into the
+leader) and by traffic lights (stop at the stop line while the light is
+red). Together these produce the bursty, platoon-like workload patterns of
+the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A polyline path through the world, parameterized by arc length."""
+
+    route_id: int
+    waypoints: Tuple[Point, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("a route needs at least 2 waypoints")
+        lengths = []
+        total = 0.0
+        for a, b in zip(self.waypoints, self.waypoints[1:]):
+            seg = math.hypot(b[0] - a[0], b[1] - a[1])
+            if seg <= 1e-9:
+                raise ValueError("route contains a zero-length segment")
+            lengths.append(seg)
+            total += seg
+        object.__setattr__(self, "_segment_lengths", tuple(lengths))
+        object.__setattr__(self, "_total_length", total)
+
+    @property
+    def length(self) -> float:
+        return self._total_length  # type: ignore[attr-defined]
+
+    def point_at(self, s: float) -> Point:
+        """World position at arc length ``s`` (clamped to the route)."""
+        x, y, _ = self.pose_at(s)
+        return (x, y)
+
+    def pose_at(self, s: float) -> Tuple[float, float, float]:
+        """Position and heading (radians) at arc length ``s``."""
+        s = min(max(s, 0.0), self.length)
+        remaining = s
+        segments: Sequence[float] = self._segment_lengths  # type: ignore[attr-defined]
+        for (a, b), seg_len in zip(zip(self.waypoints, self.waypoints[1:]), segments):
+            if remaining <= seg_len or (a, b) == (
+                self.waypoints[-2],
+                self.waypoints[-1],
+            ):
+                frac = min(remaining / seg_len, 1.0)
+                x = a[0] + frac * (b[0] - a[0])
+                y = a[1] + frac * (b[1] - a[1])
+                heading = math.atan2(b[1] - a[1], b[0] - a[0])
+                return (x, y, heading)
+            remaining -= seg_len
+        # Unreachable: the last segment always returns above.
+        bx, by = self.waypoints[-1]
+        return (bx, by, 0.0)
+
+
+@dataclass
+class TrafficLight:
+    """A fixed-cycle signal gating a set of routes at given stop distances.
+
+    ``green_routes`` maps phase index -> set of route ids allowed to move.
+    The cycle steps through phases of ``phase_duration`` seconds each.
+    """
+
+    stop_positions: dict  # route_id -> arc length of the stop line
+    green_routes: List[frozenset]
+    phase_duration: float = 20.0
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.green_routes:
+            raise ValueError("traffic light needs at least one phase")
+        if self.phase_duration <= 0:
+            raise ValueError("phase_duration must be positive")
+
+    def phase_at(self, t: float) -> int:
+        """Index of the active phase at simulation time ``t``."""
+        cycle = self.phase_duration * len(self.green_routes)
+        return int(((t + self.offset) % cycle) // self.phase_duration)
+
+    def is_green(self, route_id: int, t: float) -> bool:
+        """May traffic on ``route_id`` proceed at time ``t``?"""
+        if route_id not in self.stop_positions:
+            return True  # light does not govern this route
+        return route_id in self.green_routes[self.phase_at(t)]
+
+    def stop_line(self, route_id: int) -> Optional[float]:
+        """Arc length of the route's stop line (None if ungoverned)."""
+        return self.stop_positions.get(route_id)
+
+
+@dataclass
+class MotionParams:
+    """Tunables for the longitudinal motion rule."""
+
+    max_accel: float = 2.5  # m/s^2
+    max_decel: float = 4.5  # m/s^2
+    min_gap: float = 2.0  # m bumper-to-bumper gap to the leader
+    stop_line_tolerance: float = 1.0  # m before the stop line to halt
+
+
+def advance_speed(
+    current_speed: float,
+    target_speed: float,
+    dt: float,
+    params: MotionParams,
+) -> float:
+    """Move ``current_speed`` toward ``target_speed`` under accel limits."""
+    if target_speed > current_speed:
+        return min(target_speed, current_speed + params.max_accel * dt)
+    return max(target_speed, current_speed - params.max_decel * dt)
+
+
+def _braking_limited(distance: float, cruise: float, dt: float,
+                     params: MotionParams) -> float:
+    """Max speed from which ``distance`` suffices to brake to a stop.
+
+    Kinematic rule ``v = sqrt(2 a d)`` (so approach speed tapers to zero at
+    the obstacle), additionally capped at ``d / dt`` so a single discrete
+    step can never overshoot.
+    """
+    if distance <= 0:
+        return 0.0
+    v_brake = math.sqrt(2.0 * params.max_decel * distance)
+    return min(cruise, v_brake, distance / max(dt, 1e-6))
+
+
+def gap_limited_speed(
+    my_progress: float,
+    my_half_length: float,
+    leader_progress: Optional[float],
+    leader_half_length: float,
+    cruise_speed: float,
+    dt: float,
+    params: MotionParams,
+) -> float:
+    """Target speed respecting the gap to a leader on the same route."""
+    if leader_progress is None:
+        return cruise_speed
+    gap = (leader_progress - leader_half_length) - (
+        my_progress + my_half_length
+    ) - params.min_gap
+    return _braking_limited(gap, cruise_speed, dt, params)
+
+
+def light_limited_speed(
+    my_progress: float,
+    cruise_speed: float,
+    light: Optional[TrafficLight],
+    route_id: int,
+    t: float,
+    dt: float,
+    params: MotionParams,
+) -> float:
+    """Target speed respecting a red light's stop line, if approaching one."""
+    if light is None or light.is_green(route_id, t):
+        return cruise_speed
+    stop = light.stop_line(route_id)
+    if stop is None or my_progress >= stop:
+        return cruise_speed  # already past the line; clear the junction
+    dist = stop - params.stop_line_tolerance - my_progress
+    return _braking_limited(dist, cruise_speed, dt, params)

@@ -1,0 +1,136 @@
+"""Object arrival processes.
+
+Each route carries a Poisson spawn process with a per-route rate and a
+class mix. Rates can be modulated over time to create rush/lull periods,
+which — combined with traffic-light platooning — reproduces the temporal
+workload variability of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.world.entities import (
+    CLASS_SPEED_RANGES,
+    ObjectClass,
+    WorldObject,
+)
+from repro.world.motion import Route
+
+RateModulator = Callable[[float], float]
+"""Maps simulation time (s) to a multiplicative rate factor."""
+
+
+@dataclass
+class SpawnSpec:
+    """Arrival configuration for one route."""
+
+    route: Route
+    rate_per_s: float
+    class_mix: Dict[ObjectClass, float] = field(
+        default_factory=lambda: {ObjectClass.CAR: 1.0}
+    )
+    rate_modulator: Optional[RateModulator] = None
+    size_jitter_std: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s < 0:
+            raise ValueError("rate_per_s must be non-negative")
+        total = sum(self.class_mix.values())
+        if total <= 0:
+            raise ValueError("class_mix must have positive total weight")
+        self.class_mix = {k: v / total for k, v in self.class_mix.items()}
+
+    def rate_at(self, t: float) -> float:
+        """Effective arrival rate at time ``t`` (modulated, clamped >= 0)."""
+        factor = self.rate_modulator(t) if self.rate_modulator else 1.0
+        return max(0.0, self.rate_per_s * factor)
+
+
+class Spawner:
+    """Samples new objects for a set of routes using thinned Poisson arrivals.
+
+    Arrivals are generated per simulation step: in a step of length ``dt``
+    the number of arrivals on a route is Poisson(rate * dt). A new object is
+    suppressed when the route entrance is blocked by a recently spawned
+    vehicle, which keeps spacing physical during bursts.
+    """
+
+    def __init__(self, specs: list[SpawnSpec], rng: np.random.Generator) -> None:
+        self.specs = list(specs)
+        self._rng = rng
+        self._next_id = 0
+
+    def spawn_step(
+        self,
+        t: float,
+        dt: float,
+        entrance_blocked: Callable[[Route, float], bool],
+    ) -> list[WorldObject]:
+        """Generate arrivals for the step ``[t, t + dt)``.
+
+        ``entrance_blocked(route, needed_clearance)`` tells whether another
+        object currently occupies the first metres of the route.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        born: list[WorldObject] = []
+        routes_born_this_step: set = set()
+        for spec in self.specs:
+            n = int(self._rng.poisson(spec.rate_at(t) * dt))
+            for _ in range(n):
+                if spec.route.route_id in routes_born_this_step:
+                    continue  # entrance occupied by this step's earlier arrival
+                obj_class = self._sample_class(spec)
+                jitter = float(
+                    np.clip(self._rng.normal(1.0, spec.size_jitter_std), 0.7, 1.4)
+                )
+                lo, hi = CLASS_SPEED_RANGES[obj_class]
+                speed = float(self._rng.uniform(lo, hi))
+                x, y, heading = spec.route.pose_at(0.0)
+                candidate = WorldObject.of_class(
+                    object_id=self._next_id,
+                    object_class=obj_class,
+                    x=x,
+                    y=y,
+                    heading=heading,
+                    speed=speed,
+                    size_jitter=jitter,
+                    spawn_time=t,
+                    route_id=spec.route.route_id,
+                )
+                # Require enough clearance to brake from the spawn speed
+                # (conservative decel 4.0 m/s^2) plus a body-length buffer.
+                clearance = candidate.length + 3.0 + speed**2 / (2.0 * 4.0)
+                if entrance_blocked(spec.route, clearance):
+                    continue  # entrance occupied; drop this arrival
+                candidate.attributes["cruise_speed"] = speed
+                self._next_id += 1
+                born.append(candidate)
+                routes_born_this_step.add(spec.route.route_id)
+        return born
+
+    def _sample_class(self, spec: SpawnSpec) -> ObjectClass:
+        classes = list(spec.class_mix.keys())
+        weights = np.array([spec.class_mix[c] for c in classes])
+        idx = int(self._rng.choice(len(classes), p=weights))
+        return classes[idx]
+
+
+def rush_hour_modulator(
+    period_s: float = 120.0, low: float = 0.3, high: float = 1.7
+) -> RateModulator:
+    """Sinusoidal rate modulation alternating between lulls and rushes."""
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    if not 0 <= low <= high:
+        raise ValueError("need 0 <= low <= high")
+
+    def modulate(t: float) -> float:
+        phase = (1.0 + np.sin(2.0 * np.pi * t / period_s)) / 2.0
+        return low + (high - low) * phase
+
+    return modulate

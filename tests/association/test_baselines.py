@@ -1,0 +1,76 @@
+"""Tests for the association baseline models and registries."""
+
+import numpy as np
+import pytest
+
+from repro.association.baselines import (
+    CLASSIFIER_FACTORIES,
+    REGRESSOR_FACTORIES,
+    HomographyBoxRegressor,
+)
+from repro.geometry.transforms import Homography
+from repro.ml.base import Classifier, NotFittedError, Regressor
+
+
+class TestRegistries:
+    def test_classifier_registry_complete(self):
+        assert set(CLASSIFIER_FACTORIES) == {
+            "knn", "svm", "logistic", "decision-tree"
+        }
+        for factory in CLASSIFIER_FACTORIES.values():
+            assert isinstance(factory(), Classifier)
+
+    def test_regressor_registry_complete(self):
+        assert set(REGRESSOR_FACTORIES) == {
+            "knn", "homography", "linear", "ransac"
+        }
+        for factory in REGRESSOR_FACTORIES.values():
+            assert isinstance(factory(), Regressor)
+
+    def test_factories_return_fresh_instances(self):
+        a = CLASSIFIER_FACTORIES["knn"]()
+        b = CLASSIFIER_FACTORIES["knn"]()
+        assert a is not b
+
+
+class TestHomographyBoxRegressor:
+    def planar_data(self, n=60, seed=0):
+        """Centres related by a true homography, sizes scaled by 1.5."""
+        rng = np.random.default_rng(seed)
+        h = Homography(
+            np.array([[1.1, 0.05, 20.0], [0.02, 0.95, -10.0], [1e-4, 0, 1.0]])
+        )
+        centers = rng.uniform(50, 700, (n, 2))
+        sizes = rng.uniform(20, 80, (n, 2))
+        mapped = h.apply_many(centers)
+        x = np.hstack([centers, sizes, (sizes[:, :1] / sizes[:, 1:])])
+        y = np.hstack([mapped, sizes * 1.5])
+        return x, y
+
+    def test_recovers_planar_mapping(self):
+        x, y = self.planar_data()
+        model = HomographyBoxRegressor().fit(x, y)
+        pred = model.predict(x)
+        assert np.abs(pred[:, :2] - y[:, :2]).mean() < 1.0
+        assert np.abs(pred[:, 2:] - y[:, 2:]).mean() < 1.0
+
+    def test_fails_gracefully_on_nonplanar_data(self):
+        """Height-dependent offsets break the planar assumption; the fit
+        still works but with visible error — the paper's Figure 11 story."""
+        rng = np.random.default_rng(1)
+        x, y = self.planar_data(seed=1)
+        y = y.copy()
+        y[:, 1] += rng.uniform(0, 60, len(y))  # object-height effect
+        model = HomographyBoxRegressor().fit(x, y)
+        err = np.abs(model.predict(x)[:, 1] - y[:, 1]).mean()
+        assert err > 5.0
+
+    def test_wrong_shapes_raise(self):
+        with pytest.raises(ValueError):
+            HomographyBoxRegressor().fit(np.zeros((10, 2)), np.zeros((10, 4)))
+        with pytest.raises(ValueError):
+            HomographyBoxRegressor().fit(np.zeros((10, 5)), np.zeros((10, 2)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            HomographyBoxRegressor().predict(np.zeros((1, 5)))

@@ -1,0 +1,129 @@
+"""Tests for cross-camera matching into global objects."""
+
+import numpy as np
+import pytest
+
+from repro.association.matcher import (
+    CrossCameraMatcher,
+    GlobalObject,
+    LocalObservation,
+    association_quality,
+)
+from repro.association.pairwise import PairwiseAssociator
+from repro.association.training import AssociationDataset
+from repro.geometry.box import BBox
+
+
+def shift_dataset(n=1500, seed=0, dx=200.0):
+    """Pair (0,1) and (1,0): everything visible, shifted by +/- dx."""
+    rng = np.random.default_rng(seed)
+    ds = AssociationDataset()
+    fwd = ds.pair(0, 1)
+    back = ds.pair(1, 0)
+    for _ in range(n):
+        cx = rng.uniform(100, 800)
+        cy = rng.uniform(100, 600)
+        w = rng.uniform(30, 80)
+        src = BBox.from_xywh(cx, cy, w, w * 0.7)
+        dst = src.translate(dx, 0)
+        fwd.add(src, dst)
+        back.add(dst, src)
+    return ds
+
+
+def fitted_matcher(seed=0):
+    assoc = PairwiseAssociator().fit(shift_dataset(seed=seed))
+    return CrossCameraMatcher(assoc, iou_threshold=0.2)
+
+
+def obs(cam, tid, cx, cy, w=50.0, gt=-1):
+    return LocalObservation(
+        camera_id=cam, track_id=tid, bbox=BBox.from_xywh(cx, cy, w, w * 0.7),
+        gt_id=gt,
+    )
+
+
+class TestMatcher:
+    def test_simple_merge(self):
+        matcher = fitted_matcher()
+        observations = {
+            0: [obs(0, 10, 300, 300, gt=1)],
+            1: [obs(1, 20, 500, 300, gt=1)],  # shifted by +200
+        }
+        globs = matcher.associate(observations)
+        assert len(globs) == 1
+        assert globs[0].coverage == [0, 1]
+
+    def test_unrelated_objects_stay_separate(self):
+        matcher = fitted_matcher()
+        observations = {
+            0: [obs(0, 10, 300, 300, gt=1)],
+            1: [obs(1, 20, 900, 600, gt=2)],  # nowhere near the mapping
+        }
+        globs = matcher.associate(observations)
+        assert len(globs) == 2
+
+    def test_multiple_objects_matched_one_to_one(self):
+        matcher = fitted_matcher()
+        observations = {
+            0: [obs(0, 1, 200, 200, gt=1), obs(0, 2, 400, 400, gt=2)],
+            1: [obs(1, 3, 400, 200, gt=1), obs(1, 4, 600, 400, gt=2)],
+        }
+        globs = matcher.associate(observations)
+        assert len(globs) == 2
+        correct, wrong, missed = association_quality(globs)
+        assert correct == 2 and wrong == 0 and missed == 0
+
+    def test_singletons_survive(self):
+        matcher = fitted_matcher()
+        observations = {0: [obs(0, 1, 300, 300, gt=5)], 1: []}
+        globs = matcher.associate(observations)
+        assert len(globs) == 1
+        assert globs[0].coverage == [0]
+
+    def test_empty_input(self):
+        matcher = fitted_matcher()
+        assert matcher.associate({0: [], 1: []}) == []
+
+    def test_global_ids_dense_and_sorted(self):
+        matcher = fitted_matcher()
+        observations = {
+            0: [obs(0, 1, 200, 200, gt=1), obs(0, 2, 600, 500, gt=2)],
+            1: [obs(1, 3, 400, 200, gt=1)],
+        }
+        globs = matcher.associate(observations)
+        assert [g.global_id for g in globs] == list(range(len(globs)))
+
+    def test_box_on_accessor(self):
+        g = GlobalObject(global_id=0, members={0: obs(0, 1, 100, 100)})
+        assert g.box_on(0) is not None
+        assert g.box_on(1) is None
+
+    def test_invalid_threshold_raises(self):
+        assoc = PairwiseAssociator().fit(shift_dataset())
+        with pytest.raises(ValueError):
+            CrossCameraMatcher(assoc, iou_threshold=1.5)
+
+
+class TestAssociationQuality:
+    def test_wrong_merge_counted(self):
+        g = GlobalObject(
+            global_id=0,
+            members={0: obs(0, 1, 0, 0, gt=1), 1: obs(1, 2, 0, 0, gt=2)},
+        )
+        correct, wrong, missed = association_quality([g])
+        assert correct == 0 and wrong == 1
+
+    def test_split_object_counted_missed(self):
+        g1 = GlobalObject(global_id=0, members={0: obs(0, 1, 0, 0, gt=1)})
+        g2 = GlobalObject(global_id=1, members={1: obs(1, 2, 0, 0, gt=1)})
+        correct, wrong, missed = association_quality([g1, g2])
+        assert missed == 1
+
+    def test_false_positive_never_correct(self):
+        g = GlobalObject(
+            global_id=0,
+            members={0: obs(0, 1, 0, 0, gt=-1), 1: obs(1, 2, 0, 0, gt=-1)},
+        )
+        correct, wrong, _ = association_quality([g])
+        assert correct == 0 and wrong == 1

@@ -1,0 +1,98 @@
+"""Tests for per-pair visibility/location models."""
+
+import numpy as np
+import pytest
+
+from repro.association.pairwise import (
+    PairwiseAssociator,
+    default_classifier_factory,
+    default_regressor_factory,
+)
+from repro.association.training import AssociationDataset, PairDataset
+from repro.geometry.box import BBox
+
+
+def synthetic_dataset(n=1500, seed=0):
+    """Pair (0, 1): objects with cx < 500 are visible on camera 1 at a
+    shifted location; others are not."""
+    rng = np.random.default_rng(seed)
+    ds = AssociationDataset()
+    pair = ds.pair(0, 1)
+    for _ in range(n):
+        cx = rng.uniform(0, 1000)
+        cy = rng.uniform(100, 600)
+        w = rng.uniform(30, 80)
+        h = w * 0.7
+        src = BBox.from_xywh(cx, cy, w, h)
+        if cx < 500:
+            dst = BBox.from_xywh(cx + 200, cy - 50, w * 1.1, h * 1.1)
+        else:
+            dst = None
+        pair.add(src, dst)
+    return ds
+
+
+class TestPairwiseAssociator:
+    def test_visibility_prediction(self):
+        assoc = PairwiseAssociator().fit(synthetic_dataset())
+        visible = BBox.from_xywh(200, 300, 50, 35)
+        hidden = BBox.from_xywh(800, 300, 50, 35)
+        assert assoc.predict_visible(0, 1, visible)
+        assert not assoc.predict_visible(0, 1, hidden)
+
+    def test_location_prediction(self):
+        assoc = PairwiseAssociator().fit(synthetic_dataset())
+        src = BBox.from_xywh(200, 300, 50, 35)
+        pred = assoc.predict_box(0, 1, src)
+        assert pred is not None
+        assert pred.center[0] == pytest.approx(400, abs=30)
+        assert pred.center[1] == pytest.approx(250, abs=30)
+
+    def test_predict_box_none_when_classified_invisible(self):
+        assoc = PairwiseAssociator().fit(synthetic_dataset())
+        hidden = BBox.from_xywh(900, 300, 50, 35)
+        assert assoc.predict_box(0, 1, hidden) is None
+
+    def test_unknown_pair_predicts_invisible(self):
+        assoc = PairwiseAssociator().fit(synthetic_dataset())
+        assert not assoc.predict_visible(5, 6, BBox.from_xywh(0, 0, 10, 10))
+        assert assoc.model(5, 6) is None
+
+    def test_constant_negative_labels(self):
+        ds = AssociationDataset()
+        pair = ds.pair(0, 1)
+        for i in range(20):
+            pair.add(BBox.from_xywh(i * 10, 100, 30, 20), None)
+        assoc = PairwiseAssociator().fit(ds)
+        assert not assoc.predict_visible(0, 1, BBox.from_xywh(50, 100, 30, 20))
+
+    def test_constant_positive_labels(self):
+        ds = AssociationDataset()
+        pair = ds.pair(0, 1)
+        for i in range(20):
+            src = BBox.from_xywh(100 + i * 10, 100, 30, 20)
+            pair.add(src, src.translate(50, 0))
+        assoc = PairwiseAssociator().fit(ds)
+        assert assoc.predict_visible(0, 1, BBox.from_xywh(150, 100, 30, 20))
+        pred = assoc.predict_box(0, 1, BBox.from_xywh(150, 100, 30, 20))
+        assert pred is not None
+
+    def test_custom_factories_used(self):
+        calls = []
+
+        def spy_classifier():
+            calls.append("cls")
+            return default_classifier_factory()
+
+        def spy_regressor():
+            calls.append("reg")
+            return default_regressor_factory()
+
+        PairwiseAssociator(spy_classifier, spy_regressor).fit(synthetic_dataset())
+        assert "cls" in calls and "reg" in calls
+
+    def test_empty_pair_dataset(self):
+        ds = AssociationDataset()
+        ds.pair(0, 1)  # created but never populated
+        assoc = PairwiseAssociator().fit(ds)
+        assert not assoc.predict_visible(0, 1, BBox.from_xywh(0, 0, 10, 10))

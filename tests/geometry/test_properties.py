@@ -1,0 +1,128 @@
+"""Property-based tests for the geometry substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.box import DEFAULT_SIZE_SET, BBox, quantize_size, quantized_region
+from repro.geometry.polygon import ConvexPolygon
+
+coords = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
+sizes = st.floats(0.1, 500, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def boxes(draw):
+    cx = draw(coords)
+    cy = draw(coords)
+    w = draw(sizes)
+    h = draw(sizes)
+    return BBox.from_xywh(cx, cy, w, h)
+
+
+class TestBoxProperties:
+    @given(boxes(), boxes())
+    def test_iou_in_unit_interval(self, a, b):
+        iou = a.iou(b)
+        assert 0.0 <= iou <= 1.0 + 1e-12
+
+    @given(boxes(), boxes())
+    def test_iou_symmetric(self, a, b):
+        assert abs(a.iou(b) - b.iou(a)) < 1e-9
+
+    @given(boxes())
+    def test_self_iou_is_one(self, a):
+        assert a.iou(a) == 1.0
+
+    @given(boxes(), st.floats(-200, 200), st.floats(-200, 200))
+    def test_iou_translation_invariant(self, a, dx, dy):
+        b = BBox.from_xywh(a.center[0] + 10, a.center[1], a.width, a.height)
+        before = a.iou(b)
+        after = a.translate(dx, dy).iou(b.translate(dx, dy))
+        assert abs(before - after) < 1e-6
+
+    @given(boxes(), boxes())
+    def test_intersection_bounded(self, a, b):
+        inter = a.intersection(b)
+        assert -1e-9 <= inter <= min(a.area, b.area) + 1e-6
+
+    @given(boxes(), boxes())
+    def test_union_box_contains_both(self, a, b):
+        u = a.union_box(b)
+        assert u.contains_box(a)
+        assert u.contains_box(b)
+
+    @given(boxes(), st.floats(0.1, 300))
+    def test_clip_stays_inside_frame(self, a, frame):
+        clipped = a.clip(frame, frame)
+        assert clipped.x1 >= 0 and clipped.y1 >= 0
+        assert clipped.x2 <= frame and clipped.y2 <= frame
+
+    @given(boxes(), st.floats(0, 50))
+    def test_expand_contains_original(self, a, margin):
+        assert a.expand(margin).contains_box(a)
+
+
+class TestQuantizeProperties:
+    @given(st.floats(0.1, 2000))
+    def test_quantize_returns_member(self, extent):
+        assert quantize_size(extent) in DEFAULT_SIZE_SET
+
+    @given(st.floats(0.1, float(max(DEFAULT_SIZE_SET))))
+    def test_quantize_never_shrinks_below_max(self, extent):
+        assert quantize_size(extent) >= extent
+
+    @given(st.floats(0.1, 2000), st.floats(0.1, 2000))
+    def test_quantize_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert quantize_size(lo) <= quantize_size(hi)
+
+    @given(boxes())
+    def test_quantized_region_is_square_of_member_size(self, box):
+        region, size = quantized_region(box)
+        assert size in DEFAULT_SIZE_SET
+        assert abs(region.width - size) < 1e-6
+        assert abs(region.height - size) < 1e-6
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(st.floats(-100, 90))
+    y1 = draw(st.floats(-100, 90))
+    w = draw(st.floats(1, 100))
+    h = draw(st.floats(1, 100))
+    return ConvexPolygon.rectangle(x1, y1, x1 + w, y1 + h)
+
+
+class TestPolygonProperties:
+    @settings(max_examples=50)
+    @given(rects(), rects())
+    def test_overlap_area_bounded(self, a, b):
+        inter = a.overlap_area(b)
+        assert -1e-9 <= inter <= min(a.area, b.area) + 1e-6
+
+    @settings(max_examples=50)
+    @given(rects(), rects())
+    def test_overlap_symmetric(self, a, b):
+        assert abs(a.overlap_area(b) - b.overlap_area(a)) < 1e-6
+
+    @settings(max_examples=50)
+    @given(rects())
+    def test_self_overlap_is_area(self, a):
+        assert abs(a.overlap_area(a) - a.area) < 1e-6
+
+    @settings(max_examples=50)
+    @given(rects())
+    def test_centroid_inside(self, a):
+        cx, cy = a.centroid
+        assert a.contains(cx, cy)
+
+    @settings(max_examples=50)
+    @given(rects(), rects())
+    def test_rect_intersection_matches_box_formula(self, a, b):
+        (ax1, ay1, ax2, ay2) = a.bounding_box()
+        (bx1, by1, bx2, by2) = b.bounding_box()
+        iw = max(0.0, min(ax2, bx2) - max(ax1, bx1))
+        ih = max(0.0, min(ay2, by2) - max(ay1, by1))
+        assert abs(a.overlap_area(b) - iw * ih) < 1e-6

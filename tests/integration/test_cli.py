@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "S1"
+        assert args.policy == "balb"
+        assert args.redundancy == 1
+
+    def test_compare_policies(self):
+        args = build_parser().parse_args(
+            ["compare", "--policies", "full", "balb"]
+        )
+        assert args.policies == ["full", "balb"]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "magic"])
+
+    def test_experiments_options(self):
+        args = build_parser().parse_args(
+            ["experiments", "--only", "FIG13", "--out", "x.txt"]
+        )
+        assert args.only == "FIG13"
+        assert args.out == "x.txt"
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "S1" in out and "S2" in out and "S3" in out
+        assert "nano" in out
+
+    def test_run_command_small(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scenario", "S2",
+                "--policy", "balb-ind",
+                "--horizon", "5",
+                "--horizons", "3",
+                "--train-duration", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slowest-cam ms" in out
+        assert "jetson-nano" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        code = main(["experiments", "--only", "FIG99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_written_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "ablations.txt"
+        code = main(
+            ["experiments", "--only", "ABLATIONS", "--out", str(out_file)]
+        )
+        assert code == 0
+        content = out_file.read_text()
+        assert "batch-awareness" in content

@@ -1,0 +1,98 @@
+"""End-to-end integration tests: the paper's qualitative claims.
+
+These run the full pipeline (world -> cameras -> detector -> association ->
+BALB -> GPU) on scaled-down configurations and assert the *shape* of the
+paper's results, not absolute numbers.
+"""
+
+import pytest
+
+from repro.runtime.metrics import speedup_vs
+from repro.runtime.pipeline import PipelineConfig, run_policy, train_models
+from repro.scenarios.aic21 import get_scenario
+
+
+@pytest.fixture(scope="module")
+def s2_runs():
+    """All five policies on S2 with shared trained models."""
+    scenario = get_scenario("S2", seed=0)
+    config = PipelineConfig(
+        policy="balb",
+        horizon=10,
+        n_horizons=20,
+        warmup_s=30.0,
+        train_duration_s=90.0,
+        seed=0,
+    )
+    trained = train_models(scenario, config)
+    return {
+        policy: run_policy(scenario, policy, config, trained)
+        for policy in ("full", "balb-ind", "balb-cen", "balb", "sp")
+    }
+
+
+class TestPaperShapeS2:
+    def test_balb_substantially_faster_than_full(self, s2_runs):
+        """Headline claim: multiplicative speedups (2.45x-6.85x)."""
+        assert speedup_vs(s2_runs["full"], s2_runs["balb"]) > 2.0
+
+    def test_balb_no_slower_than_independent(self, s2_runs):
+        assert (
+            s2_runs["balb"].mean_slowest_latency()
+            <= s2_runs["balb-ind"].mean_slowest_latency() * 1.05
+        )
+
+    def test_slicing_costs_little_recall(self, s2_runs):
+        """BALB-Ind ~ Full recall (Figure 12, first observation)."""
+        assert (
+            s2_runs["balb-ind"].object_recall()
+            >= s2_runs["full"].object_recall() - 0.08
+        )
+
+    def test_full_balb_beats_central_only_recall(self, s2_runs):
+        """The distributed stage recovers recall (Figure 12)."""
+        assert (
+            s2_runs["balb"].object_recall()
+            >= s2_runs["balb-cen"].object_recall()
+        )
+
+    def test_balb_recall_competitive_with_full(self, s2_runs):
+        """'Minor degradation on detection quality'."""
+        assert (
+            s2_runs["balb"].object_recall()
+            >= s2_runs["full"].object_recall() - 0.1
+        )
+
+    def test_all_policies_record_latency(self, s2_runs):
+        for result in s2_runs.values():
+            assert result.mean_slowest_latency() > 0
+
+    def test_full_is_slowest(self, s2_runs):
+        full = s2_runs["full"].mean_slowest_latency()
+        for policy in ("balb-ind", "balb-cen", "balb", "sp"):
+            assert s2_runs[policy].mean_slowest_latency() < full
+
+
+class TestHorizonTradeoffShape:
+    def test_longer_horizon_lower_latency(self):
+        """Figure 14: latency falls with T."""
+        scenario = get_scenario("S2", seed=1)
+        base = PipelineConfig(
+            policy="balb", warmup_s=20.0, train_duration_s=60.0, seed=1
+        )
+        trained = train_models(scenario, base)
+        results = {}
+        for horizon in (2, 10):
+            config = PipelineConfig(
+                policy="balb",
+                horizon=horizon,
+                n_horizons=80 // horizon,
+                warmup_s=20.0,
+                train_duration_s=60.0,
+                seed=1,
+            )
+            results[horizon] = run_policy(scenario, "balb", config, trained)
+        assert (
+            results[10].mean_slowest_latency()
+            < results[2].mean_slowest_latency()
+        )

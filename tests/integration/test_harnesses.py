@@ -1,0 +1,97 @@
+"""Structural tests of the end-to-end experiment harnesses (scaled down).
+
+These verify the fig12/fig13/fig14/table2 and extension harnesses produce
+well-formed rows and internally consistent numbers on small runs; the
+full-scale shape assertions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments.fig12_recall import recall_rows, run_policies
+from repro.experiments.fig13_latency import (
+    LATENCY_POLICIES,
+    latency_rows,
+    speedup_summary,
+)
+from repro.experiments.fig14_horizon import sweep_horizons
+from repro.experiments.table2_overhead import measure_overheads
+from repro.runtime.pipeline import PipelineConfig, train_models
+from repro.scenarios.aic21 import get_scenario
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return PipelineConfig(
+        policy="balb",
+        horizon=5,
+        n_horizons=6,
+        warmup_s=15.0,
+        train_duration_s=40.0,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def s2_trained(small_config):
+    return train_models(get_scenario("S2", seed=0), small_config)
+
+
+class TestFig12Harness:
+    def test_rows_structure(self, small_config, s2_trained):
+        runs = run_policies(
+            "S2",
+            policies=("full", "balb"),
+            config=small_config,
+            trained=s2_trained,
+        )
+        rows = recall_rows(runs)
+        assert {r.policy for r in rows} == {"full", "balb"}
+        for row in rows:
+            assert row.scenario == "S2"
+            assert 0.0 <= row.recall <= 1.0
+
+
+class TestFig13Harness:
+    def test_rows_and_summary_consistent(self, small_config, s2_trained):
+        runs = run_policies(
+            "S2",
+            policies=LATENCY_POLICIES,
+            config=small_config,
+            trained=s2_trained,
+        )
+        rows = latency_rows(runs)
+        summary = speedup_summary(runs)
+        by_policy = {r.policy: r for r in rows}
+        assert by_policy["full"].speedup_vs_full == pytest.approx(1.0)
+        assert summary.balb_vs_full == pytest.approx(
+            by_policy["full"].slowest_camera_ms
+            / by_policy["balb"].slowest_camera_ms
+        )
+        for row in rows:
+            assert row.slowest_camera_ms > 0
+
+
+class TestFig14Harness:
+    def test_sweep_rows(self, s2_trained):
+        rows = sweep_horizons(
+            "S2", horizons=(2, 5), frames_per_point=40, seed=0,
+            trained=s2_trained,
+        )
+        assert [r.horizon for r in rows] == [2, 5]
+        for row in rows:
+            assert 0.0 <= row.recall <= 1.0
+            assert row.slowest_camera_ms > 0
+        # Key-frame amortization: T=5 is cheaper than T=2.
+        assert rows[1].slowest_camera_ms < rows[0].slowest_camera_ms
+
+
+class TestTable2Harness:
+    def test_overhead_row(self, small_config):
+        row = measure_overheads("S2", config=small_config, seed=0)
+        assert row.scenario == "S2"
+        assert row.total_ms == pytest.approx(
+            row.central_ms + row.tracking_ms + row.distributed_ms
+            + row.batching_ms
+        )
+        assert row.tracking_ms > 0
+        assert row.distributed_ms < 1.0

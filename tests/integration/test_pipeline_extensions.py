@@ -1,0 +1,65 @@
+"""Pipeline-level tests of the occlusion + redundancy extensions."""
+
+import pytest
+
+from repro.runtime.pipeline import PipelineConfig, run_policy, train_models
+from repro.scenarios.aic21 import get_scenario
+
+
+def config(**kwargs):
+    defaults = dict(
+        policy="balb",
+        horizon=10,
+        n_horizons=10,
+        warmup_s=20.0,
+        train_duration_s=60.0,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return PipelineConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def s3_trained():
+    scenario = get_scenario("S3", seed=0)
+    return scenario, train_models(scenario, config())
+
+
+class TestOcclusionFlag:
+    def test_occlusion_reduces_or_keeps_recall(self, s3_trained):
+        scenario, trained = s3_trained
+        clear = run_policy(scenario, "balb", config(), trained)
+        occluded = run_policy(
+            scenario, "balb", config(occlusion=True), trained
+        )
+        # Occlusion can only make detection harder.
+        assert occluded.object_recall() <= clear.object_recall() + 0.03
+
+    def test_occlusion_run_completes_all_frames(self, s3_trained):
+        scenario, trained = s3_trained
+        result = run_policy(scenario, "balb", config(occlusion=True), trained)
+        assert result.n_frames == 100
+
+
+class TestRedundancyFlag:
+    def test_invalid_redundancy_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(redundancy=0)
+
+    def test_redundancy_runs_and_costs_latency(self, s3_trained):
+        scenario, trained = s3_trained
+        k1 = run_policy(scenario, "balb", config(occlusion=True), trained)
+        k2 = run_policy(
+            scenario, "balb", config(occlusion=True, redundancy=2), trained
+        )
+        # More replicas -> at least as much inspection work.
+        assert (
+            k2.mean_slowest_latency() >= k1.mean_slowest_latency() * 0.9
+        )
+        assert 0.0 <= k2.object_recall() <= 1.0
+
+    def test_redundancy_without_occlusion_not_worse_recall(self, s3_trained):
+        scenario, trained = s3_trained
+        k1 = run_policy(scenario, "balb", config(), trained)
+        k2 = run_policy(scenario, "balb", config(redundancy=2), trained)
+        assert k2.object_recall() >= k1.object_recall() - 0.05

@@ -1,0 +1,116 @@
+"""Integration tests of the scenario library."""
+
+import pytest
+
+from repro.scenarios.aic21 import (
+    ALL_SCENARIOS,
+    get_scenario,
+    scenario_s1,
+    scenario_s2,
+    scenario_s3,
+)
+from repro.devices.profiles import JETSON_AGX_XAVIER, JETSON_NANO, JETSON_TX2
+
+
+class TestScenarioCatalogue:
+    def test_lookup(self):
+        assert get_scenario("s1").name == "S1"
+        assert get_scenario("S3").name == "S3"
+        with pytest.raises(KeyError):
+            get_scenario("S9")
+
+    def test_table1_hardware_configuration(self):
+        """Table I: S1 = 2 Xavier + 2 TX2 + 1 Nano; S2 = Xavier + Nano;
+        S3 = Xavier + TX2 + Nano."""
+        s1 = scenario_s1()
+        assert len(s1.cameras) == 5
+        names = sorted(d.name for d in s1.devices)
+        assert names.count("jetson-agx-xavier") == 2
+        assert names.count("jetson-tx2") == 2
+        assert names.count("jetson-nano") == 1
+
+        s2 = scenario_s2()
+        assert len(s2.cameras) == 2
+        assert {d.name for d in s2.devices} == {
+            "jetson-agx-xavier", "jetson-nano"
+        }
+
+        s3 = scenario_s3()
+        assert len(s3.cameras) == 3
+        assert {d.name for d in s3.devices} == {
+            "jetson-agx-xavier", "jetson-tx2", "jetson-nano"
+        }
+
+    def test_ten_fps(self):
+        for factory in ALL_SCENARIOS.values():
+            assert factory().fps == 10.0
+
+    def test_s1_has_fisheye_camera(self):
+        s1 = scenario_s1()
+        heights = {c.intrinsics.image_height for c in s1.cameras}
+        assert 960 in heights and 704 in heights
+
+
+class TestScenarioDynamics:
+    def test_build_is_fresh_each_time(self):
+        scenario = scenario_s2(seed=1)
+        w1, _ = scenario.build()
+        w2, _ = scenario.build()
+        w1.run(10.0, 0.1)
+        assert w2.time == 0.0
+
+    def test_same_seed_same_world(self):
+        scenario = scenario_s1(seed=5)
+        w1, _ = scenario.build()
+        w2, _ = scenario.build()
+        w1.run(15.0, 0.1)
+        w2.run(15.0, 0.1)
+        assert [o.object_id for o in w1.objects] == [
+            o.object_id for o in w2.objects
+        ]
+
+    def test_traffic_flows_in_all_scenarios(self):
+        for name, factory in ALL_SCENARIOS.items():
+            scenario = factory(seed=3)
+            world, rig = scenario.build()
+            world.run(60.0, 0.1)
+            visible = 0
+            for _ in range(30):  # S2 is sparse: average over 30 s
+                world.run(1.0, 0.1)
+                visible += sum(rig.visible_counts(world.objects).values())
+            assert visible > 0, f"{name} produced no visible traffic"
+
+    def test_multi_view_overlap_exists(self):
+        """Every scenario must have some co-visible objects over time —
+        the premise of multi-view scheduling."""
+        for name, factory in ALL_SCENARIOS.items():
+            scenario = factory(seed=11)
+            world, rig = scenario.build()
+            world.run(60.0, 0.1)
+            covisible = 0
+            for _ in range(40):
+                world.run(1.0, 0.1)
+                covisible += sum(
+                    1
+                    for o in world.objects
+                    if len(rig.coverage_set(o)) >= 2
+                )
+            assert covisible > 0, f"{name} has no view overlap"
+
+    def test_s1_busier_than_s2(self):
+        def mean_visible(factory):
+            scenario = factory(seed=9)
+            world, rig = scenario.build()
+            world.run(60.0, 0.1)
+            total = 0
+            for _ in range(30):
+                world.run(1.0, 0.1)
+                total += sum(rig.visible_counts(world.objects).values())
+            return total / 30
+
+        assert mean_visible(scenario_s1) > mean_visible(scenario_s2)
+
+    def test_device_map_matches_cameras(self):
+        scenario = scenario_s3()
+        device_map = scenario.device_map()
+        assert set(device_map) == {0, 1, 2}

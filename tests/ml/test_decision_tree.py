@@ -1,0 +1,83 @@
+"""Tests for the CART-style decision tree classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+
+class TestDecisionTree:
+    def test_axis_aligned_split(self):
+        x = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]] * 3)
+        y = np.array([0.0, 0.0, 0.0, 1.0, 1.0, 1.0] * 3)
+        model = DecisionTreeClassifier(min_samples_split=2, min_samples_leaf=1)
+        model.fit(x, y)
+        assert np.array_equal(model.predict(x), y.astype(int))
+
+    def test_xor_needs_depth_two(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, (400, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(float)
+        model = DecisionTreeClassifier(max_depth=4, min_samples_leaf=2).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_depth_one_cannot_solve_xor(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, (400, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(float)
+        model = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        assert (model.predict(x) == y).mean() < 0.7
+
+    def test_pure_node_is_leaf(self):
+        x = np.random.default_rng(2).random((20, 2))
+        y = np.ones(20)
+        model = DecisionTreeClassifier().fit(x, y)
+        assert model.depth() == 0
+        assert np.all(model.predict_proba(x) == 1.0)
+
+    def test_depth_respected(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((300, 3))
+        y = (rng.random(300) > 0.5).astype(float)
+        model = DecisionTreeClassifier(max_depth=3, min_samples_leaf=1).fit(x, y)
+        assert model.depth() <= 3
+
+    def test_min_samples_leaf_respected(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        model = DecisionTreeClassifier(
+            max_depth=5, min_samples_split=2, min_samples_leaf=3
+        ).fit(x, y)
+        # Can't split 4 samples into two leaves of >= 3: stays a leaf.
+        assert model.depth() == 0
+
+    def test_proba_bounds(self):
+        rng = np.random.default_rng(4)
+        x = rng.random((100, 2))
+        y = (x[:, 0] > 0.5).astype(float)
+        proba = DecisionTreeClassifier().fit(x, y).predict_proba(x)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+
+    def test_duplicate_feature_values_handled(self):
+        x = np.array([[1.0], [1.0], [1.0], [2.0], [2.0], [2.0]] * 2)
+        y = np.array([0.0, 0.0, 0.0, 1.0, 1.0, 1.0] * 2)
+        model = DecisionTreeClassifier(min_samples_leaf=1, min_samples_split=2)
+        model.fit(x, y)
+        assert (model.predict(x) == y).mean() == 1.0
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((2, 1)), np.array([0.0, 2.0]))

@@ -1,0 +1,112 @@
+"""Tests for linear regression and logistic classification."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.linear import LinearRegressor, LogisticClassifier
+
+
+class TestLinearRegressor:
+    def test_exact_linear_recovery(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((100, 3))
+        coef = np.array([[2.0], [-1.0], [0.5]])
+        y = x @ coef + 4.0
+        model = LinearRegressor().fit(x, y)
+        assert np.allclose(model.predict(x), y, atol=1e-6)
+
+    def test_intercept_only(self):
+        x = np.zeros((20, 2))
+        y = np.full((20, 1), 7.0)
+        model = LinearRegressor().fit(x, y)
+        assert model.predict(np.zeros((1, 2)))[0, 0] == pytest.approx(7.0)
+
+    def test_multi_output(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((50, 2))
+        y = np.hstack([x[:, :1] * 3, x[:, 1:] * -2 + 1])
+        model = LinearRegressor().fit(x, y)
+        pred = model.predict(x)
+        assert pred.shape == (50, 2)
+        assert np.allclose(pred, y, atol=1e-6)
+
+    def test_collinear_features_stable(self):
+        rng = np.random.default_rng(2)
+        base = rng.random((40, 1))
+        x = np.hstack([base, base * 2.0])  # perfectly collinear
+        y = base * 5.0
+        model = LinearRegressor(l2=1e-6).fit(x, y)
+        assert np.allclose(model.predict(x), y, atol=1e-3)
+
+    def test_1d_target_accepted(self):
+        x = np.arange(10, dtype=float)[:, None]
+        y = np.arange(10, dtype=float) * 2
+        model = LinearRegressor().fit(x, y)
+        assert model.predict(np.array([[4.0]]))[0, 0] == pytest.approx(8.0)
+
+    def test_negative_l2_raises(self):
+        with pytest.raises(ValueError):
+            LinearRegressor(l2=-1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearRegressor().predict(np.zeros((1, 2)))
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            LinearRegressor().fit(np.zeros((0, 2)), np.zeros((0, 1)))
+
+
+class TestLogisticClassifier:
+    def test_separable_data(self):
+        rng = np.random.default_rng(3)
+        x = np.vstack([rng.normal(-3, 1, (80, 2)), rng.normal(3, 1, (80, 2))])
+        y = np.array([0.0] * 80 + [1.0] * 80)
+        model = LogisticClassifier().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.97
+
+    def test_proba_monotone_along_separating_axis(self):
+        x = np.array([[-2.0], [-1.0], [1.0], [2.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        model = LogisticClassifier(n_iter=2000).fit(x, y)
+        probes = model.predict_proba(np.array([[-3.0], [0.0], [3.0]]))
+        assert probes[0] < probes[1] < probes[2]
+
+    def test_proba_bounds(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0, 5, (100, 3))
+        y = (x[:, 0] > 0).astype(float)
+        proba = LogisticClassifier().fit(x, y).predict_proba(x)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+
+    def test_balanced_prior_with_no_signal(self):
+        rng = np.random.default_rng(5)
+        x = np.zeros((100, 2))
+        y = np.array([0.0, 1.0] * 50)
+        proba = LogisticClassifier().fit(x, y).predict_proba(np.zeros((1, 2)))
+        assert proba[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError):
+            LogisticClassifier().fit(np.zeros((2, 1)), np.array([1.0, 3.0]))
+
+    def test_invalid_hyperparams_raise(self):
+        with pytest.raises(ValueError):
+            LogisticClassifier(lr=0)
+        with pytest.raises(ValueError):
+            LogisticClassifier(n_iter=0)
+        with pytest.raises(ValueError):
+            LogisticClassifier(l2=-0.1)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticClassifier().predict_proba(np.zeros((1, 1)))
+
+    def test_custom_threshold(self):
+        x = np.array([[-1.0], [1.0]] * 20)
+        y = np.array([0.0, 1.0] * 20)
+        model = LogisticClassifier(n_iter=1000).fit(x, y)
+        strict = model.predict(np.array([[0.2]]), threshold=0.95)
+        lax = model.predict(np.array([[0.2]]), threshold=0.05)
+        assert strict[0] == 0 and lax[0] == 1

@@ -1,0 +1,60 @@
+"""Tests for the primal linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.svm import LinearSVM
+
+
+class TestLinearSVM:
+    def test_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(-3, 1, (100, 2)), rng.normal(3, 1, (100, 2))])
+        y = np.array([0.0] * 100 + [1.0] * 100)
+        model = LinearSVM(n_iter=1500).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.97
+
+    def test_decision_function_sign_matches_prediction(self):
+        rng = np.random.default_rng(1)
+        x = np.vstack([rng.normal(-2, 1, (50, 2)), rng.normal(2, 1, (50, 2))])
+        y = np.array([0.0] * 50 + [1.0] * 50)
+        model = LinearSVM().fit(x, y)
+        margins = model.decision_function(x)
+        preds = model.predict(x)
+        assert np.array_equal(preds, (margins > 0).astype(int))
+
+    def test_margin_direction(self):
+        x = np.array([[-1.0], [1.0]] * 30)
+        y = np.array([0.0, 1.0] * 30)
+        model = LinearSVM(n_iter=1000).fit(x, y)
+        assert model.decision_function(np.array([[5.0]]))[0] > 0
+        assert model.decision_function(np.array([[-5.0]]))[0] < 0
+
+    def test_proba_bounds(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 3, (60, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(float)
+        proba = LinearSVM().fit(x, y).predict_proba(x)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+
+    def test_noisy_data_still_reasonable(self):
+        rng = np.random.default_rng(3)
+        x = np.vstack([rng.normal(-1, 1, (150, 2)), rng.normal(1, 1, (150, 2))])
+        y = np.array([0.0] * 150 + [1.0] * 150)
+        model = LinearSVM(c=1.0, n_iter=2000).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.80
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            LinearSVM(c=0)
+        with pytest.raises(ValueError):
+            LinearSVM(n_iter=0)
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((2, 1)), np.array([-1.0, 1.0]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearSVM().decision_function(np.zeros((1, 2)))

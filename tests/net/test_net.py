@@ -1,0 +1,101 @@
+"""Tests for the network substrate."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import BBox
+from repro.net.link import (
+    TESTBED_DOWNLINK,
+    TESTBED_UPLINK,
+    DuplexChannel,
+    Link,
+    LinkSpec,
+)
+from repro.net.messages import AssignmentMessage, DetectionReport
+
+
+class TestLinkSpec:
+    def test_testbed_constants(self):
+        assert TESTBED_DOWNLINK.bandwidth_mbps == 100.0
+        assert TESTBED_UPLINK.bandwidth_mbps == 20.0
+
+    def test_invalid_specs_raise(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth_mbps=10, propagation_ms=-1)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth_mbps=10, jitter_ms_std=-0.1)
+
+
+class TestLink:
+    def test_transfer_time_formula(self):
+        link = Link(LinkSpec(bandwidth_mbps=8.0, propagation_ms=2.0))
+        # 1000 bytes = 8000 bits at 8 Mbps -> 1 ms + 2 ms propagation.
+        assert link.transfer_ms(1000) == pytest.approx(3.0)
+
+    def test_zero_bytes_costs_propagation(self):
+        link = Link(LinkSpec(bandwidth_mbps=10.0, propagation_ms=1.5))
+        assert link.transfer_ms(0) == pytest.approx(1.5)
+
+    def test_negative_bytes_raise(self):
+        link = Link(LinkSpec(bandwidth_mbps=10.0))
+        with pytest.raises(ValueError):
+            link.transfer_ms(-1)
+
+    def test_accounting(self):
+        link = Link(LinkSpec(bandwidth_mbps=10.0))
+        link.transfer_ms(100)
+        link.transfer_ms(200)
+        assert link.bytes_sent == 300
+        assert link.messages_sent == 2
+
+    def test_jitter_adds_nonnegative_latency(self):
+        spec = LinkSpec(bandwidth_mbps=10.0, propagation_ms=1.0, jitter_ms_std=0.5)
+        link = Link(spec, np.random.default_rng(0))
+        base = 1.0 + 100 * 8 / 1e7 * 1e3
+        for _ in range(50):
+            assert link.transfer_ms(100) >= base - 1e-9
+
+    def test_slower_uplink_than_downlink(self):
+        channel = DuplexChannel()
+        up = channel.up.transfer_ms(10_000)
+        down = channel.down.transfer_ms(10_000)
+        assert up > down
+
+    def test_round_trip_sums_directions(self):
+        channel = DuplexChannel()
+        rt = channel.round_trip_ms(1000, 1000)
+        assert rt == pytest.approx(
+            channel.up.spec.propagation_ms
+            + channel.down.spec.propagation_ms
+            + 1000 * 8 / (20e6) * 1e3
+            + 1000 * 8 / (100e6) * 1e3
+        )
+
+
+class TestMessages:
+    def box(self):
+        return BBox(0, 0, 10, 10)
+
+    def test_report_payload_scales_with_objects(self):
+        small = DetectionReport(0, 0, (self.box(),), (1,), (5,))
+        large = DetectionReport(
+            0, 0, (self.box(),) * 10, tuple(range(10)), tuple(range(10))
+        )
+        assert large.payload_bytes() > small.payload_bytes()
+        assert small.n_objects == 1
+
+    def test_report_parallel_fields_enforced(self):
+        with pytest.raises(ValueError):
+            DetectionReport(0, 0, (self.box(),), (1, 2), (5,))
+
+    def test_assignment_payload(self):
+        msg = AssignmentMessage(
+            camera_id=0,
+            frame_index=3,
+            assigned_track_ids=(1, 2, 3),
+            camera_priority_order=(0, 1),
+            mask_cells=((0, 0), (1, 1)),
+        )
+        assert msg.payload_bytes() > 64

@@ -1,0 +1,107 @@
+"""Tests for the post-run analysis module."""
+
+import pytest
+
+from repro.analysis import (
+    compare_policies,
+    jain_fairness,
+    latency_percentiles,
+    load_balance_index,
+    per_horizon_latency,
+    per_horizon_recall,
+    slice_load_series,
+)
+from repro.runtime.metrics import FrameRecord, RunResult
+
+
+def record(idx, inference, visible=(), detected=(), key=False, n_slices=None):
+    return FrameRecord(
+        frame_index=idx,
+        is_key_frame=key,
+        inference_ms=inference,
+        visible_gt=frozenset(visible),
+        detected_gt=frozenset(detected),
+        n_slices=n_slices or {},
+    )
+
+
+def simple_result():
+    result = RunResult("balb", "S1", horizon=2)
+    result.add(record(0, {0: 10.0, 1: 30.0}, {1}, {1}, key=True))
+    result.add(record(1, {0: 20.0, 1: 10.0}, {1, 2}, {1},
+                      n_slices={0: 2, 1: 1}))
+    result.add(record(2, {0: 5.0, 1: 5.0}, {2}, {2}, key=True))
+    result.add(record(3, {0: 15.0, 1: 25.0}, {2}, {2}, n_slices={0: 3}))
+    return result
+
+
+class TestJainFairness:
+    def test_perfect_balance(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_worker(self):
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+        with pytest.raises(ValueError):
+            jain_fairness([-1.0, 2.0])
+
+    def test_bounds(self):
+        values = [1.0, 7.0, 3.0, 9.0]
+        f = jain_fairness(values)
+        assert 1.0 / len(values) <= f <= 1.0
+
+
+class TestResultAnalysis:
+    def test_load_balance_index(self):
+        index = load_balance_index(simple_result())
+        assert 0.5 <= index <= 1.0
+
+    def test_latency_percentiles_ordered(self):
+        pct = latency_percentiles(simple_result(), (50.0, 90.0, 99.0))
+        assert pct[50.0] <= pct[90.0] <= pct[99.0]
+        assert pct[99.0] <= 30.0
+
+    def test_percentiles_empty_raise(self):
+        empty = RunResult("balb", "S1", horizon=2)
+        with pytest.raises(ValueError):
+            latency_percentiles(empty)
+
+    def test_per_horizon_latency(self):
+        series = per_horizon_latency(simple_result())
+        # Horizon 1: cam0 mean 15, cam1 mean 20 -> 20.
+        # Horizon 2: cam0 mean 10, cam1 mean 15 -> 15.
+        assert series == [pytest.approx(20.0), pytest.approx(15.0)]
+
+    def test_per_horizon_recall(self):
+        series = per_horizon_recall(simple_result())
+        assert series[0] == pytest.approx(2 / 3)
+        assert series[1] == pytest.approx(1.0)
+
+    def test_slice_load_series(self):
+        series = slice_load_series(simple_result(), 0)
+        assert series == [2, 3]
+        assert slice_load_series(simple_result(), 9) == [0, 0]
+
+
+class TestComparePolicies:
+    def test_comparison_table(self):
+        comparison = compare_policies(
+            {"balb": simple_result(), "full": simple_result()}
+        )
+        rows = comparison.as_table_rows()
+        assert len(rows) == 2
+        policies = {row[0] for row in rows}
+        assert policies == {"balb", "full"}
+        for row in rows:
+            assert 0.0 <= row[1] <= 1.0  # recall
+            assert row[2] > 0  # latency
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compare_policies({})

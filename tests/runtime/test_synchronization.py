@@ -1,0 +1,94 @@
+"""Tests for the imperfect-synchronization model."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.pipeline import PipelineConfig, run_policy, train_models
+from repro.runtime.synchronization import SkewModel, WorldHistory
+from repro.scenarios.aic21 import scenario_s2
+from repro.world.entities import ObjectClass, WorldObject
+
+
+def obj(oid, x):
+    return WorldObject.of_class(oid, ObjectClass.CAR, x, 0.0, 0.0, 10.0)
+
+
+class TestSkewModel:
+    def test_lags_bounded(self):
+        model = SkewModel(max_lag_frames=3)
+        lags = model.sample_lags([0, 1, 2], np.random.default_rng(0))
+        assert set(lags) == {0, 1, 2}
+        assert all(0 <= lag <= 3 for lag in lags.values())
+
+    def test_zero_lag_model(self):
+        model = SkewModel(max_lag_frames=0)
+        lags = model.sample_lags([0, 1], np.random.default_rng(0))
+        assert all(lag == 0 for lag in lags.values())
+
+    def test_jitter_stays_nonnegative(self):
+        model = SkewModel(max_lag_frames=1, jitter=True)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert model.jittered_lag(0, rng) >= 0
+
+    def test_invalid_lag_raises(self):
+        with pytest.raises(ValueError):
+            SkewModel(max_lag_frames=-1)
+
+
+class TestWorldHistory:
+    def test_view_zero_is_latest(self):
+        history = WorldHistory(depth=3)
+        history.push([obj(0, 10.0)])
+        history.push([obj(0, 20.0)])
+        assert history.view(0)[0].x == 20.0
+        assert history.view(1)[0].x == 10.0
+
+    def test_lag_clamped_to_available_depth(self):
+        history = WorldHistory(depth=5)
+        history.push([obj(0, 10.0)])
+        assert history.view(4)[0].x == 10.0  # only one snapshot available
+
+    def test_buffer_depth_enforced(self):
+        history = WorldHistory(depth=2)
+        for i in range(5):
+            history.push([obj(0, float(i))])
+        assert len(history) == 2
+        assert history.view(1)[0].x == 3.0
+
+    def test_snapshots_are_isolated_copies(self):
+        history = WorldHistory(depth=2)
+        source = obj(0, 10.0)
+        history.push([source])
+        source.x = 99.0  # mutate the live object
+        assert history.view(0)[0].x == 10.0
+
+    def test_empty_history(self):
+        assert WorldHistory(depth=2).view(0) == []
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            WorldHistory(depth=0)
+        with pytest.raises(ValueError):
+            WorldHistory(depth=2).view(-1)
+
+
+class TestPipelineWithSkew:
+    def test_skewed_run_completes(self):
+        scenario = scenario_s2(seed=0)
+        config = PipelineConfig(
+            policy="balb",
+            horizon=5,
+            n_horizons=4,
+            warmup_s=15.0,
+            train_duration_s=40.0,
+            max_camera_lag_frames=3,
+        )
+        trained = train_models(scenario, config)
+        result = run_policy(scenario, "balb", config, trained)
+        assert result.n_frames == 20
+        assert 0.0 <= result.object_recall() <= 1.0
+
+    def test_negative_lag_config_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(max_camera_lag_frames=-1)

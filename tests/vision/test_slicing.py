@@ -1,0 +1,106 @@
+"""Tests for tracking-based image slicing."""
+
+import pytest
+
+from repro.geometry.box import BBox
+from repro.vision.slicing import (
+    Slice,
+    TargetSizeBook,
+    build_slices,
+    slice_counts_by_size,
+)
+
+
+class TestTargetSizeBook:
+    def test_assign_and_lookup(self):
+        book = TargetSizeBook()
+        size = book.assign(1, BBox.from_xywh(100, 100, 50, 40))
+        assert size == 128  # 50 + 2*8 margin = 66 -> 128
+        assert book.lookup(1) == 128
+
+    def test_size_fixed_within_horizon(self):
+        book = TargetSizeBook()
+        book.assign(1, BBox.from_xywh(0, 0, 30, 30))
+        # Object grew, but the pinned size is returned unchanged.
+        assert book.lookup_or_assign(1, BBox.from_xywh(0, 0, 400, 400)) == 64
+
+    def test_reset_clears(self):
+        book = TargetSizeBook()
+        book.assign(1, BBox.from_xywh(0, 0, 30, 30))
+        book.reset()
+        assert book.lookup(1) is None
+
+    def test_drop_single_key(self):
+        book = TargetSizeBook()
+        book.assign(1, BBox.from_xywh(0, 0, 30, 30))
+        book.assign(2, BBox.from_xywh(0, 0, 30, 30))
+        book.drop(1)
+        assert book.lookup(1) is None
+        assert book.lookup(2) == 64
+
+    def test_custom_size_set(self):
+        book = TargetSizeBook(size_set=(32, 96))
+        assert book.assign(1, BBox.from_xywh(0, 0, 40, 40)) == 96
+
+    def test_empty_size_set_raises(self):
+        with pytest.raises(ValueError):
+            TargetSizeBook(size_set=())
+
+    def test_sizes_snapshot(self):
+        book = TargetSizeBook()
+        book.assign(1, BBox.from_xywh(0, 0, 30, 30))
+        snap = book.sizes()
+        snap[99] = 512  # mutating the copy must not affect the book
+        assert book.lookup(99) is None
+
+
+class TestBuildSlices:
+    def test_basic_slice_geometry(self):
+        book = TargetSizeBook()
+        predicted = {1: BBox.from_xywh(300, 300, 50, 40)}
+        slices = build_slices(predicted, book, (1280, 704))
+        assert len(slices) == 1
+        s = slices[0]
+        assert s.target_size == 128
+        assert s.region.width == pytest.approx(128)
+        assert s.region.center == pytest.approx((300, 300))
+
+    def test_slice_shifted_inside_frame(self):
+        book = TargetSizeBook()
+        predicted = {1: BBox.from_xywh(10, 10, 50, 40)}  # near the corner
+        slices = build_slices(predicted, book, (1280, 704))
+        s = slices[0]
+        assert s.region.x1 >= 0 and s.region.y1 >= 0
+        assert s.region.width == pytest.approx(128)  # full size retained
+
+    def test_deterministic_order_by_key(self):
+        book = TargetSizeBook()
+        predicted = {
+            5: BBox.from_xywh(300, 300, 30, 30),
+            1: BBox.from_xywh(500, 300, 30, 30),
+        }
+        slices = build_slices(predicted, book, (1280, 704))
+        assert [s.key for s in slices] == [1, 5]
+
+    def test_uses_pinned_sizes(self):
+        book = TargetSizeBook()
+        book.assign(1, BBox.from_xywh(0, 0, 30, 30))  # pinned at 64
+        predicted = {1: BBox.from_xywh(300, 300, 300, 300)}  # grew a lot
+        slices = build_slices(predicted, book, (1280, 704))
+        assert slices[0].target_size == 64
+
+    def test_empty_input(self):
+        assert build_slices({}, TargetSizeBook(), (1280, 704)) == []
+
+
+class TestSliceCounts:
+    def test_counts_by_size(self):
+        slices = [
+            Slice(key=1, region=BBox(0, 0, 64, 64), target_size=64),
+            Slice(key=2, region=BBox(0, 0, 64, 64), target_size=64),
+            Slice(key=3, region=BBox(0, 0, 128, 128), target_size=128),
+        ]
+        assert slice_counts_by_size(slices) == {64: 2, 128: 1}
+
+    def test_empty(self):
+        assert slice_counts_by_size([]) == {}

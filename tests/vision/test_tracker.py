@@ -1,0 +1,103 @@
+"""Tests for IoU/Hungarian track management."""
+
+import pytest
+
+from repro.geometry.box import BBox
+from repro.vision.detector import Detection
+from repro.vision.tracker import TrackManager
+from repro.world.entities import ObjectClass
+
+
+def det(cx, cy, w=40, h=40, gt=0, cam=0):
+    return Detection(
+        bbox=BBox.from_xywh(cx, cy, w, h),
+        confidence=0.9,
+        object_class=ObjectClass.CAR,
+        gt_object_id=gt,
+        camera_id=cam,
+    )
+
+
+class TestTrackManager:
+    def test_new_detections_open_tracks(self):
+        tm = TrackManager()
+        touched, retired = tm.update([det(100, 100, gt=1), det(500, 100, gt=2)])
+        assert len(touched) == 2
+        assert retired == []
+        assert len(tm.tracks) == 2
+
+    def test_matching_by_iou(self):
+        tm = TrackManager()
+        tm.update([det(100, 100, gt=1)])
+        tid = tm.tracks[0].track_id
+        tm.update([det(105, 102, gt=1)])  # small move: same track
+        assert len(tm.tracks) == 1
+        assert tm.tracks[0].track_id == tid
+        assert tm.tracks[0].hits == 2
+
+    def test_distant_detection_opens_new_track(self):
+        tm = TrackManager()
+        tm.update([det(100, 100, gt=1)])
+        tm.update([det(900, 500, gt=2)])
+        assert len(tm.tracks) == 2
+
+    def test_track_retired_after_misses(self):
+        tm = TrackManager(max_misses=2)
+        tm.update([det(100, 100)])
+        retired_total = []
+        for _ in range(4):
+            _, retired = tm.update([])
+            retired_total.extend(retired)
+        assert len(retired_total) == 1
+        assert tm.tracks == []
+
+    def test_predicted_boxes_used_for_matching(self):
+        tm = TrackManager(iou_threshold=0.3)
+        tm.update([det(100, 100)])
+        tid = tm.tracks[0].track_id
+        # Object moved far; raw IoU would fail, flow prediction bridges it.
+        predicted = {tid: BBox.from_xywh(200, 100, 40, 40)}
+        tm.update([det(202, 101)], predicted=predicted)
+        assert len(tm.tracks) == 1
+        assert tm.tracks[0].track_id == tid
+
+    def test_one_to_one_matching(self):
+        tm = TrackManager()
+        tm.update([det(100, 100, gt=1), det(140, 100, gt=2)])
+        # Both detections near both tracks: hungarian keeps them 1:1.
+        touched, _ = tm.update([det(102, 100, gt=1), det(142, 100, gt=2)])
+        gts = sorted(t.last_gt_id for t in tm.tracks)
+        assert gts == [1, 2]
+
+    def test_track_ids_unique_and_monotone(self):
+        tm = TrackManager()
+        tm.update([det(100, 100)])
+        tm.update([det(700, 400)])
+        ids = [t.track_id for t in tm.tracks]
+        assert ids == sorted(set(ids))
+
+    def test_reset(self):
+        tm = TrackManager()
+        tm.update([det(100, 100)])
+        tm.reset()
+        assert tm.tracks == []
+
+    def test_retire_specific_track(self):
+        tm = TrackManager()
+        tm.update([det(100, 100)])
+        tid = tm.tracks[0].track_id
+        tm.retire_track(tid)
+        assert tm.track(tid) is None
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            TrackManager(iou_threshold=0.0)
+        with pytest.raises(ValueError):
+            TrackManager(max_misses=-1)
+
+    def test_age_increments(self):
+        tm = TrackManager()
+        tm.update([det(100, 100)])
+        tm.update([det(101, 100)])
+        tm.update([det(102, 100)])
+        assert tm.tracks[0].age == 3

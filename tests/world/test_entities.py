@@ -1,0 +1,80 @@
+"""Tests for world entities."""
+
+import math
+
+import pytest
+
+from repro.world.entities import (
+    CLASS_DIMENSIONS,
+    CLASS_SPEED_RANGES,
+    ObjectClass,
+    WorldObject,
+)
+
+
+def make_car(x=0.0, y=0.0, heading=0.0, speed=10.0, jitter=1.0):
+    return WorldObject.of_class(
+        1, ObjectClass.CAR, x, y, heading, speed, size_jitter=jitter
+    )
+
+
+class TestWorldObject:
+    def test_of_class_dimensions(self):
+        car = make_car()
+        length, width, height = CLASS_DIMENSIONS[ObjectClass.CAR]
+        assert (car.length, car.width, car.height) == (length, width, height)
+
+    def test_size_jitter_scales_all_dims(self):
+        car = make_car(jitter=1.2)
+        base = CLASS_DIMENSIONS[ObjectClass.CAR]
+        assert car.length == pytest.approx(base[0] * 1.2)
+        assert car.height == pytest.approx(base[2] * 1.2)
+
+    def test_invalid_jitter_raises(self):
+        with pytest.raises(ValueError):
+            make_car(jitter=0.0)
+
+    def test_velocity_components(self):
+        obj = make_car(heading=math.pi / 2, speed=5.0)
+        vx, vy = obj.velocity
+        assert vx == pytest.approx(0.0, abs=1e-12)
+        assert vy == pytest.approx(5.0)
+
+    def test_footprint_corner_count_and_center(self):
+        car = make_car(x=10, y=20, heading=0.3)
+        corners = car.footprint_corners()
+        assert len(corners) == 4
+        cx = sum(c[0] for c in corners) / 4
+        cy = sum(c[1] for c in corners) / 4
+        assert cx == pytest.approx(10)
+        assert cy == pytest.approx(20)
+
+    def test_footprint_rotates_with_heading(self):
+        straight = make_car(heading=0.0).footprint_corners()
+        rotated = make_car(heading=math.pi / 2).footprint_corners()
+        xs_s = [c[0] for c in straight]
+        xs_r = [c[0] for c in rotated]
+        # Heading 0: length along x; heading pi/2: width along x.
+        assert max(xs_s) - min(xs_s) == pytest.approx(make_car().length)
+        assert max(xs_r) - min(xs_r) == pytest.approx(make_car().width)
+
+    def test_corners_3d_has_two_layers(self):
+        car = make_car()
+        corners = car.corners_3d()
+        assert len(corners) == 8
+        zs = sorted({c[2] for c in corners})
+        assert zs == [0.0, car.height]
+
+    def test_distance_to(self):
+        assert make_car(x=3, y=4).distance_to(0, 0) == pytest.approx(5.0)
+
+    def test_all_classes_have_dimensions_and_speeds(self):
+        for cls in ObjectClass:
+            assert cls in CLASS_DIMENSIONS
+            lo, hi = CLASS_SPEED_RANGES[cls]
+            assert 0 < lo <= hi
+
+    def test_pedestrian_smaller_than_bus(self):
+        ped = CLASS_DIMENSIONS[ObjectClass.PEDESTRIAN]
+        bus = CLASS_DIMENSIONS[ObjectClass.BUS]
+        assert ped[0] < bus[0] and ped[1] < bus[1]

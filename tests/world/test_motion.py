@@ -1,0 +1,147 @@
+"""Tests for routes, traffic lights and longitudinal motion rules."""
+
+import math
+
+import pytest
+
+from repro.world.motion import (
+    MotionParams,
+    Route,
+    TrafficLight,
+    advance_speed,
+    gap_limited_speed,
+    light_limited_speed,
+)
+
+
+class TestRoute:
+    def test_length_of_polyline(self):
+        route = Route(0, ((0, 0), (3, 4), (3, 10)))
+        assert route.length == pytest.approx(5 + 6)
+
+    def test_pose_at_start_and_end(self):
+        route = Route(0, ((0, 0), (10, 0)))
+        assert route.point_at(0) == pytest.approx((0, 0))
+        assert route.point_at(10) == pytest.approx((10, 0))
+
+    def test_pose_clamps_beyond_ends(self):
+        route = Route(0, ((0, 0), (10, 0)))
+        assert route.point_at(-5) == pytest.approx((0, 0))
+        assert route.point_at(50) == pytest.approx((10, 0))
+
+    def test_heading_follows_segments(self):
+        route = Route(0, ((0, 0), (10, 0), (10, 10)))
+        _, _, h1 = route.pose_at(5)
+        _, _, h2 = route.pose_at(15)
+        assert h1 == pytest.approx(0.0)
+        assert h2 == pytest.approx(math.pi / 2)
+
+    def test_midpoint_interpolation(self):
+        route = Route(0, ((0, 0), (10, 0)))
+        assert route.point_at(2.5) == pytest.approx((2.5, 0))
+
+    def test_too_few_waypoints_raise(self):
+        with pytest.raises(ValueError):
+            Route(0, ((0, 0),))
+
+    def test_zero_length_segment_raises(self):
+        with pytest.raises(ValueError):
+            Route(0, ((0, 0), (0, 0), (1, 1)))
+
+
+class TestTrafficLight:
+    def light(self):
+        return TrafficLight(
+            stop_positions={0: 50.0, 1: 50.0},
+            green_routes=[frozenset({0}), frozenset({1})],
+            phase_duration=10.0,
+        )
+
+    def test_phase_cycling(self):
+        light = self.light()
+        assert light.phase_at(0.0) == 0
+        assert light.phase_at(10.0) == 1
+        assert light.phase_at(20.0) == 0
+
+    def test_is_green_by_phase(self):
+        light = self.light()
+        assert light.is_green(0, 5.0)
+        assert not light.is_green(1, 5.0)
+        assert light.is_green(1, 15.0)
+
+    def test_ungoverned_route_always_green(self):
+        assert self.light().is_green(99, 5.0)
+
+    def test_offset_shifts_phase(self):
+        light = TrafficLight(
+            stop_positions={0: 10.0},
+            green_routes=[frozenset({0}), frozenset()],
+            phase_duration=10.0,
+            offset=10.0,
+        )
+        assert light.phase_at(0.0) == 1
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            TrafficLight(stop_positions={}, green_routes=[])
+        with pytest.raises(ValueError):
+            TrafficLight(
+                stop_positions={}, green_routes=[frozenset()], phase_duration=0
+            )
+
+
+class TestSpeedRules:
+    def params(self):
+        return MotionParams(max_accel=2.0, max_decel=4.0, min_gap=2.0)
+
+    def test_advance_speed_accel_limited(self):
+        assert advance_speed(0.0, 10.0, 1.0, self.params()) == pytest.approx(2.0)
+
+    def test_advance_speed_decel_limited(self):
+        assert advance_speed(10.0, 0.0, 1.0, self.params()) == pytest.approx(6.0)
+
+    def test_advance_speed_reaches_target(self):
+        assert advance_speed(9.9, 10.0, 1.0, self.params()) == pytest.approx(10.0)
+
+    def test_gap_free_road(self):
+        v = gap_limited_speed(0.0, 2.0, None, 0.0, 12.0, 0.1, self.params())
+        assert v == 12.0
+
+    def test_gap_blocked_by_leader(self):
+        # Leader rear at 10 - 2 = 8; my front at 0 + 2 = 2; gap 8-2-2=4.
+        v = gap_limited_speed(0.0, 2.0, 10.0, 2.0, 50.0, 1.0, self.params())
+        assert v == pytest.approx(4.0)
+
+    def test_gap_zero_when_bumper_to_bumper(self):
+        v = gap_limited_speed(0.0, 2.0, 5.0, 2.0, 50.0, 1.0, self.params())
+        assert v == 0.0
+
+    def test_light_green_no_limit(self):
+        light = TrafficLight(
+            stop_positions={0: 50.0}, green_routes=[frozenset({0})]
+        )
+        v = light_limited_speed(0.0, 10.0, light, 0, 0.0, 0.1, self.params())
+        assert v == 10.0
+
+    def test_light_red_stops_at_line(self):
+        light = TrafficLight(
+            stop_positions={0: 50.0},
+            green_routes=[frozenset(), frozenset({0})],
+            phase_duration=10.0,
+        )
+        # At t=5 phase 0 is active: route 0 is red.
+        v = light_limited_speed(48.5, 10.0, light, 0, 5.0, 1.0, self.params())
+        assert v <= 0.6  # nearly at the stop line (tolerance 1.0)
+
+    def test_light_red_but_past_line_clears(self):
+        light = TrafficLight(
+            stop_positions={0: 50.0},
+            green_routes=[frozenset(), frozenset({0})],
+            phase_duration=10.0,
+        )
+        v = light_limited_speed(55.0, 10.0, light, 0, 5.0, 1.0, self.params())
+        assert v == 10.0
+
+    def test_no_light_no_limit(self):
+        v = light_limited_speed(0.0, 9.0, None, 0, 0.0, 0.1, self.params())
+        assert v == 9.0

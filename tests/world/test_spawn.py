@@ -1,0 +1,115 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.world.entities import ObjectClass
+from repro.world.motion import Route
+from repro.world.spawn import SpawnSpec, Spawner, rush_hour_modulator
+
+
+def simple_route():
+    return Route(0, ((0, 0), (100, 0)))
+
+
+def never_blocked(route, clearance):
+    return False
+
+
+class TestSpawnSpec:
+    def test_class_mix_normalized(self):
+        spec = SpawnSpec(
+            simple_route(), 1.0,
+            class_mix={ObjectClass.CAR: 2.0, ObjectClass.BUS: 2.0},
+        )
+        assert spec.class_mix[ObjectClass.CAR] == pytest.approx(0.5)
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            SpawnSpec(simple_route(), -0.1)
+
+    def test_zero_weight_mix_raises(self):
+        with pytest.raises(ValueError):
+            SpawnSpec(simple_route(), 1.0, class_mix={ObjectClass.CAR: 0.0})
+
+    def test_rate_modulation(self):
+        spec = SpawnSpec(
+            simple_route(), 1.0, rate_modulator=lambda t: 0.5 if t < 10 else 2.0
+        )
+        assert spec.rate_at(5.0) == pytest.approx(0.5)
+        assert spec.rate_at(15.0) == pytest.approx(2.0)
+
+    def test_rate_never_negative(self):
+        spec = SpawnSpec(simple_route(), 1.0, rate_modulator=lambda t: -5.0)
+        assert spec.rate_at(0.0) == 0.0
+
+
+class TestSpawner:
+    def test_poisson_rate_statistics(self):
+        spec = SpawnSpec(simple_route(), rate_per_s=2.0)
+        spawner = Spawner([spec], np.random.default_rng(0))
+        born = []
+        for step in range(1000):
+            born.extend(spawner.spawn_step(step * 0.1, 0.1, never_blocked))
+        # E[arrivals] = 2.0/s * 100 s = 200
+        assert 150 < len(born) < 250
+
+    def test_unique_increasing_ids(self):
+        spec = SpawnSpec(simple_route(), rate_per_s=5.0)
+        spawner = Spawner([spec], np.random.default_rng(1))
+        born = []
+        for step in range(100):
+            born.extend(spawner.spawn_step(step * 0.1, 0.1, never_blocked))
+        ids = [o.object_id for o in born]
+        assert len(set(ids)) == len(ids)
+        assert ids == sorted(ids)
+
+    def test_blocked_entrance_suppresses(self):
+        spec = SpawnSpec(simple_route(), rate_per_s=10.0)
+        spawner = Spawner([spec], np.random.default_rng(2))
+        born = spawner.spawn_step(0.0, 1.0, lambda r, c: True)
+        assert born == []
+
+    def test_spawned_objects_at_route_start(self):
+        spec = SpawnSpec(simple_route(), rate_per_s=10.0)
+        spawner = Spawner([spec], np.random.default_rng(3))
+        born = spawner.spawn_step(0.0, 1.0, never_blocked)
+        assert born  # rate 10/s in 1 s: overwhelmingly likely
+        for obj in born:
+            assert (obj.x, obj.y) == (0.0, 0.0)
+            assert obj.route_id == 0
+            assert "cruise_speed" in obj.attributes
+
+    def test_class_mix_respected(self):
+        spec = SpawnSpec(
+            simple_route(), rate_per_s=20.0,
+            class_mix={ObjectClass.PEDESTRIAN: 1.0},
+        )
+        spawner = Spawner([spec], np.random.default_rng(4))
+        born = spawner.spawn_step(0.0, 2.0, never_blocked)
+        assert born and all(
+            o.object_class is ObjectClass.PEDESTRIAN for o in born
+        )
+
+    def test_invalid_dt_raises(self):
+        spawner = Spawner([], np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            spawner.spawn_step(0.0, 0.0, never_blocked)
+
+
+class TestRushHourModulator:
+    def test_bounds(self):
+        mod = rush_hour_modulator(period_s=100, low=0.2, high=1.8)
+        values = [mod(t) for t in np.linspace(0, 200, 500)]
+        assert min(values) >= 0.2 - 1e-9
+        assert max(values) <= 1.8 + 1e-9
+
+    def test_periodicity(self):
+        mod = rush_hour_modulator(period_s=60)
+        assert mod(10.0) == pytest.approx(mod(70.0))
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            rush_hour_modulator(period_s=0)
+        with pytest.raises(ValueError):
+            rush_hour_modulator(low=2.0, high=1.0)
