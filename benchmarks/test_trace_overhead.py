@@ -1,0 +1,97 @@
+"""Overhead budget for the tracing layer (acceptance criterion: <5%).
+
+Two measurements back the claim that instrumentation is free when off:
+
+* the shared no-op span costs so little that even the full span count of a
+  traced golden run adds under 5% to the untraced wall time;
+* an actually traced run stays within a small constant factor of the
+  untraced one (tracing *enabled* is allowed to cost, but not explode).
+"""
+
+import time
+
+import pytest
+
+from repro.obs.trace import NOOP_TRACER, Tracer
+from repro.runtime.pipeline import run_policy
+from repro.scenarios.aic21 import get_scenario
+
+from conftest import bench_config
+
+N_NOOP_ITER = 100_000
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _spin(tracer, iterations=N_NOOP_ITER):
+    for _ in range(iterations):
+        with tracer.span("x"):
+            pass
+
+
+@pytest.mark.benchmark(group="obs")
+def test_disabled_tracing_within_overhead_budget(benchmark, trained_by_scenario):
+    """per-noop-span cost x spans-per-run < 5% of the untraced wall time."""
+    scenario = get_scenario("S1", seed=0)
+    trained = trained_by_scenario["S1"]
+
+    untraced_cfg = bench_config("balb")
+    untraced_wall = _best_of(
+        lambda: run_policy(scenario, "balb", untraced_cfg, trained)
+    )
+
+    traced_cfg = bench_config("balb", trace=True)
+    n_spans = len(run_policy(scenario, "balb", traced_cfg, trained).spans)
+    assert n_spans > 0
+
+    benchmark(_spin, NOOP_TRACER)
+    per_span = _best_of(lambda: _spin(NOOP_TRACER)) / N_NOOP_ITER
+
+    budget = 0.05 * untraced_wall
+    spent = per_span * n_spans
+    print(
+        f"\nnoop span: {per_span * 1e9:.0f} ns; {n_spans} spans/run -> "
+        f"{spent * 1e3:.3f} ms of {budget * 1e3:.3f} ms budget "
+        f"(untraced run {untraced_wall * 1e3:.1f} ms)"
+    )
+    assert spent < budget
+
+
+@pytest.mark.benchmark(group="obs")
+def test_enabled_tracing_stays_cheap(benchmark, trained_by_scenario):
+    """A fully traced run is within a small factor of the untraced one."""
+    scenario = get_scenario("S1", seed=0)
+    trained = trained_by_scenario["S1"]
+
+    untraced_cfg = bench_config("balb")
+    traced_cfg = bench_config("balb", trace=True)
+
+    untraced = _best_of(
+        lambda: run_policy(scenario, "balb", untraced_cfg, trained)
+    )
+    result = benchmark(
+        lambda: run_policy(scenario, "balb", traced_cfg, trained)
+    )
+    traced = _best_of(
+        lambda: run_policy(scenario, "balb", traced_cfg, trained)
+    )
+    print(
+        f"\nuntraced {untraced * 1e3:.1f} ms, traced {traced * 1e3:.1f} ms "
+        f"({traced / untraced:.2f}x, {len(result.spans)} spans)"
+    )
+    assert traced < untraced * 1.5
+
+
+@pytest.mark.benchmark(group="obs")
+def test_live_span_microcost(benchmark):
+    """Cost of one *recording* span, for the docs' overhead table."""
+    tracer = Tracer()
+    benchmark(_spin, tracer, 10_000)
+    assert len(tracer.records) >= 10_000

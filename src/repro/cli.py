@@ -18,6 +18,12 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.report import format_table
+from repro.obs import (
+    format_metrics_table,
+    format_span_summary,
+    read_spans_jsonl,
+    write_spans_jsonl,
+)
 from repro.runtime.metrics import speedup_vs
 from repro.runtime.pipeline import (
     POLICIES,
@@ -43,7 +49,9 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         help="cameras per object (Section V extension)")
 
 
-def _config_from(args: argparse.Namespace, policy: str) -> PipelineConfig:
+def _config_from(
+    args: argparse.Namespace, policy: str, trace: bool = False
+) -> PipelineConfig:
     return PipelineConfig(
         policy=policy,
         horizon=args.horizon,
@@ -53,13 +61,14 @@ def _config_from(args: argparse.Namespace, policy: str) -> PipelineConfig:
         seed=args.seed,
         occlusion=args.occlusion,
         redundancy=args.redundancy,
+        trace=trace,
     )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one policy on one scenario and print its metrics."""
     scenario = get_scenario(args.scenario, seed=args.seed)
-    config = _config_from(args, args.policy)
+    config = _config_from(args, args.policy, trace=bool(args.trace))
     print(f"Scenario {scenario.name}: {scenario.description}")
     trained = train_models(scenario, config)
     result = run_policy(scenario, args.policy, config, trained)
@@ -81,6 +90,60 @@ def cmd_run(args: argparse.Namespace) -> int:
             title="per-camera latency",
         )
     )
+    if args.trace:
+        write_spans_jsonl(result.spans, args.trace)
+        print(f"\nwrote {len(result.spans)} spans to {args.trace}")
+        print(format_span_summary(result.spans, title="measured spans"))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a trace: from a JSONL file, or from a fresh traced run."""
+    if args.input:
+        try:
+            spans = read_spans_jsonl(args.input)
+        except FileNotFoundError:
+            print(f"error: no such trace file: {args.input}", file=sys.stderr)
+            return 1
+        print(format_span_summary(spans, title=f"trace {args.input}"))
+        return 0
+
+    scenario = get_scenario(args.scenario, seed=args.seed)
+    config = _config_from(args, args.policy, trace=True)
+    print(f"Scenario {scenario.name}: {scenario.description}")
+    trained = train_models(scenario, config)
+    result = run_policy(scenario, args.policy, config, trained)
+    if args.out:
+        write_spans_jsonl(result.spans, args.out)
+        print(f"wrote {len(result.spans)} spans to {args.out}")
+    print(
+        format_span_summary(
+            result.spans,
+            title=f"measured spans ({result.policy} on {scenario.name})",
+        )
+    )
+    measured = result.measured_stage_breakdown()
+    modeled = result.overhead_breakdown()
+    print(
+        format_table(
+            ["stage", "measured wall ms/frame", "modeled ms/frame"],
+            [
+                (
+                    stage,
+                    round(measured.get(stage, 0.0), 3),
+                    round(
+                        modeled.get(
+                            "total" if stage == "frame" else stage, 0.0
+                        ),
+                        3,
+                    ),
+                )
+                for stage in ("central", "distributed", "frame")
+            ],
+            title="measured vs modeled per-frame breakdown",
+        )
+    )
+    print(format_metrics_table(result.metrics, title="run metrics"))
     return 0
 
 
@@ -188,7 +251,26 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one policy on one scenario")
     _add_run_options(run_parser)
     run_parser.add_argument("--policy", default="balb", choices=POLICIES)
+    run_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="collect a span trace and write it to PATH as JSON lines",
+    )
     run_parser.set_defaults(func=cmd_run)
+
+    trace_parser = sub.add_parser(
+        "trace", help="run one traced scenario (or summarize a JSONL trace)"
+    )
+    _add_run_options(trace_parser)
+    trace_parser.add_argument("--policy", default="balb", choices=POLICIES)
+    trace_parser.add_argument(
+        "--input", default=None, metavar="PATH",
+        help="summarize an existing JSONL trace instead of running",
+    )
+    trace_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the collected trace to PATH as JSON lines",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
 
     compare_parser = sub.add_parser(
         "compare", help="run several policies with shared models"

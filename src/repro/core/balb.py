@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.problem import Assignment, MVSInstance, SchedObject
+from repro.obs.trace import get_tracer
 
 
 @dataclass
@@ -82,6 +83,22 @@ def balb_central(
     benches: disabling them falls back to min-latency placement and
     arbitrary object order respectively.
     """
+    with get_tracer().span(
+        "balb.central",
+        n_objects=len(instance.objects),
+        n_cameras=len(instance.camera_ids),
+    ):
+        return _balb_central(
+            instance, include_full_frame, batch_aware, coverage_ordered
+        )
+
+
+def _balb_central(
+    instance: MVSInstance,
+    include_full_frame: bool,
+    batch_aware: bool,
+    coverage_ordered: bool,
+) -> BALBResult:
     latencies: Dict[int, float] = {
         cam: (instance.profiles[cam].t_full if include_full_frame else 0.0)
         for cam in instance.camera_ids

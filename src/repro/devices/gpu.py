@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.devices.latency import LatencyModel
+from repro.obs.trace import get_tracer
 
 
 @dataclass(frozen=True)
@@ -64,27 +65,30 @@ class GPUExecutor:
 
     def execute(self, plan: Sequence[Batch]) -> ExecutionRecord:
         """Execute the batches sequentially; returns latencies and total."""
-        latencies: List[float] = []
-        images = 0
-        for batch in plan:
-            limit = self.model.batch_limit(batch.size)
-            if batch.count > limit:
-                raise ValueError(
-                    f"batch of {batch.count} images at size {batch.size} "
-                    f"exceeds the device batch limit {limit}"
-                )
-            true_ms = self.model.latency(batch.size, batch.count)
-            latencies.append(self._jitter(true_ms))
-            images += batch.count
-        return ExecutionRecord(
-            batch_latencies_ms=tuple(latencies),
-            total_ms=float(sum(latencies)),
-            n_images=images,
-        )
+        with get_tracer().span("gpu.execute", n_batches=len(plan)) as span:
+            latencies: List[float] = []
+            images = 0
+            for batch in plan:
+                limit = self.model.batch_limit(batch.size)
+                if batch.count > limit:
+                    raise ValueError(
+                        f"batch of {batch.count} images at size {batch.size} "
+                        f"exceeds the device batch limit {limit}"
+                    )
+                true_ms = self.model.latency(batch.size, batch.count)
+                latencies.append(self._jitter(true_ms))
+                images += batch.count
+            span.set_tag("n_images", images)
+            return ExecutionRecord(
+                batch_latencies_ms=tuple(latencies),
+                total_ms=float(sum(latencies)),
+                n_images=images,
+            )
 
     def execute_full_frame(self) -> float:
         """Run one full-frame inference; returns elapsed ms."""
-        return self._jitter(self.model.full_frame_latency())
+        with get_tracer().span("gpu.full_frame"):
+            return self._jitter(self.model.full_frame_latency())
 
     def _jitter(self, true_ms: float) -> float:
         if self.jitter_std_fraction == 0.0:

@@ -66,18 +66,44 @@ def run_figure13(
     scenarios: Tuple[str, ...] = ("S1", "S2", "S3"),
     config: Optional[PipelineConfig] = None,
     seed: int = 0,
+    traced: bool = False,
 ) -> str:
-    """Regenerate Figure 13 (+ headline speedups) as text tables."""
+    """Regenerate Figure 13 (+ headline speedups) as text tables.
+
+    ``traced`` runs every policy with span tracing enabled and adds a
+    *measured wall ms* column — observed Python wall-clock per frame —
+    next to the modeled inference latency.
+    """
     all_rows: List[LatencyRow] = []
     summaries: List[SpeedupSummary] = []
+    measured: Dict[Tuple[str, str], float] = {}
+    if traced:
+        # Mirror run_policies' default config, with tracing switched on.
+        base = config or PipelineConfig(
+            policy="balb", n_horizons=40, train_duration_s=120.0,
+            warmup_s=30.0, seed=seed,
+        )
+        config = PipelineConfig(**{**base.__dict__, "trace": True})
     for name in scenarios:
         runs = run_policies(name, policies=LATENCY_POLICIES, config=config, seed=seed)
         all_rows.extend(latency_rows(runs))
         summaries.append(speedup_summary(runs))
+        if traced:
+            for policy, result in runs.items():
+                stage = result.measured_stage_breakdown()
+                measured[(name, policy)] = stage.get("frame", 0.0)
+    headers = ["scenario", "policy", "slowest-cam ms", "speedup vs full"]
+    if traced:
+        headers.append("measured wall ms")
     table1 = format_table(
-        ["scenario", "policy", "slowest-cam ms", "speedup vs full"],
+        headers,
         [
             (r.scenario, r.policy, round(r.slowest_camera_ms, 1), r.speedup_vs_full)
+            + (
+                (round(measured.get((r.scenario, r.policy), 0.0), 3),)
+                if traced
+                else ()
+            )
             for r in all_rows
         ],
         title="Figure 13: per-frame inference latency",

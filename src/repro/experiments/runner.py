@@ -11,6 +11,8 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.obs import MetricsRegistry, format_metrics_table
+
 from repro.experiments.ablations import run_ablations
 from repro.experiments.extensions import run_extensions
 from repro.experiments.fig2_workload import workload_trace
@@ -40,7 +42,13 @@ def run_figure2_text(seed: int = 0) -> str:
 
 
 def run_all(seed: int = 0, out_path: Optional[str] = None) -> str:
-    """Run every experiment; returns (and optionally writes) the report."""
+    """Run every experiment; returns (and optionally writes) the report.
+
+    Section wall-clock times are collected in a
+    :class:`~repro.obs.registry.MetricsRegistry` and appended as a final
+    TIMINGS section, so a slow harness shows up in the report itself.
+    """
+    registry = MetricsRegistry()
     sections: List[str] = []
     for name, fn in [
         ("FIG2", lambda: run_figure2_text(seed)),
@@ -56,7 +64,13 @@ def run_all(seed: int = 0, out_path: Optional[str] = None) -> str:
         start = time.perf_counter()
         body = fn()
         elapsed = time.perf_counter() - start
+        registry.gauge("experiment_wall_s", section=name).set(elapsed)
+        registry.counter("experiments_total").inc()
         sections.append(f"== {name} ({elapsed:.1f}s) ==\n{body}")
+    sections.append(
+        "== TIMINGS ==\n"
+        + format_metrics_table(registry, title="harness wall-clock")
+    )
     report = "\n\n".join(sections)
     if out_path:
         with open(out_path, "w") as f:

@@ -25,6 +25,8 @@ class OverheadRow:
     tracking_ms: float
     distributed_ms: float
     batching_ms: float
+    #: Observed wall-clock per frame by stage (only for traced runs).
+    measured_ms: Optional[Dict[str, float]] = None
 
     @property
     def total_ms(self) -> float:
@@ -40,13 +42,20 @@ def measure_overheads(
     scenario_name: str,
     config: Optional[PipelineConfig] = None,
     seed: int = 0,
+    traced: bool = False,
 ) -> OverheadRow:
-    """Run BALB on one scenario and extract the Table II row."""
+    """Run BALB on one scenario and extract the Table II row.
+
+    With ``traced`` the run collects a span trace, and the row carries the
+    *measured* per-frame wall-clock breakdown next to the modeled one.
+    """
     scenario = get_scenario(scenario_name, seed=seed)
     config = config or PipelineConfig(
         policy="balb", n_horizons=30, train_duration_s=120.0, warmup_s=30.0,
         seed=seed,
     )
+    if traced and not config.trace:
+        config = PipelineConfig(**{**config.__dict__, "trace": True})
     trained = train_models(scenario, config)
     result = run_policy(scenario, "balb", config, trained)
     breakdown = result.overhead_breakdown()
@@ -56,6 +65,7 @@ def measure_overheads(
         tracking_ms=breakdown.get("tracking", 0.0),
         distributed_ms=breakdown.get("distributed", 0.0),
         batching_ms=breakdown.get("batching", 0.0),
+        measured_ms=result.measured_stage_breakdown() if traced else None,
     )
 
 
@@ -63,12 +73,19 @@ def run_table2(
     scenarios: Tuple[str, ...] = ("S1", "S2", "S3"),
     config: Optional[PipelineConfig] = None,
     seed: int = 0,
+    traced: bool = False,
 ) -> str:
-    """Regenerate Table II as a text table."""
+    """Regenerate Table II as a text table.
+
+    ``traced`` appends a second table with the measured wall-clock
+    per-frame stage times observed by the tracing subsystem, so modeled
+    overheads can be sanity-checked against real Python runtime.
+    """
     rows: List[OverheadRow] = [
-        measure_overheads(name, config=config, seed=seed) for name in scenarios
+        measure_overheads(name, config=config, seed=seed, traced=traced)
+        for name in scenarios
     ]
-    return format_table(
+    table = format_table(
         ["scenario", "central", "tracking", "distributed", "batching", "total"],
         [
             (
@@ -83,3 +100,18 @@ def run_table2(
         ],
         title="Table II: per-frame latency overhead breakdown (ms)",
     )
+    if traced:
+        table += "\n\n" + format_table(
+            ["scenario", "central", "distributed", "frame"],
+            [
+                (
+                    r.scenario,
+                    round((r.measured_ms or {}).get("central", 0.0), 3),
+                    round((r.measured_ms or {}).get("distributed", 0.0), 3),
+                    round((r.measured_ms or {}).get("frame", 0.0), 3),
+                )
+                for r in rows
+            ],
+            title="Measured wall-clock per frame (ms, traced run)",
+        )
+    return table

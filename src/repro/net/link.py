@@ -13,6 +13,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
+
 
 @dataclass(frozen=True)
 class LinkSpec:
@@ -78,4 +80,9 @@ class DuplexChannel:
 
     def round_trip_ms(self, up_bytes: int, down_bytes: int) -> float:
         """Upload + download latency for one request/response exchange."""
-        return self.up.transfer_ms(up_bytes) + self.down.transfer_ms(down_bytes)
+        with get_tracer().span(
+            "net.round_trip", up_bytes=up_bytes, down_bytes=down_bytes
+        ):
+            return self.up.transfer_ms(up_bytes) + self.down.transfer_ms(
+                down_bytes
+            )

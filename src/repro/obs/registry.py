@@ -1,0 +1,183 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+Instruments are identified by a name plus sorted label pairs, so the same
+logical metric with different labels (e.g. ``inference_ms{camera=3}``)
+yields distinct series. Export order is deterministic — sorted by kind,
+name and labels — which is what lets tests assert on registry snapshots
+and lets two seeded runs produce byte-identical counter exports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+
+class Histogram:
+    """Streaming distribution summary (keeps all observations)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._values))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class MetricsRegistry:
+    """Holds all instruments of one scope (a run, or the process default).
+
+    ``counter``/``gauge``/``histogram`` create on first use and return the
+    same instrument for the same name + labels afterwards. Using one name
+    for two different kinds is an error.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Any] = {}
+
+    def _get(self, cls: type, name: str, labels: Dict[str, Any]) -> Any:
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, key[1])
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Deterministically ordered snapshot of every instrument."""
+        out: List[Dict[str, Any]] = []
+        for (name, labels), inst in sorted(
+            self._instruments.items(),
+            key=lambda kv: (kv[1].kind, kv[0][0], repr(kv[0][1])),
+        ):
+            entry: Dict[str, Any] = {
+                "kind": inst.kind,
+                "name": name,
+                "labels": {k: v for k, v in labels},
+            }
+            entry.update(inst.snapshot())
+            out.append(entry)
+        return out
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (per-run code should prefer a
+    fresh :class:`MetricsRegistry` so runs do not contaminate each other).
+    """
+    return _DEFAULT_REGISTRY

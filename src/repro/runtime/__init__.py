@@ -25,10 +25,15 @@ from repro.runtime.policies import (
     StaticPartitioningPolicy,
     TrackView,
 )
+from repro.obs.trace import SpanRecord, Tracer, get_tracer, use_tracer
 from repro.runtime.scheduler_node import CentralScheduler, ScheduleDecision
 from repro.runtime.synchronization import SkewModel, WorldHistory
 
 __all__ = [
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "use_tracer",
     "CameraNode",
     "NodeTrack",
     "TrackStatus",

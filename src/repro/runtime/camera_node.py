@@ -23,6 +23,7 @@ from repro.devices.latency import LatencyModel
 from repro.devices.profiler import DeviceProfile
 from repro.geometry.box import BBox, quantize_size
 from repro.ml.hungarian import hungarian
+from repro.obs.trace import get_tracer
 from repro.runtime.overhead import OverheadModel
 from repro.runtime.policies import RegularFramePolicy, TrackView
 from repro.vision.detector import Detection, DetectorErrorModel, SimulatedDetector
@@ -117,32 +118,39 @@ class CameraNode:
         ``miss_multipliers`` (per ground-truth object id) scale detection
         miss probabilities — the occlusion model's hook.
         """
+        tracer = get_tracer()
         inference_ms = self.executor.execute_full_frame()
-        detections = self.detector.detect_full_frame(objects, miss_multipliers)
+        with tracer.span("camera.detect"):
+            detections = self.detector.detect_full_frame(
+                objects, miss_multipliers
+            )
 
-        predicted: Dict[int, BBox] = {}
-        for tid, track in self.tracks.items():
-            box = self.flow.predict(tid)
-            predicted[tid] = box if box is not None else track.bbox
+        with tracer.span("camera.track_refresh"):
+            predicted: Dict[int, BBox] = {}
+            for tid, track in self.tracks.items():
+                box = self.flow.predict(tid)
+                predicted[tid] = box if box is not None else track.bbox
 
-        matched, unmatched_dets = self._match_detections(predicted, detections)
-        survivors: Dict[int, NodeTrack] = {}
-        for tid, det in matched:
-            track = self.tracks[tid]
-            track.bbox = det.bbox
-            track.last_gt_id = det.gt_object_id
-            track.misses = 0
-            survivors[tid] = track
-            self.flow.observe(tid, det.bbox)
-        # Full-frame inspection is authoritative: unseen tracks are gone.
-        for tid in list(self.tracks):
-            if tid not in survivors:
-                self.flow.drop(tid)
-        for det in unmatched_dets:
-            track = self._new_track(det)
-            survivors[track.track_id] = track
-        self.tracks = survivors
-        self.book.reset()
+            matched, unmatched_dets = self._match_detections(
+                predicted, detections
+            )
+            survivors: Dict[int, NodeTrack] = {}
+            for tid, det in matched:
+                track = self.tracks[tid]
+                track.bbox = det.bbox
+                track.last_gt_id = det.gt_object_id
+                track.misses = 0
+                survivors[tid] = track
+                self.flow.observe(tid, det.bbox)
+            # Full-frame inspection is authoritative: unseen tracks are gone.
+            for tid in list(self.tracks):
+                if tid not in survivors:
+                    self.flow.drop(tid)
+            for det in unmatched_dets:
+                track = self._new_track(det)
+                survivors[track.track_id] = track
+            self.tracks = survivors
+            self.book.reset()
 
         report = [
             (tid, t.bbox, t.last_gt_id) for tid, t in sorted(self.tracks.items())
@@ -190,102 +198,110 @@ class CameraNode:
         miss_multipliers: Optional[Dict[int, float]] = None,
     ) -> RegularFrameOutcome:
         """One regular-frame iteration under ``policy``."""
+        tracer = get_tracer()
         # 1. Flow-predict every known track (assigned and shadow alike;
         #    optical flow runs on the whole frame anyway).
-        predicted: Dict[int, BBox] = {}
-        for tid, track in list(self.tracks.items()):
-            box = self.flow.predict(tid)
-            if box is None:
-                box = track.bbox
-            track.bbox = box
-            if self._left_frame(box):
-                self._drop_track(tid)
-                continue
-            predicted[tid] = box
+        with tracer.span("camera.flow_predict"):
+            predicted: Dict[int, BBox] = {}
+            for tid, track in list(self.tracks.items()):
+                box = self.flow.predict(tid)
+                if box is None:
+                    box = track.bbox
+                track.bbox = box
+                if self._left_frame(box):
+                    self._drop_track(tid)
+                    continue
+                predicted[tid] = box
 
         # 2. Policy decides the inspection set; shadow tracks that the
         #    policy claims are takeovers.
-        inspect: List[int] = []
-        n_takeovers = 0
-        for tid in sorted(predicted):
-            track = self.tracks[tid]
-            view = TrackView(
-                track_id=tid,
-                bbox=track.bbox,
-                is_assigned=track.status is TrackStatus.ASSIGNED,
-                assigned_camera=track.assigned_camera,
-            )
-            if policy.inspect_track(view):
-                if track.status is TrackStatus.SHADOW:
-                    track.status = TrackStatus.ASSIGNED
-                    track.assigned_camera = self.camera.camera_id
-                    n_takeovers += 1
-                inspect.append(tid)
+        with tracer.span("camera.policy_select"):
+            inspect: List[int] = []
+            n_takeovers = 0
+            for tid in sorted(predicted):
+                track = self.tracks[tid]
+                view = TrackView(
+                    track_id=tid,
+                    bbox=track.bbox,
+                    is_assigned=track.status is TrackStatus.ASSIGNED,
+                    assigned_camera=track.assigned_camera,
+                )
+                if policy.inspect_track(view):
+                    if track.status is TrackStatus.SHADOW:
+                        track.status = TrackStatus.ASSIGNED
+                        track.assigned_camera = self.camera.camera_id
+                        n_takeovers += 1
+                    inspect.append(tid)
 
         # 3. New-region detection (flow finds unexplained moving pixels).
-        explained = list(predicted.values())
-        regions = find_new_regions(
-            self.camera,
-            objects,
-            explained,
-            self._rng,
-            noise=self.flow.noise,
-            dt=self.frame_dt,
-        )
-        new_slices: List[Slice] = []
-        for region in regions:
-            if not policy.allow_new_region(region):
-                continue
-            track = NodeTrack(track_id=self._alloc_tid(), bbox=region)
-            self.tracks[track.track_id] = track
-            size = quantize_size(region.long_side, self.book.size_set)
-            self.book.assign(track.track_id, region)
-            new_slices.append(
-                Slice(key=track.track_id, region=region, target_size=size)
+        with tracer.span("camera.new_regions"):
+            explained = list(predicted.values())
+            regions = find_new_regions(
+                self.camera,
+                objects,
+                explained,
+                self._rng,
+                noise=self.flow.noise,
+                dt=self.frame_dt,
             )
+            new_slices: List[Slice] = []
+            for region in regions:
+                if not policy.allow_new_region(region):
+                    continue
+                track = NodeTrack(track_id=self._alloc_tid(), bbox=region)
+                self.tracks[track.track_id] = track
+                size = quantize_size(region.long_side, self.book.size_set)
+                self.book.assign(track.track_id, region)
+                new_slices.append(
+                    Slice(key=track.track_id, region=region, target_size=size)
+                )
 
         # 4. Slice + batch + execute.
-        slices = build_slices(
-            {tid: predicted[tid] for tid in inspect},
-            self.book,
-            self.camera.frame_size,
-        )
-        slices.extend(new_slices)
-        counts: Dict[int, int] = {}
-        for s in slices:
-            counts[s.target_size] = counts.get(s.target_size, 0) + 1
-        plan = greedy_plan(counts, self.latency_model)
+        with tracer.span("camera.slice") as slice_span:
+            slices = build_slices(
+                {tid: predicted[tid] for tid in inspect},
+                self.book,
+                self.camera.frame_size,
+            )
+            slices.extend(new_slices)
+            counts: Dict[int, int] = {}
+            for s in slices:
+                counts[s.target_size] = counts.get(s.target_size, 0) + 1
+            plan = greedy_plan(counts, self.latency_model)
+            slice_span.set_tag("n_slices", len(slices))
         inference_ms = self.executor.execute(plan).total_ms if plan else 0.0
 
         # 5. Detect within the slices and refresh tracks.
-        detections = self.detector.detect_regions(
-            objects, [s.region for s in slices], miss_multipliers
-        )
-        inspected_boxes = {s.key: s.region for s in slices}
-        for tid in inspect:
-            inspected_boxes[tid] = predicted[tid]
-        matched, unmatched_dets = self._match_detections(
-            inspected_boxes, detections
-        )
-        matched_tids = set()
-        for tid, det in matched:
-            track = self.tracks.get(tid)
-            if track is None:
-                continue
-            track.bbox = det.bbox
-            track.last_gt_id = det.gt_object_id
-            track.misses = 0
-            matched_tids.add(tid)
-            self.flow.observe(tid, det.bbox)
-        # Inspected tracks with no detection accumulate misses.
-        for s in slices:
-            tid = s.key
-            if tid in matched_tids or tid not in self.tracks:
-                continue
-            track = self.tracks[tid]
-            track.misses += 1
-            if track.misses > self.max_misses:
-                self._drop_track(tid)
+        with tracer.span("camera.detect"):
+            detections = self.detector.detect_regions(
+                objects, [s.region for s in slices], miss_multipliers
+            )
+        with tracer.span("camera.track_refresh"):
+            inspected_boxes = {s.key: s.region for s in slices}
+            for tid in inspect:
+                inspected_boxes[tid] = predicted[tid]
+            matched, unmatched_dets = self._match_detections(
+                inspected_boxes, detections
+            )
+            matched_tids = set()
+            for tid, det in matched:
+                track = self.tracks.get(tid)
+                if track is None:
+                    continue
+                track.bbox = det.bbox
+                track.last_gt_id = det.gt_object_id
+                track.misses = 0
+                matched_tids.add(tid)
+                self.flow.observe(tid, det.bbox)
+            # Inspected tracks with no detection accumulate misses.
+            for s in slices:
+                tid = s.key
+                if tid in matched_tids or tid not in self.tracks:
+                    continue
+                track = self.tracks[tid]
+                track.misses += 1
+                if track.misses > self.max_misses:
+                    self._drop_track(tid)
 
         total_mpx = sum(b.size * b.size * b.count for b in plan) / 1e6
         return RegularFrameOutcome(

@@ -15,9 +15,11 @@ Implements the paper's evaluation metrics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import Any, Dict, FrozenSet, List, Optional
 
 import numpy as np
+
+from repro.obs.trace import SpanRecord
 
 
 @dataclass
@@ -49,6 +51,10 @@ class RunResult:
     scenario: str
     horizon: int
     frames: List[FrameRecord] = field(default_factory=list)
+    #: Measured span forest of the run (empty unless ``config.trace``).
+    spans: List[SpanRecord] = field(default_factory=list)
+    #: Deterministically ordered metrics-registry snapshot of the run.
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
 
     def add(self, record: FrameRecord) -> None:
         """Append one frame record to the run."""
@@ -106,6 +112,41 @@ class RunResult:
         }
         breakdown["total"] = float(sum(breakdown.values()))
         return breakdown
+
+    def span_totals(self) -> Dict[str, Dict[str, float]]:
+        """``{span_name: {count, total_ms, mean_ms}}`` over the trace."""
+        acc: Dict[str, List[float]] = {}
+        for span in self.spans:
+            acc.setdefault(span.name, []).append(span.duration_ms)
+        return {
+            name: {
+                "count": float(len(v)),
+                "total_ms": float(sum(v)),
+                "mean_ms": float(sum(v) / len(v)),
+            }
+            for name, v in acc.items()
+        }
+
+    def measured_stage_breakdown(self) -> Dict[str, float]:
+        """Mean *measured* wall-clock per frame by pipeline stage (ms).
+
+        The observed counterpart of :meth:`overhead_breakdown`, from the
+        span trace: central stage, distributed stage and the whole frame.
+        Empty when the run was not traced.
+        """
+        if not self.spans or not self.frames:
+            return {}
+        totals = self.span_totals()
+        n = len(self.frames)
+        out: Dict[str, float] = {}
+        for stage, span_name in (
+            ("central", "central_stage"),
+            ("distributed", "distributed_stage"),
+            ("frame", "frame"),
+        ):
+            if span_name in totals:
+                out[stage] = totals[span_name]["total_ms"] / n
+        return out
 
     def recall_over_time(self, window: int = 10) -> List[float]:
         """Windowed recall trace (diagnostics)."""

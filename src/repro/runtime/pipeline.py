@@ -13,6 +13,8 @@ Policies: ``full``, ``balb``, ``balb-cen``, ``balb-ind``, ``sp``.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -26,6 +28,8 @@ from repro.core.distributed import DistributedPolicy
 from repro.devices.profiler import DeviceProfile, profile_device
 from repro.devices.profiles import latency_model_for
 from repro.net.link import DuplexChannel
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer, get_tracer, use_tracer
 from repro.runtime.camera_node import CameraNode
 from repro.runtime.metrics import FrameRecord, RunResult
 from repro.runtime.overhead import OverheadModel
@@ -60,6 +64,7 @@ class PipelineConfig:
     occlusion: bool = False  # inter-object occlusion in the detector
     redundancy: int = 1  # cameras per object (Section V extension)
     max_camera_lag_frames: int = 0  # imperfect synchronization (Section V)
+    trace: bool = False  # collect a per-frame span trace into RunResult
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -150,7 +155,32 @@ class Pipeline:
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
-        """Execute the configured run and return its metrics."""
+        """Execute the configured run and return its metrics.
+
+        With ``config.trace`` the run activates a fresh
+        :class:`~repro.obs.trace.Tracer` and threads the finished span
+        forest into ``RunResult.spans``; otherwise whatever ambient tracer
+        is active (normally the zero-cost no-op tracer) is left in place.
+        A per-run metrics registry snapshot always lands in
+        ``RunResult.metrics``.
+        """
+        config = self.config
+        if config.trace:
+            tracer = Tracer()
+            activation = use_tracer(tracer)
+        else:
+            tracer = get_tracer()
+            activation = nullcontext()
+        registry = MetricsRegistry()
+        with activation:
+            result = self._run_frames(tracer, registry)
+        if config.trace:
+            result.spans = tracer.records
+        result.metrics = registry.export()
+        return result
+
+    def _run_frames(self, tracer, registry: MetricsRegistry) -> RunResult:
+        """The frame loop, instrumented against ``tracer``/``registry``."""
         config = self.config
         scenario = self.scenario
         dt = scenario.frame_interval
@@ -182,119 +212,164 @@ class Pipeline:
             )
             history = WorldHistory(depth=config.max_camera_lag_frames + 1)
 
-        for frame_idx in range(total_frames):
-            world.step(dt)
-            objects = world.objects
-            if history is not None:
-                history.push(objects)
-            lagged_objects = {
-                cam_id: (
-                    history.view(lag) if history is not None else objects
-                )
-                for cam_id, lag in camera_lags.items()
-            }
-            multipliers: Dict[int, Dict[int, float]] = {}
-            if occlusion is not None:
-                fractions_by_cam = {
-                    cam.camera_id: visible_fractions(cam, objects)
-                    for cam in rig
-                }
-                multipliers = {
-                    cam_id: {
-                        oid: occlusion.miss_multiplier(frac)
-                        for oid, frac in fractions.items()
-                    }
-                    for cam_id, fractions in fractions_by_cam.items()
-                }
-                visible_gt = frozenset(
-                    o.object_id
-                    for o in objects
-                    if any(
-                        occlusion.effectively_visible(
-                            fractions_by_cam[c].get(o.object_id, 0.0)
-                        )
-                        for c in fractions_by_cam
-                    )
-                )
-            else:
-                visible_gt = frozenset(
-                    o.object_id for o in objects if rig.coverage_set(o)
-                )
-            in_horizon = frame_idx % config.horizon
-            is_key = config.policy == "full" or in_horizon == 0
+        run_span = tracer.span(
+            "run",
+            policy=config.policy,
+            scenario=scenario.name,
+            horizon=config.horizon,
+        )
+        with run_span:
+            for frame_idx in range(total_frames):
+                in_horizon = frame_idx % config.horizon
+                is_key = config.policy == "full" or in_horizon == 0
+                frame_start = time.perf_counter()
 
-            inference: Dict[int, float] = {}
-            detected: set = set()
-            overheads: Dict[str, float] = {}
-            n_slices: Dict[int, int] = {}
+                with tracer.span("frame", frame=frame_idx, key=is_key):
+                    with tracer.span("sim.advance"):
+                        world.step(dt)
+                        objects = world.objects
+                        if history is not None:
+                            history.push(objects)
+                        lagged_objects = {
+                            cam_id: (
+                                history.view(lag)
+                                if history is not None
+                                else objects
+                            )
+                            for cam_id, lag in camera_lags.items()
+                        }
+                        multipliers: Dict[int, Dict[int, float]] = {}
+                        if occlusion is not None:
+                            fractions_by_cam = {
+                                cam.camera_id: visible_fractions(cam, objects)
+                                for cam in rig
+                            }
+                            multipliers = {
+                                cam_id: {
+                                    oid: occlusion.miss_multiplier(frac)
+                                    for oid, frac in fractions.items()
+                                }
+                                for cam_id, fractions in fractions_by_cam.items()
+                            }
+                            visible_gt = frozenset(
+                                o.object_id
+                                for o in objects
+                                if any(
+                                    occlusion.effectively_visible(
+                                        fractions_by_cam[c].get(
+                                            o.object_id, 0.0
+                                        )
+                                    )
+                                    for c in fractions_by_cam
+                                )
+                            )
+                        else:
+                            visible_gt = frozenset(
+                                o.object_id
+                                for o in objects
+                                if rig.coverage_set(o)
+                            )
 
-            if is_key:
-                reports = {}
-                tracking = []
-                for cam_id, node in nodes.items():
-                    outcome = node.process_key_frame(
-                        lagged_objects[cam_id], multipliers.get(cam_id)
-                    )
-                    inference[cam_id] = outcome.inference_ms
-                    detected.update(
-                        d.gt_object_id
-                        for d in outcome.detections
-                        if d.gt_object_id >= 0
-                    )
-                    reports[cam_id] = outcome.report
-                    tracking.append(outcome.tracking_ms)
-                overheads["tracking"] = max(tracking) if tracking else 0.0
-                if scheduler is not None:
-                    decision = scheduler.schedule(reports, frame_idx)
-                    for cam_id, node in nodes.items():
-                        node.apply_schedule(
-                            decision.assigned.get(cam_id, []),
-                            decision.shadows.get(cam_id, {}),
-                        )
-                    if config.policy in ("balb", "balb-cen"):
-                        policies = self._balb_policies(
-                            scheduler, decision.priority_order
-                        )
-                    central_amortized = (
-                        decision.central_ms + decision.comm_ms
-                    ) / config.horizon
-                overheads["central"] = central_amortized
-            else:
-                tracking, distributed, batching = [], [], []
-                for cam_id, node in nodes.items():
-                    outcome = node.process_regular_frame(
-                        lagged_objects[cam_id],
-                        policies[cam_id],
-                        multipliers.get(cam_id),
-                    )
-                    inference[cam_id] = outcome.inference_ms
-                    detected.update(
-                        d.gt_object_id
-                        for d in outcome.detections
-                        if d.gt_object_id >= 0
-                    )
-                    n_slices[cam_id] = outcome.n_slices
-                    tracking.append(outcome.tracking_ms)
-                    distributed.append(outcome.distributed_ms)
-                    batching.append(outcome.batching_ms)
-                overheads["tracking"] = max(tracking) if tracking else 0.0
-                overheads["distributed"] = (
-                    max(distributed) if distributed else 0.0
-                )
-                overheads["batching"] = max(batching) if batching else 0.0
-                overheads["central"] = central_amortized
+                    inference: Dict[int, float] = {}
+                    detected: set = set()
+                    overheads: Dict[str, float] = {}
+                    n_slices: Dict[int, int] = {}
 
-            result.add(
-                FrameRecord(
-                    frame_index=frame_idx,
-                    is_key_frame=is_key,
-                    inference_ms=inference,
-                    visible_gt=visible_gt,
-                    detected_gt=frozenset(detected),
-                    overheads_ms=overheads,
-                    n_slices=n_slices,
+                    if is_key:
+                        reports = {}
+                        tracking = []
+                        with tracer.span("central_stage"):
+                            for cam_id, node in nodes.items():
+                                with tracer.span(
+                                    "camera.key_frame", camera=cam_id
+                                ):
+                                    outcome = node.process_key_frame(
+                                        lagged_objects[cam_id],
+                                        multipliers.get(cam_id),
+                                    )
+                                inference[cam_id] = outcome.inference_ms
+                                detected.update(
+                                    d.gt_object_id
+                                    for d in outcome.detections
+                                    if d.gt_object_id >= 0
+                                )
+                                reports[cam_id] = outcome.report
+                                tracking.append(outcome.tracking_ms)
+                            overheads["tracking"] = (
+                                max(tracking) if tracking else 0.0
+                            )
+                            if scheduler is not None:
+                                decision = scheduler.schedule(
+                                    reports, frame_idx
+                                )
+                                for cam_id, node in nodes.items():
+                                    node.apply_schedule(
+                                        decision.assigned.get(cam_id, []),
+                                        decision.shadows.get(cam_id, {}),
+                                    )
+                                if config.policy in ("balb", "balb-cen"):
+                                    policies = self._balb_policies(
+                                        scheduler, decision.priority_order
+                                    )
+                                central_amortized = (
+                                    decision.central_ms + decision.comm_ms
+                                ) / config.horizon
+                        overheads["central"] = central_amortized
+                        registry.counter("key_frames_total").inc()
+                    else:
+                        tracking, distributed, batching = [], [], []
+                        with tracer.span("distributed_stage"):
+                            for cam_id, node in nodes.items():
+                                with tracer.span(
+                                    "camera.regular_frame", camera=cam_id
+                                ):
+                                    outcome = node.process_regular_frame(
+                                        lagged_objects[cam_id],
+                                        policies[cam_id],
+                                        multipliers.get(cam_id),
+                                    )
+                                inference[cam_id] = outcome.inference_ms
+                                detected.update(
+                                    d.gt_object_id
+                                    for d in outcome.detections
+                                    if d.gt_object_id >= 0
+                                )
+                                n_slices[cam_id] = outcome.n_slices
+                                tracking.append(outcome.tracking_ms)
+                                distributed.append(outcome.distributed_ms)
+                                batching.append(outcome.batching_ms)
+                        overheads["tracking"] = (
+                            max(tracking) if tracking else 0.0
+                        )
+                        overheads["distributed"] = (
+                            max(distributed) if distributed else 0.0
+                        )
+                        overheads["batching"] = max(batching) if batching else 0.0
+                        overheads["central"] = central_amortized
+                        registry.counter("regular_frames_total").inc()
+                        registry.counter("slices_total").inc(
+                            sum(n_slices.values())
+                        )
+
+                registry.counter("frames_total").inc()
+                registry.histogram("frame_wall_ms").observe(
+                    (time.perf_counter() - frame_start) * 1e3
                 )
-            )
+                for cam_id, ms in inference.items():
+                    registry.histogram("inference_ms", camera=cam_id).observe(
+                        ms
+                    )
+                result.add(
+                    FrameRecord(
+                        frame_index=frame_idx,
+                        is_key_frame=is_key,
+                        inference_ms=inference,
+                        visible_gt=visible_gt,
+                        detected_gt=frozenset(detected),
+                        overheads_ms=overheads,
+                        n_slices=n_slices,
+                    )
+                )
         return result
 
     # ------------------------------------------------------------------

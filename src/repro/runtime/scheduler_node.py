@@ -27,6 +27,7 @@ from repro.devices.profiler import DeviceProfile
 from repro.geometry.box import BBox, quantize_size
 from repro.net.link import DuplexChannel
 from repro.net.messages import AssignmentMessage, DetectionReport
+from repro.obs.trace import get_tracer
 from repro.runtime.overhead import OverheadModel
 
 ReportEntry = Tuple[int, BBox, int]  # (track_id, bbox, gt_id)
@@ -90,56 +91,73 @@ class CentralScheduler:
         self, reports: Dict[int, List[ReportEntry]], frame_index: int = 0
     ) -> ScheduleDecision:
         """One central-stage round over the key-frame reports."""
-        observations = {
-            cam: [
-                LocalObservation(camera_id=cam, track_id=tid, bbox=box, gt_id=gt)
-                for tid, box, gt in entries
-            ]
-            for cam, entries in reports.items()
-        }
-        global_objects = self.matcher.associate(observations)
-        instance = self._build_instance(global_objects)
+        tracer = get_tracer()
+        with tracer.span(
+            "scheduler.schedule", frame=frame_index, mode=self.mode
+        ) as sched_span:
+            with tracer.span("scheduler.associate") as assoc_span:
+                observations = {
+                    cam: [
+                        LocalObservation(
+                            camera_id=cam, track_id=tid, bbox=box, gt_id=gt
+                        )
+                        for tid, box, gt in entries
+                    ]
+                    for cam, entries in reports.items()
+                }
+                global_objects = self.matcher.associate(observations)
+                assoc_span.set_tag("n_global_objects", len(global_objects))
+            instance = self._build_instance(global_objects)
 
-        if self.mode in ("balb", "balb-cen"):
-            if self.redundancy > 1:
-                redundant = balb_redundant(
-                    instance,
-                    k=self.redundancy,
-                    include_full_frame=True,
-                    vantage_positions=self.camera_positions or None,
-                )
-                assignment = redundant.assignment
-                priority = redundant.priority_order
-            else:
-                result = balb_central(instance, include_full_frame=True)
-                assignment = result.assignment
-                priority = result.priority_order
-        else:  # static partitioning
-            assignment = self._sp_assignment(global_objects)
-            priority = tuple(
-                sorted(
-                    self.profiles,
-                    key=lambda cam: (-self.capacities[cam], cam),
-                )
+            with tracer.span("scheduler.solve", mode=self.mode):
+                if self.mode in ("balb", "balb-cen"):
+                    if self.redundancy > 1:
+                        redundant = balb_redundant(
+                            instance,
+                            k=self.redundancy,
+                            include_full_frame=True,
+                            vantage_positions=self.camera_positions or None,
+                        )
+                        assignment = redundant.assignment
+                        priority = redundant.priority_order
+                    else:
+                        result = balb_central(instance, include_full_frame=True)
+                        assignment = result.assignment
+                        priority = result.priority_order
+                else:  # static partitioning
+                    assignment = self._sp_assignment(global_objects)
+                    priority = tuple(
+                        sorted(
+                            self.profiles,
+                            key=lambda cam: (-self.capacities[cam], cam),
+                        )
+                    )
+
+            assigned: Dict[int, List[int]] = {cam: [] for cam in self.profiles}
+            shadows: Dict[int, Dict[int, int]] = {
+                cam: {} for cam in self.profiles
+            }
+            for obj in global_objects:
+                chosen = assignment.get(obj.global_id)
+                if chosen is None:
+                    continue
+                chosen_set = chosen if isinstance(chosen, tuple) else (chosen,)
+                primary = chosen_set[0]
+                for cam, obs in obj.members.items():
+                    if cam in chosen_set:
+                        assigned[cam].append(obs.track_id)
+                    else:
+                        shadows[cam][obs.track_id] = primary
+
+            n_objects = len(global_objects)
+            central_ms = self.overheads.central_stage_ms(
+                n_objects, len(self.profiles)
             )
-
-        assigned: Dict[int, List[int]] = {cam: [] for cam in self.profiles}
-        shadows: Dict[int, Dict[int, int]] = {cam: {} for cam in self.profiles}
-        for obj in global_objects:
-            chosen = assignment.get(obj.global_id)
-            if chosen is None:
-                continue
-            chosen_set = chosen if isinstance(chosen, tuple) else (chosen,)
-            primary = chosen_set[0]
-            for cam, obs in obj.members.items():
-                if cam in chosen_set:
-                    assigned[cam].append(obs.track_id)
-                else:
-                    shadows[cam][obs.track_id] = primary
-
-        n_objects = len(global_objects)
-        central_ms = self.overheads.central_stage_ms(n_objects, len(self.profiles))
-        comm_ms = self._communication_ms(reports, assigned, priority, frame_index)
+            with tracer.span("scheduler.comm"):
+                comm_ms = self._communication_ms(
+                    reports, assigned, priority, frame_index
+                )
+            sched_span.set_tag("n_global_objects", n_objects)
         return ScheduleDecision(
             assigned=assigned,
             shadows=shadows,

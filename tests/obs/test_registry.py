@@ -1,0 +1,102 @@
+"""Metrics registry unit tests."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("frames_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", cam=1) is not reg.counter("a", cam=2)
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+
+class TestGauges:
+    def test_set_and_add(self):
+        g = MetricsRegistry().gauge("lag")
+        g.set(5.0)
+        g.add(-2.0)
+        assert g.value == 3.0
+
+
+class TestHistograms:
+    def test_summary_stats(self):
+        h = MetricsRegistry().histogram("ms")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 4.0
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("ms")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile(95) == 0.0
+
+    def test_percentile_bounds(self):
+        h = MetricsRegistry().histogram("ms")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestExport:
+    def test_deterministic_ordering(self):
+        reg = MetricsRegistry()
+        # Registered deliberately out of order.
+        reg.histogram("z_hist").observe(1.0)
+        reg.counter("b_counter", camera=2).inc()
+        reg.counter("b_counter", camera=1).inc(3)
+        reg.gauge("a_gauge").set(7)
+        export = reg.export()
+        keys = [(e["kind"], e["name"], tuple(sorted(e["labels"].items())))
+                for e in export]
+        assert keys == sorted(keys)
+        assert len(export) == 4
+
+    def test_export_content(self):
+        reg = MetricsRegistry()
+        reg.counter("frames", scenario="S2").inc(5)
+        (entry,) = reg.export()
+        assert entry == {
+            "kind": "counter",
+            "name": "frames",
+            "labels": {"scenario": "S2"},
+            "value": 5.0,
+        }
+
+    def test_two_identical_runs_export_identically(self):
+        def fill(reg):
+            for i in range(4):
+                reg.counter("frames").inc()
+                reg.histogram("ms", camera=i % 2).observe(float(i))
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        fill(a)
+        fill(b)
+        assert a.export() == b.export()
+
+    def test_default_registry_is_shared(self):
+        assert get_registry() is get_registry()
