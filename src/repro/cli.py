@@ -18,6 +18,7 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.report import format_table
+from repro.faults import CHAOS_PRESETS, validate_fault_spec
 from repro.obs import (
     format_metrics_table,
     format_span_summary,
@@ -47,6 +48,31 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         help="enable inter-object occlusion")
     parser.add_argument("--redundancy", type=int, default=1,
                         help="cameras per object (Section V extension)")
+    parser.add_argument("--gpu-jitter", type=float, default=0.02,
+                        help="GPU latency noise as a std fraction, >= 0 "
+                             "(0 disables jitter)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault spec, e.g. 'crash:cam=1,at=12,for=10;"
+                             "loss:p=0.1' (see repro.faults.spec)")
+    parser.add_argument("--chaos", default=None,
+                        choices=sorted(CHAOS_PRESETS),
+                        help="named chaos preset of stochastic faults, "
+                             "compiled deterministically from --seed")
+
+
+def _faults_from(args: argparse.Namespace) -> Optional[str]:
+    """Resolve --faults / --chaos into one spec string (or None)."""
+    spec = getattr(args, "faults", None)
+    chaos = getattr(args, "chaos", None)
+    if spec and chaos:
+        raise SystemExit("error: --faults and --chaos are mutually exclusive")
+    if spec:
+        try:
+            validate_fault_spec(spec)
+        except ValueError as exc:
+            raise SystemExit(f"error: bad --faults spec: {exc}")
+        return spec
+    return chaos
 
 
 def _config_from(
@@ -61,7 +87,9 @@ def _config_from(
         seed=args.seed,
         occlusion=args.occlusion,
         redundancy=args.redundancy,
+        gpu_jitter=getattr(args, "gpu_jitter", 0.02),
         trace=trace,
+        faults=_faults_from(args),
     )
 
 
@@ -79,6 +107,31 @@ def cmd_run(args: argparse.Namespace) -> int:
               round(result.mean_slowest_latency(), 1))],
         )
     )
+    if config.faults is not None:
+        def counter_sum(name: str) -> int:
+            return int(sum(
+                m["value"] for m in result.metrics
+                if m["kind"] == "counter" and m["name"] == name
+            ))
+
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ("coverage loss", round(result.coverage_loss(), 4)),
+                    ("recall (lost counted as missed)",
+                     round(result.object_recall(count_lost_as_missed=True), 4)),
+                    ("fault events", counter_sum("fault_events_total")),
+                    ("forced key frames",
+                     counter_sum("forced_key_frames_total")),
+                    ("assignment fallbacks",
+                     counter_sum("assignment_fallbacks_total")),
+                    ("messages dropped",
+                     counter_sum("messages_dropped_total")),
+                ],
+                title="fault summary",
+            )
+        )
     per_cam = result.per_camera_mean_latency()
     print(
         format_table(
@@ -185,6 +238,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         from repro.experiments import (
             run_ablations,
             run_extensions,
+            run_fault_tolerance,
             run_figure10,
             run_figure11,
             run_figure12,
@@ -204,6 +258,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             "TAB2": lambda: run_table2(seed=args.seed),
             "ABLATIONS": lambda: run_ablations(seed=args.seed),
             "EXTENSIONS": lambda: run_extensions(seed=args.seed),
+            "FAULTS": lambda: run_fault_tolerance(seed=args.seed),
         }
         key = args.only.upper()
         if key not in registry:
@@ -287,7 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_parser.add_argument("--only", default=None,
                             help="one of FIG2/FIG10/.../TAB2/ABLATIONS/"
-                                 "EXTENSIONS")
+                                 "EXTENSIONS/FAULTS")
     exp_parser.add_argument("--out", default=None, help="also write to file")
     exp_parser.add_argument("--seed", type=int, default=0)
     exp_parser.set_defaults(func=cmd_experiments)

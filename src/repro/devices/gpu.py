@@ -49,6 +49,11 @@ class GPUExecutor:
     runtime behaves like real hardware rather than an oracle. The executor
     enforces batch limits: plans exceeding a size's limit raise, because a
     correct scheduler never emits them.
+
+    ``set_slowdown`` models thermal throttling: every executed latency is
+    scaled by the current factor, while the scheduler keeps planning with
+    the unthrottled offline profile — exactly the mismatch a real
+    thermally-limited device exhibits.
     """
 
     def __init__(
@@ -62,6 +67,13 @@ class GPUExecutor:
         self.model = model
         self.jitter_std_fraction = jitter_std_fraction
         self._rng = rng or np.random.default_rng(0)
+        self.slowdown = 1.0
+
+    def set_slowdown(self, factor: float) -> None:
+        """Scale all subsequent executed latencies by ``factor`` (> 0)."""
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        self.slowdown = float(factor)
 
     def execute(self, plan: Sequence[Batch]) -> ExecutionRecord:
         """Execute the batches sequentially; returns latencies and total."""
@@ -75,7 +87,7 @@ class GPUExecutor:
                         f"batch of {batch.count} images at size {batch.size} "
                         f"exceeds the device batch limit {limit}"
                     )
-                true_ms = self.model.latency(batch.size, batch.count)
+                true_ms = self.model.latency(batch.size, batch.count) * self.slowdown
                 latencies.append(self._jitter(true_ms))
                 images += batch.count
             span.set_tag("n_images", images)
@@ -88,7 +100,7 @@ class GPUExecutor:
     def execute_full_frame(self) -> float:
         """Run one full-frame inference; returns elapsed ms."""
         with get_tracer().span("gpu.full_frame"):
-            return self._jitter(self.model.full_frame_latency())
+            return self._jitter(self.model.full_frame_latency() * self.slowdown)
 
     def _jitter(self, true_ms: float) -> float:
         if self.jitter_std_fraction == 0.0:

@@ -22,6 +22,12 @@ from repro.experiments.extensions import (
     run_extensions,
     synchronization_study,
 )
+from repro.experiments.fault_tolerance import (
+    DegradationPoint,
+    FaultToleranceStudy,
+    fault_tolerance_study,
+    run_fault_tolerance,
+)
 from repro.experiments.fig2_workload import WorkloadTrace, workload_trace
 from repro.experiments.fig10_classification import (
     ClassificationRow,
@@ -111,4 +117,8 @@ __all__ = [
     "run_extensions",
     "SynchronizationStudy",
     "synchronization_study",
+    "DegradationPoint",
+    "FaultToleranceStudy",
+    "fault_tolerance_study",
+    "run_fault_tolerance",
 ]

@@ -15,6 +15,7 @@ from repro.obs import MetricsRegistry, format_metrics_table
 
 from repro.experiments.ablations import run_ablations
 from repro.experiments.extensions import run_extensions
+from repro.experiments.fault_tolerance import run_fault_tolerance
 from repro.experiments.fig2_workload import workload_trace
 from repro.experiments.fig10_classification import run_figure10
 from repro.experiments.fig11_regression import run_figure11
@@ -60,6 +61,7 @@ def run_all(seed: int = 0, out_path: Optional[str] = None) -> str:
         ("TAB2", lambda: run_table2(seed=seed)),
         ("ABLATIONS", lambda: run_ablations(seed=seed)),
         ("EXTENSIONS", lambda: run_extensions(seed=seed)),
+        ("FAULTS", lambda: run_fault_tolerance(seed=seed)),
     ]:
         start = time.perf_counter()
         body = fn()

@@ -1,0 +1,47 @@
+"""Deterministic fault injection for the multi-view runtime.
+
+The paper's evaluation assumes every camera, link and GPU stays healthy
+for the whole run. This package models the ways a deployment actually
+breaks — camera crash/rejoin, link message loss and latency spikes,
+network partition of a camera from the scheduler, GPU thermal
+throttling — and drives them deterministically from the run seed, so a
+faulted run is exactly as reproducible as a clean one.
+
+Two front doors:
+
+* :class:`FaultSchedule` — scripted events (``FaultEvent`` list), built
+  directly or parsed from the compact spec DSL (:func:`parse_fault_spec`).
+* :class:`FaultModel` — stochastic processes (crash rate, loss
+  probability, ...) that *compile* into a concrete ``FaultSchedule``
+  ahead of the run, so fault randomness never interleaves with the
+  simulation's own RNG streams.
+
+The runtime consumes per-frame :class:`FrameFaults` snapshots via
+``FaultSchedule.at``.
+"""
+
+from repro.faults.model import FaultModel
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    FrameFaults,
+)
+from repro.faults.spec import (
+    CHAOS_PRESETS,
+    parse_fault_spec,
+    resolve_faults,
+    validate_fault_spec,
+)
+
+__all__ = [
+    "CHAOS_PRESETS",
+    "FaultEvent",
+    "FaultKind",
+    "FaultModel",
+    "FaultSchedule",
+    "FrameFaults",
+    "parse_fault_spec",
+    "resolve_faults",
+    "validate_fault_spec",
+]

@@ -1,0 +1,129 @@
+"""Stochastic fault processes, compiled ahead of time.
+
+A :class:`FaultModel` describes *rates* — crash probability per
+camera-frame, steady link loss, thermal-throttling onset rate — and
+turns them into a concrete :class:`~repro.faults.schedule.FaultSchedule`
+with :meth:`FaultModel.compile`. Compiling up front (rather than drawing
+faults during the run) keeps fault randomness out of the simulation's
+RNG streams: the same seed always yields the same schedule, and a
+zero-rate model compiles to an empty schedule.
+
+Outage/throttle durations are geometric with the configured means, the
+standard memoryless failure model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Rate-based description of an unreliable deployment.
+
+    All ``*_rate`` fields are per camera per frame onset probabilities;
+    ``loss_prob`` is a steady per-message loss applied to every channel
+    for the whole run. Durations are mean frames of the geometric
+    outage/throttle windows.
+    """
+
+    crash_rate: float = 0.0
+    mean_outage_frames: float = 10.0
+    partition_rate: float = 0.0
+    mean_partition_frames: float = 8.0
+    loss_prob: float = 0.0
+    delay_spike_rate: float = 0.0
+    delay_ms: float = 50.0
+    mean_delay_frames: float = 5.0
+    slowdown_rate: float = 0.0
+    slowdown_factor: float = 2.0
+    mean_slowdown_frames: float = 20.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "partition_rate", "delay_spike_rate",
+                     "slowdown_rate", "loss_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1]")
+        for name in ("mean_outage_frames", "mean_partition_frames",
+                     "mean_delay_frames", "mean_slowdown_frames"):
+            if getattr(self, name) < 1.0:
+                raise ValueError(f"{name} must be >= 1 frame")
+        if self.delay_ms < 0:
+            raise ValueError("delay_ms must be non-negative")
+        if self.slowdown_factor <= 0:
+            raise ValueError("slowdown_factor must be positive")
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault can ever fire (compiles to empty)."""
+        return (
+            self.crash_rate == 0.0
+            and self.partition_rate == 0.0
+            and self.loss_prob == 0.0
+            and self.delay_spike_rate == 0.0
+            and self.slowdown_rate == 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def compile(
+        self, camera_ids: Sequence[int], n_frames: int, seed: int
+    ) -> FaultSchedule:
+        """Draw a concrete schedule for one run, deterministically.
+
+        Cameras are processed in sorted order and kinds in a fixed
+        order, so the schedule depends only on ``(model, camera set,
+        n_frames, seed)``. A camera never re-enters a fault kind while a
+        previous window of that kind is still open.
+        """
+        if n_frames < 1:
+            raise ValueError("n_frames must be >= 1")
+        rng = np.random.default_rng(seed)
+        events: List[FaultEvent] = []
+        if self.loss_prob > 0.0:
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.LINK_LOSS,
+                    start_frame=0,
+                    duration=n_frames,
+                    camera_id=None,
+                    magnitude=self.loss_prob,
+                )
+            )
+        processes = (
+            (FaultKind.CAMERA_CRASH, self.crash_rate,
+             self.mean_outage_frames, 0.0),
+            (FaultKind.PARTITION, self.partition_rate,
+             self.mean_partition_frames, 0.0),
+            (FaultKind.LINK_DELAY, self.delay_spike_rate,
+             self.mean_delay_frames, self.delay_ms),
+            (FaultKind.GPU_SLOWDOWN, self.slowdown_rate,
+             self.mean_slowdown_frames, self.slowdown_factor),
+        )
+        for cam in sorted(camera_ids):
+            for kind, rate, mean_frames, magnitude in processes:
+                if rate <= 0.0:
+                    continue
+                frame = 0
+                while frame < n_frames:
+                    if rng.random() < rate:
+                        duration = int(rng.geometric(1.0 / mean_frames))
+                        duration = max(1, min(duration, n_frames - frame))
+                        events.append(
+                            FaultEvent(
+                                kind=kind,
+                                start_frame=frame,
+                                duration=duration,
+                                camera_id=cam,
+                                magnitude=magnitude,
+                            )
+                        )
+                        frame += duration
+                    else:
+                        frame += 1
+        return FaultSchedule(events)

@@ -1,0 +1,206 @@
+"""Scripted fault events and their per-frame runtime view.
+
+A :class:`FaultSchedule` is an immutable list of :class:`FaultEvent`
+windows over the frame index axis. The pipeline asks it once per frame
+for a :class:`FrameFaults` snapshot — who is down, who is partitioned,
+what each camera's link loss/delay and GPU slowdown are — and for the
+events *starting* at that frame, which it emits as trace spans.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from repro.net.link import LinkFault
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy the runtime knows how to degrade under."""
+
+    CAMERA_CRASH = "camera_crash"  # node stops processing frames entirely
+    PARTITION = "partition"  # node runs, but cannot reach the scheduler
+    LINK_LOSS = "link_loss"  # probabilistic message loss on the channel
+    LINK_DELAY = "link_delay"  # additive per-message latency spike (ms)
+    GPU_SLOWDOWN = "gpu_slowdown"  # thermal throttling: latency multiplier
+
+
+#: Kinds that require a concrete camera id (link faults may be fleet-wide).
+_CAMERA_REQUIRED = (FaultKind.CAMERA_CRASH, FaultKind.PARTITION,
+                    FaultKind.GPU_SLOWDOWN)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault window: ``kind`` on ``camera_id`` over frame range.
+
+    ``duration`` is in frames; ``None`` means "until the end of the run".
+    ``magnitude`` is kind-specific: loss probability for ``LINK_LOSS``,
+    extra milliseconds for ``LINK_DELAY``, latency multiplier for
+    ``GPU_SLOWDOWN``; unused (0.0) for crash/partition.
+    ``camera_id=None`` applies a link fault to every channel.
+    """
+
+    kind: FaultKind
+    start_frame: int
+    duration: Optional[int] = None
+    camera_id: Optional[int] = None
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start_frame < 0:
+            raise ValueError("start_frame must be non-negative")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError("duration must be >= 1 frame (or None)")
+        if self.camera_id is None and self.kind in _CAMERA_REQUIRED:
+            raise ValueError(f"{self.kind.value} events need a camera_id")
+        if self.kind is FaultKind.LINK_LOSS and not 0.0 <= self.magnitude <= 1.0:
+            raise ValueError("link_loss magnitude is a probability in [0, 1]")
+        if self.kind is FaultKind.LINK_DELAY and self.magnitude < 0:
+            raise ValueError("link_delay magnitude (ms) must be non-negative")
+        if self.kind is FaultKind.GPU_SLOWDOWN and self.magnitude <= 0:
+            raise ValueError("gpu_slowdown magnitude (factor) must be positive")
+
+    @property
+    def end_frame(self) -> Optional[int]:
+        """Exclusive end of the window (``None`` = open-ended)."""
+        if self.duration is None:
+            return None
+        return self.start_frame + self.duration
+
+    def active_at(self, frame: int) -> bool:
+        """Is this event in effect at ``frame``?"""
+        if frame < self.start_frame:
+            return False
+        end = self.end_frame
+        return end is None or frame < end
+
+    def applies_to(self, camera_id: int) -> bool:
+        """Does this event affect ``camera_id`` (fleet-wide counts)?"""
+        return self.camera_id is None or self.camera_id == camera_id
+
+
+@dataclass(frozen=True)
+class FrameFaults:
+    """Resolved fault state of one frame, per camera."""
+
+    frame: int
+    down: FrozenSet[int]
+    partitioned: FrozenSet[int]
+    gpu_factor: Dict[int, float]  # camera -> multiplier (absent = 1.0)
+    link_faults: Dict[int, LinkFault]  # camera -> loss/delay (absent = clean)
+    started: Tuple[FaultEvent, ...]  # events whose window opens this frame
+
+    @property
+    def any_active(self) -> bool:
+        return bool(
+            self.down or self.partitioned or self.gpu_factor
+            or self.link_faults or self.started
+        )
+
+
+class FaultSchedule:
+    """An immutable set of fault events, queried frame by frame."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(
+                events,
+                key=lambda e: (
+                    e.start_frame,
+                    e.kind.value,
+                    -1 if e.camera_id is None else e.camera_id,
+                ),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # ------------------------------------------------------------------
+    def down_cameras(self, frame: int) -> FrozenSet[int]:
+        """Cameras crashed (not processing at all) at ``frame``."""
+        return frozenset(
+            e.camera_id
+            for e in self.events
+            if e.kind is FaultKind.CAMERA_CRASH
+            and e.active_at(frame)
+            and e.camera_id is not None
+        )
+
+    def partitioned_cameras(self, frame: int) -> FrozenSet[int]:
+        """Cameras running but cut off from the scheduler at ``frame``."""
+        return frozenset(
+            e.camera_id
+            for e in self.events
+            if e.kind is FaultKind.PARTITION
+            and e.active_at(frame)
+            and e.camera_id is not None
+        )
+
+    def gpu_factor(self, frame: int, camera_id: int) -> float:
+        """Combined (multiplicative) GPU slowdown for one camera."""
+        factor = 1.0
+        for e in self.events:
+            if (
+                e.kind is FaultKind.GPU_SLOWDOWN
+                and e.active_at(frame)
+                and e.applies_to(camera_id)
+            ):
+                factor *= e.magnitude
+        return factor
+
+    def loss_prob(self, frame: int, camera_id: int) -> float:
+        """Combined link-loss probability: ``1 - prod(1 - p_i)``."""
+        survive = 1.0
+        for e in self.events:
+            if (
+                e.kind is FaultKind.LINK_LOSS
+                and e.active_at(frame)
+                and e.applies_to(camera_id)
+            ):
+                survive *= 1.0 - e.magnitude
+        return 1.0 - survive
+
+    def extra_delay_ms(self, frame: int, camera_id: int) -> float:
+        """Summed per-message latency spike for one camera's channel."""
+        return sum(
+            e.magnitude
+            for e in self.events
+            if e.kind is FaultKind.LINK_DELAY
+            and e.active_at(frame)
+            and e.applies_to(camera_id)
+        )
+
+    def started_at(self, frame: int) -> Tuple[FaultEvent, ...]:
+        """Events whose window opens exactly at ``frame``."""
+        return tuple(e for e in self.events if e.start_frame == frame)
+
+    # ------------------------------------------------------------------
+    def at(self, frame: int, camera_ids: Sequence[int]) -> FrameFaults:
+        """Resolve the full per-camera fault state of one frame."""
+        cams = sorted(camera_ids)
+        partitioned = self.partitioned_cameras(frame) & frozenset(cams)
+        gpu = {}
+        link: Dict[int, LinkFault] = {}
+        for cam in cams:
+            factor = self.gpu_factor(frame, cam)
+            if factor != 1.0:
+                gpu[cam] = factor
+            # A partitioned camera is unreachable: total loss both ways.
+            loss = 1.0 if cam in partitioned else self.loss_prob(frame, cam)
+            delay = self.extra_delay_ms(frame, cam)
+            if loss > 0.0 or delay > 0.0:
+                link[cam] = LinkFault(loss_prob=loss, extra_delay_ms=delay)
+        return FrameFaults(
+            frame=frame,
+            down=self.down_cameras(frame) & frozenset(cams),
+            partitioned=partitioned,
+            gpu_factor=gpu,
+            link_faults=link,
+            started=self.started_at(frame),
+        )

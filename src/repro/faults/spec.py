@@ -1,0 +1,237 @@
+"""The ``--faults`` spec DSL, chaos presets, and spec resolution.
+
+Scripted events are semicolon-separated ``kind:key=value,...`` clauses::
+
+    crash:cam=1,at=12,for=10        # camera 1 dead for frames [12, 22)
+    partition:cam=0,at=8,for=6      # camera 0 unreachable for 6 frames
+    loss:p=0.1                      # 10% message loss, all channels, whole run
+    loss:p=0.3,cam=2,at=5,for=20    # scoped loss burst on camera 2's channel
+    delay:ms=40,at=10,for=5         # +40 ms per message for 5 frames
+    gpu:cam=0,x=3,at=5,for=25       # camera 0's GPU runs 3x slower
+
+``at`` defaults to frame 0 and ``for`` to the rest of the run. A
+``rand:`` clause instead builds a stochastic
+:class:`~repro.faults.model.FaultModel` (rates per camera-frame)::
+
+    rand:crash=0.01,outage=12,loss=0.05,gpu=0.003,gpu_x=2.5
+
+Chaos presets name curated models: ``--chaos heavy`` etc.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from repro.faults.model import FaultModel
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+
+FaultInput = Union[None, str, FaultSchedule, FaultModel]
+
+#: Curated stochastic fault mixes for chaos runs.
+CHAOS_PRESETS: Dict[str, FaultModel] = {
+    "light": FaultModel(
+        crash_rate=0.002, mean_outage_frames=8.0,
+        loss_prob=0.02,
+        slowdown_rate=0.002, slowdown_factor=1.5,
+        mean_slowdown_frames=10.0,
+    ),
+    "heavy": FaultModel(
+        crash_rate=0.01, mean_outage_frames=15.0,
+        partition_rate=0.005, mean_partition_frames=10.0,
+        loss_prob=0.1,
+        delay_spike_rate=0.01, delay_ms=60.0, mean_delay_frames=6.0,
+        slowdown_rate=0.005, slowdown_factor=3.0,
+        mean_slowdown_frames=20.0,
+    ),
+    "cameras": FaultModel(crash_rate=0.01, mean_outage_frames=12.0),
+    "network": FaultModel(
+        loss_prob=0.15,
+        delay_spike_rate=0.02, delay_ms=80.0, mean_delay_frames=5.0,
+        partition_rate=0.004, mean_partition_frames=8.0,
+    ),
+    "gpu": FaultModel(
+        slowdown_rate=0.01, slowdown_factor=3.0, mean_slowdown_frames=25.0
+    ),
+}
+
+_EVENT_KINDS = {
+    "crash": FaultKind.CAMERA_CRASH,
+    "partition": FaultKind.PARTITION,
+    "loss": FaultKind.LINK_LOSS,
+    "delay": FaultKind.LINK_DELAY,
+    "gpu": FaultKind.GPU_SLOWDOWN,
+}
+
+#: ``rand:`` clause keys -> FaultModel fields.
+_RAND_KEYS = {
+    "crash": "crash_rate",
+    "outage": "mean_outage_frames",
+    "partition": "partition_rate",
+    "partition_frames": "mean_partition_frames",
+    "loss": "loss_prob",
+    "delay": "delay_spike_rate",
+    "delay_ms": "delay_ms",
+    "delay_frames": "mean_delay_frames",
+    "gpu": "slowdown_rate",
+    "gpu_x": "slowdown_factor",
+    "gpu_frames": "mean_slowdown_frames",
+}
+
+
+def _parse_kv(body: str, clause: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    if not body.strip():
+        return out
+    for item in body.split(","):
+        if "=" not in item:
+            raise ValueError(
+                f"malformed fault clause {clause!r}: expected key=value, "
+                f"got {item!r}"
+            )
+        key, value = item.split("=", 1)
+        key, value = key.strip(), value.strip()
+        if key in out:
+            raise ValueError(f"duplicate key {key!r} in clause {clause!r}")
+        out[key] = value
+    return out
+
+
+def _int_field(kv: Dict[str, str], key: str, clause: str) -> Optional[int]:
+    if key not in kv:
+        return None
+    try:
+        return int(kv.pop(key))
+    except ValueError:
+        raise ValueError(
+            f"fault clause {clause!r}: {key} must be an integer"
+        ) from None
+
+
+def _float_field(kv: Dict[str, str], key: str, clause: str) -> Optional[float]:
+    if key not in kv:
+        return None
+    try:
+        return float(kv.pop(key))
+    except ValueError:
+        raise ValueError(f"fault clause {clause!r}: {key} must be a number") from None
+
+
+def _parse_event(name: str, kv: Dict[str, str], clause: str) -> FaultEvent:
+    kind = _EVENT_KINDS[name]
+    camera = _int_field(kv, "cam", clause)
+    start = _int_field(kv, "at", clause) or 0
+    duration = _int_field(kv, "for", clause)
+    magnitude = 0.0
+    if kind is FaultKind.LINK_LOSS:
+        p = _float_field(kv, "p", clause)
+        if p is None:
+            raise ValueError(f"fault clause {clause!r}: loss needs p=<prob>")
+        magnitude = p
+    elif kind is FaultKind.LINK_DELAY:
+        ms = _float_field(kv, "ms", clause)
+        if ms is None:
+            raise ValueError(f"fault clause {clause!r}: delay needs ms=<ms>")
+        magnitude = ms
+    elif kind is FaultKind.GPU_SLOWDOWN:
+        x = _float_field(kv, "x", clause)
+        if x is None:
+            raise ValueError(f"fault clause {clause!r}: gpu needs x=<factor>")
+        magnitude = x
+    if kv:
+        raise ValueError(
+            f"fault clause {clause!r}: unknown keys {sorted(kv)}"
+        )
+    return FaultEvent(
+        kind=kind,
+        start_frame=start,
+        duration=duration,
+        camera_id=camera,
+        magnitude=magnitude,
+    )
+
+
+def _parse_model(kv: Dict[str, str], clause: str) -> FaultModel:
+    fields: Dict[str, float] = {}
+    for key in list(kv):
+        if key not in _RAND_KEYS:
+            raise ValueError(
+                f"fault clause {clause!r}: unknown rand key {key!r}; "
+                f"options: {sorted(_RAND_KEYS)}"
+            )
+        value = _float_field(kv, key, clause)
+        assert value is not None
+        fields[_RAND_KEYS[key]] = value
+    return FaultModel(**fields)
+
+
+def parse_fault_spec(spec: str) -> Union[FaultSchedule, FaultModel]:
+    """Parse a ``--faults`` spec into a schedule (or stochastic model).
+
+    A spec either scripts concrete events (any mix of ``crash`` /
+    ``partition`` / ``loss`` / ``delay`` / ``gpu`` clauses) or is a
+    single ``rand:`` clause describing a :class:`FaultModel`; the two
+    forms cannot be combined.
+    """
+    clauses = [c.strip() for c in spec.split(";") if c.strip()]
+    if not clauses:
+        raise ValueError("empty fault spec")
+    events = []
+    for clause in clauses:
+        name, _, body = clause.partition(":")
+        name = name.strip()
+        kv = _parse_kv(body, clause)
+        if name == "rand":
+            if len(clauses) != 1:
+                raise ValueError(
+                    "a rand: clause must be the whole spec (got "
+                    f"{len(clauses)} clauses)"
+                )
+            return _parse_model(kv, clause)
+        if name not in _EVENT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {name!r}; options: "
+                f"{sorted(_EVENT_KINDS)} or rand"
+            )
+        events.append(_parse_event(name, kv, clause))
+    return FaultSchedule(events)
+
+
+def validate_fault_spec(spec: str) -> None:
+    """Raise ``ValueError`` if ``spec`` is not parseable (CLI fail-fast)."""
+    parse_fault_spec(spec)
+
+
+def resolve_faults(
+    faults: FaultInput,
+    camera_ids: Sequence[int],
+    n_frames: int,
+    seed: int,
+) -> Optional[FaultSchedule]:
+    """Turn a config-level fault input into a concrete schedule.
+
+    Accepts ``None`` / empty (faults disabled), a spec string, a preset
+    name from :data:`CHAOS_PRESETS`, a ready :class:`FaultSchedule`, or
+    a :class:`FaultModel` to compile for this run. Returns ``None``
+    whenever nothing can ever fire, so the pipeline keeps its pristine
+    fault-free code path.
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, str):
+        text = faults.strip()
+        if not text:
+            return None
+        if text in CHAOS_PRESETS:
+            faults = CHAOS_PRESETS[text]
+        else:
+            faults = parse_fault_spec(text)
+    if isinstance(faults, FaultModel):
+        if faults.is_null:
+            return None
+        faults = faults.compile(camera_ids, n_frames, seed)
+    if not isinstance(faults, FaultSchedule):
+        raise TypeError(
+            "faults must be None, a spec string, a FaultSchedule or a "
+            f"FaultModel; got {type(faults).__name__}"
+        )
+    return faults if faults else None

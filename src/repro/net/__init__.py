@@ -1,17 +1,25 @@
-"""Network substrate: links and scheduler protocol messages."""
+"""Network substrate: links, reliability modeling and protocol messages."""
 
 from repro.net.link import (
+    DEFAULT_RETRY,
     TESTBED_DOWNLINK,
     TESTBED_UPLINK,
     DuplexChannel,
     Link,
+    LinkFault,
     LinkSpec,
+    RetryPolicy,
+    TransferOutcome,
 )
 from repro.net.messages import AssignmentMessage, DetectionReport
 
 __all__ = [
     "LinkSpec",
     "Link",
+    "LinkFault",
+    "RetryPolicy",
+    "TransferOutcome",
+    "DEFAULT_RETRY",
     "DuplexChannel",
     "TESTBED_UPLINK",
     "TESTBED_DOWNLINK",

@@ -4,6 +4,13 @@ Models the paper's testbed links: wired Ethernet with 100 Mbps downlink /
 20 Mbps uplink between each camera and the central scheduler. Transfer
 latency = propagation + size / bandwidth (+ optional jitter), which is all
 the scheduling framework is sensitive to.
+
+On top of the raw links, the module models the *unreliable* exchange the
+fault-injection layer needs: per-message loss (:class:`LinkFault`) with
+timeout + bounded linear-backoff retry (:class:`RetryPolicy`). A failed
+attempt costs the timeout plus backoff and is tallied in the link's
+``messages_dropped``/``bytes_dropped`` counters, kept separate from the
+delivered-traffic ``messages_sent``/``bytes_sent`` counters.
 """
 
 from __future__ import annotations
@@ -39,6 +46,62 @@ TESTBED_DOWNLINK = LinkSpec(bandwidth_mbps=100.0, propagation_ms=1.0)
 TESTBED_UPLINK = LinkSpec(bandwidth_mbps=20.0, propagation_ms=1.0)
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + bounded retry with linear backoff, all modeled in ms."""
+
+    max_attempts: int = 3
+    timeout_ms: float = 60.0
+    backoff_ms: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_ms < 0:
+            raise ValueError("timeout_ms must be non-negative")
+        if self.backoff_ms < 0:
+            raise ValueError("backoff_ms must be non-negative")
+
+    def penalty_ms(self, attempt_index: int) -> float:
+        """Wall-clock cost of failed attempt ``attempt_index`` (0-based)."""
+        return self.timeout_ms + self.backoff_ms * attempt_index
+
+
+DEFAULT_RETRY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Fault state of one channel at one instant."""
+
+    loss_prob: float = 0.0
+    extra_delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_prob <= 1.0:
+            raise ValueError("loss_prob must be in [0, 1]")
+        if self.extra_delay_ms < 0:
+            raise ValueError("extra_delay_ms must be non-negative")
+
+    @property
+    def is_clean(self) -> bool:
+        return self.loss_prob == 0.0 and self.extra_delay_ms == 0.0
+
+
+@dataclass(frozen=True)
+class TransferOutcome:
+    """Result of one (possibly retried) message transfer."""
+
+    delivered: bool
+    elapsed_ms: float
+    attempts: int
+
+    @property
+    def dropped(self) -> int:
+        """Number of lost attempts (retries if delivered, all if not)."""
+        return self.attempts - 1 if self.delivered else self.attempts
+
+
 class Link:
     """A unidirectional link that computes transfer latencies."""
 
@@ -49,6 +112,8 @@ class Link:
         self._rng = rng or np.random.default_rng(0)
         self.bytes_sent = 0
         self.messages_sent = 0
+        self.bytes_dropped = 0
+        self.messages_dropped = 0
 
     def transfer_ms(self, payload_bytes: int) -> float:
         """Latency to move ``payload_bytes`` across the link, in ms."""
@@ -64,19 +129,64 @@ class Link:
         self.messages_sent += 1
         return self.spec.propagation_ms + serialization + jitter
 
+    def record_drop(self, payload_bytes: int) -> None:
+        """Account one lost message (never mixed into the sent counters)."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        self.bytes_dropped += payload_bytes
+        self.messages_dropped += 1
+
+    def reliable_transfer(
+        self,
+        payload_bytes: int,
+        fault: LinkFault,
+        policy: RetryPolicy,
+        rng: np.random.Generator,
+    ) -> TransferOutcome:
+        """Send with loss injection, timeout and bounded retry.
+
+        Each attempt is lost with ``fault.loss_prob`` (drawn from
+        ``rng``); a lost attempt costs ``policy.penalty_ms`` and is
+        recorded as dropped. A delivered attempt costs the normal
+        transfer latency plus ``fault.extra_delay_ms``.
+        """
+        elapsed = 0.0
+        for attempt in range(policy.max_attempts):
+            if fault.loss_prob > 0.0 and rng.random() < fault.loss_prob:
+                self.record_drop(payload_bytes)
+                elapsed += policy.penalty_ms(attempt)
+                continue
+            elapsed += self.transfer_ms(payload_bytes) + fault.extra_delay_ms
+            return TransferOutcome(
+                delivered=True, elapsed_ms=elapsed, attempts=attempt + 1
+            )
+        return TransferOutcome(
+            delivered=False, elapsed_ms=elapsed, attempts=policy.max_attempts
+        )
+
 
 class DuplexChannel:
-    """Camera <-> scheduler channel with asymmetric up/down links."""
+    """Camera <-> scheduler channel with asymmetric up/down links.
+
+    When constructed with a ``seed`` (or an ``rng``), the two directions
+    get *distinct* jitter streams derived from it, and a third derived
+    stream drives fault (loss) draws — so two channels seeded from
+    different camera ids never share randomness, and fault draws never
+    perturb the jitter sequence.
+    """
 
     def __init__(
         self,
         uplink: LinkSpec = TESTBED_UPLINK,
         downlink: LinkSpec = TESTBED_DOWNLINK,
         rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
     ) -> None:
-        rng = rng or np.random.default_rng(0)
-        self.up = Link(uplink, rng)
-        self.down = Link(downlink, rng)
+        if rng is None:
+            rng = np.random.default_rng(0 if seed is None else seed)
+        self.up = Link(uplink, _derive_rng(rng))
+        self.down = Link(downlink, _derive_rng(rng))
+        self._fault_rng = _derive_rng(rng)
 
     def round_trip_ms(self, up_bytes: int, down_bytes: int) -> float:
         """Upload + download latency for one request/response exchange."""
@@ -86,3 +196,38 @@ class DuplexChannel:
             return self.up.transfer_ms(up_bytes) + self.down.transfer_ms(
                 down_bytes
             )
+
+    def up_transfer(
+        self,
+        up_bytes: int,
+        fault: LinkFault,
+        policy: RetryPolicy = DEFAULT_RETRY,
+    ) -> TransferOutcome:
+        """Reliable camera -> scheduler transfer under ``fault``."""
+        return self.up.reliable_transfer(
+            up_bytes, fault, policy, self._fault_rng
+        )
+
+    def down_transfer(
+        self,
+        down_bytes: int,
+        fault: LinkFault,
+        policy: RetryPolicy = DEFAULT_RETRY,
+    ) -> TransferOutcome:
+        """Reliable scheduler -> camera transfer under ``fault``."""
+        return self.down.reliable_transfer(
+            down_bytes, fault, policy, self._fault_rng
+        )
+
+    @property
+    def messages_dropped(self) -> int:
+        return self.up.messages_dropped + self.down.messages_dropped
+
+    @property
+    def bytes_dropped(self) -> int:
+        return self.up.bytes_dropped + self.down.bytes_dropped
+
+
+def _derive_rng(rng: np.random.Generator) -> np.random.Generator:
+    """An independent child generator, deterministic in the parent state."""
+    return np.random.default_rng(int(rng.integers(0, 2**63 - 1)))

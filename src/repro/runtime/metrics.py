@@ -33,6 +33,9 @@ class FrameRecord:
     detected_gt: FrozenSet[int]
     overheads_ms: Dict[str, float] = field(default_factory=dict)
     n_slices: Dict[int, int] = field(default_factory=dict)
+    #: Objects observable in principle but only from crashed cameras this
+    #: frame — unrecoverable coverage, reported separately from misses.
+    coverage_lost: FrozenSet[int] = frozenset()
 
     @property
     def recall_numerator(self) -> int:
@@ -65,11 +68,29 @@ class RunResult:
     def n_frames(self) -> int:
         return len(self.frames)
 
-    def object_recall(self) -> float:
-        """Figure 12 metric over the whole run."""
+    def object_recall(self, count_lost_as_missed: bool = False) -> float:
+        """Figure 12 metric over the whole run.
+
+        Object-frames whose only observers were crashed cameras are
+        excluded from the denominator (they are *coverage loss*, not
+        scheduling misses). ``count_lost_as_missed`` folds them back in —
+        the "naive" recall a fault-oblivious evaluation would report.
+        """
         num = sum(f.recall_numerator for f in self.frames)
         den = sum(f.recall_denominator for f in self.frames)
+        if count_lost_as_missed:
+            den += sum(len(f.coverage_lost) for f in self.frames)
         return num / den if den else 1.0
+
+    def coverage_loss(self) -> float:
+        """Fraction of observable object-frames lost to dead cameras.
+
+        Zero on fault-free runs. The denominator counts every
+        object-frame that *some* camera (live or dead) could observe.
+        """
+        lost = sum(len(f.coverage_lost) for f in self.frames)
+        den = sum(f.recall_denominator for f in self.frames) + lost
+        return lost / den if den else 0.0
 
     def mean_slowest_latency(self) -> float:
         """Figure 13 metric: per-horizon slowest-camera mean, averaged.

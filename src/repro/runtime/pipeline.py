@@ -27,7 +27,9 @@ from repro.cameras.rig import CameraRig
 from repro.core.distributed import DistributedPolicy
 from repro.devices.profiler import DeviceProfile, profile_device
 from repro.devices.profiles import latency_model_for
-from repro.net.link import DuplexChannel
+from repro.faults.schedule import FaultSchedule, FrameFaults
+from repro.faults.spec import resolve_faults
+from repro.net.link import DuplexChannel, RetryPolicy
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Tracer, get_tracer, use_tracer
 from repro.runtime.camera_node import CameraNode
@@ -48,6 +50,27 @@ POLICIES = ("full", "balb", "balb-cen", "balb-ind", "sp")
 _CENTRALIZED = ("balb", "balb-cen", "sp")
 
 
+def _split_coverage(objects, down, coverage_fn) -> Tuple[frozenset, frozenset]:
+    """Split observable objects into (visible_gt, coverage_lost).
+
+    ``coverage_fn(obj)`` yields the cameras that could observe ``obj``
+    this frame. Objects whose entire coverage set is down are coverage
+    loss — no scheduling decision can recover them — and are kept out of
+    the recall denominator.
+    """
+    visible = set()
+    lost = set()
+    for o in objects:
+        covered = coverage_fn(o)
+        if not covered:
+            continue
+        if down and all(c in down for c in covered):
+            lost.add(o.object_id)
+        else:
+            visible.add(o.object_id)
+    return frozenset(visible), frozenset(lost)
+
+
 @dataclass
 class PipelineConfig:
     """Knobs of one pipeline run."""
@@ -65,6 +88,17 @@ class PipelineConfig:
     redundancy: int = 1  # cameras per object (Section V extension)
     max_camera_lag_frames: int = 0  # imperfect synchronization (Section V)
     trace: bool = False  # collect a per-frame span trace into RunResult
+    #: Fault injection: None (disabled), a spec string / chaos preset name
+    #: (see repro.faults.spec), a FaultSchedule, or a FaultModel compiled
+    #: against this run's seed. With None the fault-free code path is
+    #: bit-identical to a build without fault support.
+    faults: Optional[object] = None
+    #: Report/assignment exchange resilience (only exercised under faults):
+    #: per-attempt timeout, bounded retries, linear backoff — modeled in ms
+    #: and charged to the key frame's communication latency.
+    link_timeout_ms: float = 60.0
+    link_max_retries: int = 3
+    link_backoff_ms: float = 20.0
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -79,6 +113,22 @@ class PipelineConfig:
             raise ValueError("redundancy must be >= 1")
         if self.max_camera_lag_frames < 0:
             raise ValueError("max_camera_lag_frames must be non-negative")
+        if self.gpu_jitter < 0:
+            raise ValueError("gpu_jitter must be non-negative")
+        if self.link_timeout_ms < 0:
+            raise ValueError("link_timeout_ms must be non-negative")
+        if self.link_max_retries < 1:
+            raise ValueError("link_max_retries must be >= 1")
+        if self.link_backoff_ms < 0:
+            raise ValueError("link_backoff_ms must be non-negative")
+
+    def retry_policy(self) -> RetryPolicy:
+        """The link retry policy these knobs describe."""
+        return RetryPolicy(
+            max_attempts=self.link_max_retries,
+            timeout_ms=self.link_timeout_ms,
+            backoff_ms=self.link_backoff_ms,
+        )
 
 
 @dataclass
@@ -200,6 +250,18 @@ class Pipeline:
         )
         central_amortized = 0.0
         total_frames = config.horizon * config.n_horizons
+        camera_ids = [cam.camera_id for cam in rig]
+
+        # Fault injection: compiled up front from its own seed stream, so
+        # fault randomness never interleaves with the simulation RNGs. None
+        # (the default) keeps every code path below byte-identical to a
+        # fault-free build.
+        faults: Optional[FaultSchedule] = resolve_faults(
+            config.faults, camera_ids, total_frames, config.seed + 31_337
+        )
+        retry = config.retry_policy()
+        prev_down: frozenset = frozenset()
+        stale_horizons: Dict[int, int] = {cam: 0 for cam in camera_ids}
 
         occlusion = OcclusionModel() if config.occlusion else None
         history: Optional[WorldHistory] = None
@@ -221,10 +283,43 @@ class Pipeline:
         with run_span:
             for frame_idx in range(total_frames):
                 in_horizon = frame_idx % config.horizon
-                is_key = config.policy == "full" or in_horizon == 0
+                frame_faults: Optional[FrameFaults] = (
+                    faults.at(frame_idx, camera_ids)
+                    if faults is not None
+                    else None
+                )
+                down = (
+                    frame_faults.down
+                    if frame_faults is not None
+                    else frozenset()
+                )
+                forced_key = False
+                if faults is not None:
+                    # Camera crash/rejoin triggers an early key frame: the
+                    # central stage re-runs BALB on the surviving set so the
+                    # dead camera's shared objects are re-adopted (or the
+                    # rejoined camera is folded back in) immediately.
+                    membership_changed = down != prev_down
+                    prev_down = down
+                    forced_key = (
+                        scheduler is not None
+                        and membership_changed
+                        and config.policy != "full"
+                        and in_horizon != 0
+                    )
+                is_key = (
+                    config.policy == "full" or in_horizon == 0 or forced_key
+                )
                 frame_start = time.perf_counter()
 
-                with tracer.span("frame", frame=frame_idx, key=is_key):
+                frame_tags = {"frame": frame_idx, "key": is_key}
+                if faults is not None:
+                    frame_tags["forced"] = forced_key
+                with tracer.span("frame", **frame_tags):
+                    if frame_faults is not None:
+                        self._apply_frame_faults(
+                            tracer, registry, frame_faults, nodes, forced_key
+                        )
                     with tracer.span("sim.advance"):
                         world.step(dt)
                         objects = world.objects
@@ -251,23 +346,22 @@ class Pipeline:
                                 }
                                 for cam_id, fractions in fractions_by_cam.items()
                             }
-                            visible_gt = frozenset(
-                                o.object_id
-                                for o in objects
-                                if any(
-                                    occlusion.effectively_visible(
+                            visible_gt, coverage_lost = _split_coverage(
+                                objects,
+                                down,
+                                lambda o: [
+                                    c
+                                    for c in fractions_by_cam
+                                    if occlusion.effectively_visible(
                                         fractions_by_cam[c].get(
                                             o.object_id, 0.0
                                         )
                                     )
-                                    for c in fractions_by_cam
-                                )
+                                ],
                             )
                         else:
-                            visible_gt = frozenset(
-                                o.object_id
-                                for o in objects
-                                if rig.coverage_set(o)
+                            visible_gt, coverage_lost = _split_coverage(
+                                objects, down, rig.coverage_set
                             )
 
                     inference: Dict[int, float] = {}
@@ -280,6 +374,8 @@ class Pipeline:
                         tracking = []
                         with tracer.span("central_stage"):
                             for cam_id, node in nodes.items():
+                                if cam_id in down:
+                                    continue
                                 with tracer.span(
                                     "camera.key_frame", camera=cam_id
                                 ):
@@ -298,19 +394,53 @@ class Pipeline:
                             overheads["tracking"] = (
                                 max(tracking) if tracking else 0.0
                             )
-                            if scheduler is not None:
+                            if scheduler is not None and reports:
                                 decision = scheduler.schedule(
-                                    reports, frame_idx
+                                    reports,
+                                    frame_idx,
+                                    link_faults=(
+                                        frame_faults.link_faults
+                                        if frame_faults is not None
+                                        else None
+                                    ),
+                                    retry=retry,
                                 )
                                 for cam_id, node in nodes.items():
-                                    node.apply_schedule(
-                                        decision.assigned.get(cam_id, []),
-                                        decision.shadows.get(cam_id, {}),
-                                    )
-                                if config.policy in ("balb", "balb-cen"):
-                                    policies = self._balb_policies(
-                                        scheduler, decision.priority_order
-                                    )
+                                    if cam_id in down:
+                                        continue
+                                    if cam_id in decision.delivered:
+                                        node.apply_schedule(
+                                            decision.assigned.get(cam_id, []),
+                                            decision.shadows.get(cam_id, {}),
+                                        )
+                                        stale_horizons[cam_id] = 0
+                                        if config.policy in ("balb", "balb-cen"):
+                                            policies[cam_id] = (
+                                                self._balb_policy_for(
+                                                    scheduler,
+                                                    cam_id,
+                                                    decision.priority_order,
+                                                )
+                                            )
+                                    else:
+                                        # Stale-decision fallback: the camera
+                                        # keeps the BALB distributed stage on
+                                        # its last-known mask and priority
+                                        # order.
+                                        stale_horizons[cam_id] += 1
+                                        registry.counter(
+                                            "assignment_fallbacks_total",
+                                            camera=cam_id,
+                                        ).inc()
+                                    if faults is not None:
+                                        registry.gauge(
+                                            "assignment_staleness_horizons",
+                                            camera=cam_id,
+                                        ).set(stale_horizons[cam_id])
+                                if faults is not None and decision.comm_retries:
+                                    registry.counter(
+                                        "message_retries_total"
+                                    ).inc(decision.comm_retries)
                                 central_amortized = (
                                     decision.central_ms + decision.comm_ms
                                 ) / config.horizon
@@ -320,6 +450,8 @@ class Pipeline:
                         tracking, distributed, batching = [], [], []
                         with tracer.span("distributed_stage"):
                             for cam_id, node in nodes.items():
+                                if cam_id in down:
+                                    continue
                                 with tracer.span(
                                     "camera.regular_frame", camera=cam_id
                                 ):
@@ -359,6 +491,10 @@ class Pipeline:
                     registry.histogram("inference_ms", camera=cam_id).observe(
                         ms
                     )
+                if faults is not None and coverage_lost:
+                    registry.counter(
+                        "coverage_lost_object_frames_total"
+                    ).inc(len(coverage_lost))
                 result.add(
                     FrameRecord(
                         frame_index=frame_idx,
@@ -368,9 +504,50 @@ class Pipeline:
                         detected_gt=frozenset(detected),
                         overheads_ms=overheads,
                         n_slices=n_slices,
+                        coverage_lost=coverage_lost,
                     )
                 )
+        if faults is not None and scheduler is not None:
+            for cam_id, channel in scheduler.channels.items():
+                if channel.messages_dropped:
+                    registry.counter(
+                        "messages_dropped_total", camera=cam_id
+                    ).inc(channel.messages_dropped)
+                    registry.counter(
+                        "bytes_dropped_total", camera=cam_id
+                    ).inc(channel.bytes_dropped)
         return result
+
+    def _apply_frame_faults(
+        self,
+        tracer,
+        registry: MetricsRegistry,
+        frame_faults: FrameFaults,
+        nodes: Dict[int, CameraNode],
+        forced_key: bool,
+    ) -> None:
+        """Surface this frame's fault state: spans, counters, GPU throttle."""
+        for event in frame_faults.started:
+            with tracer.span(
+                "fault." + event.kind.value,
+                camera=-1 if event.camera_id is None else event.camera_id,
+                frames=0 if event.duration is None else event.duration,
+                magnitude=event.magnitude,
+            ):
+                pass
+            registry.counter(
+                "fault_events_total", kind=event.kind.value
+            ).inc()
+        for cam_id, node in nodes.items():
+            node.executor.set_slowdown(
+                frame_faults.gpu_factor.get(cam_id, 1.0)
+            )
+        for cam_id in sorted(frame_faults.down):
+            registry.counter(
+                "camera_down_frames_total", camera=cam_id
+            ).inc()
+        if forced_key:
+            registry.counter("forced_key_frames_total").inc()
 
     # ------------------------------------------------------------------
     def _build_nodes(self, rig: CameraRig, dt: float) -> Dict[int, CameraNode]:
@@ -394,8 +571,10 @@ class Pipeline:
         assert self.trained.associator is not None
         channels = (
             {
+                # Per-channel seed derived from the run seed: distinct
+                # cameras get distinct, reproducible jitter/loss streams.
                 cam.camera_id: DuplexChannel(
-                    rng=np.random.default_rng(self.config.seed + cam.camera_id)
+                    seed=self.config.seed + cam.camera_id
                 )
                 for cam in rig
             }
@@ -440,21 +619,29 @@ class Pipeline:
             return self._balb_policies(scheduler, order)
         return {cam.camera_id: IndependentPolicy() for cam in rig}
 
+    def _balb_policy_for(
+        self,
+        scheduler: CentralScheduler,
+        cam_id: int,
+        priority_order: Tuple[int, ...],
+    ) -> RegularFramePolicy:
+        """Rebuild one camera's regular-frame policy from its current mask."""
+        distributed = DistributedPolicy(
+            camera_id=cam_id,
+            mask=scheduler.masks[cam_id],
+            priority_order=priority_order,
+        )
+        if self.config.policy == "balb":
+            return BALBPolicy(distributed)
+        return CentralOnlyPolicy(distributed)
+
     def _balb_policies(
         self, scheduler: CentralScheduler, priority_order: Tuple[int, ...]
     ) -> Dict[int, RegularFramePolicy]:
-        out: Dict[int, RegularFramePolicy] = {}
-        for cam_id, mask in scheduler.masks.items():
-            distributed = DistributedPolicy(
-                camera_id=cam_id,
-                mask=mask,
-                priority_order=priority_order,
-            )
-            if self.config.policy == "balb":
-                out[cam_id] = BALBPolicy(distributed)
-            else:
-                out[cam_id] = CentralOnlyPolicy(distributed)
-        return out
+        return {
+            cam_id: self._balb_policy_for(scheduler, cam_id, priority_order)
+            for cam_id in scheduler.masks
+        }
 
 
 def run_policy(

@@ -11,7 +11,7 @@ the static camera poses, through the association models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.association.matcher import (
     CrossCameraMatcher,
@@ -25,7 +25,13 @@ from repro.core.masks import CameraMask, build_camera_masks, capacity_owner
 from repro.core.problem import MVSInstance, SchedObject
 from repro.devices.profiler import DeviceProfile
 from repro.geometry.box import BBox, quantize_size
-from repro.net.link import DuplexChannel
+from repro.net.link import (
+    DEFAULT_RETRY,
+    DuplexChannel,
+    LinkFault,
+    RetryPolicy,
+    TransferOutcome,
+)
 from repro.net.messages import AssignmentMessage, DetectionReport
 from repro.obs.trace import get_tracer
 from repro.runtime.overhead import OverheadModel
@@ -44,6 +50,14 @@ class ScheduleDecision:
     central_ms: float  # association + BALB, modeled
     comm_ms: float  # report upload + assignment download
     global_objects: List[GlobalObject] = field(default_factory=list)
+    #: Cameras whose assignment download actually arrived. A camera not
+    #: in this set must fall back to its stale decision.
+    delivered: FrozenSet[int] = frozenset()
+    #: Cameras whose report upload was lost (their objects were invisible
+    #: to this round of association).
+    dropped_reports: FrozenSet[int] = frozenset()
+    #: Lost message attempts across the whole exchange (drops + give-ups).
+    comm_retries: int = 0
 
 
 class CentralScheduler:
@@ -88,13 +102,53 @@ class CentralScheduler:
 
     # ------------------------------------------------------------------
     def schedule(
-        self, reports: Dict[int, List[ReportEntry]], frame_index: int = 0
+        self,
+        reports: Dict[int, List[ReportEntry]],
+        frame_index: int = 0,
+        link_faults: Optional[Dict[int, LinkFault]] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> ScheduleDecision:
-        """One central-stage round over the key-frame reports."""
+        """One central-stage round over the key-frame reports.
+
+        ``link_faults`` (camera -> :class:`LinkFault`) injects message
+        loss / latency spikes into the exchange: a report whose upload
+        fails after all retries is excluded from association, and a
+        camera whose assignment download fails is left out of
+        ``decision.delivered`` so the runtime falls back to its stale
+        decision. Without faults the exchange is lossless and every
+        reporting camera is delivered — the pre-fault behaviour.
+        """
+        retry = retry or DEFAULT_RETRY
+        faults = {
+            cam: fault
+            for cam, fault in (link_faults or {}).items()
+            if not fault.is_clean
+        }
         tracer = get_tracer()
         with tracer.span(
             "scheduler.schedule", frame=frame_index, mode=self.mode
         ) as sched_span:
+            # Uplink phase: under faults, decide per camera whether the
+            # report survived its (retried) upload before associating.
+            up_outcomes: Dict[int, TransferOutcome] = {}
+            delivered_reports = reports
+            if faults and self.channels:
+                delivered_reports = {}
+                for cam in sorted(reports):
+                    fault = faults.get(cam)
+                    channel = self.channels.get(cam)
+                    if fault is None or channel is None:
+                        delivered_reports[cam] = reports[cam]
+                        continue
+                    report = self._report_message(
+                        cam, reports[cam], frame_index
+                    )
+                    outcome = channel.up_transfer(
+                        report.payload_bytes(), fault, retry
+                    )
+                    up_outcomes[cam] = outcome
+                    if outcome.delivered:
+                        delivered_reports[cam] = reports[cam]
             with tracer.span("scheduler.associate") as assoc_span:
                 observations = {
                     cam: [
@@ -103,7 +157,7 @@ class CentralScheduler:
                         )
                         for tid, box, gt in entries
                     ]
-                    for cam, entries in reports.items()
+                    for cam, entries in delivered_reports.items()
                 }
                 global_objects = self.matcher.associate(observations)
                 assoc_span.set_tag("n_global_objects", len(global_objects))
@@ -154,8 +208,9 @@ class CentralScheduler:
                 n_objects, len(self.profiles)
             )
             with tracer.span("scheduler.comm"):
-                comm_ms = self._communication_ms(
-                    reports, assigned, priority, frame_index
+                comm_ms, delivered, retries = self._communication_ms(
+                    reports, assigned, priority, frame_index,
+                    faults, retry, up_outcomes,
                 )
             sched_span.set_tag("n_global_objects", n_objects)
         return ScheduleDecision(
@@ -166,6 +221,9 @@ class CentralScheduler:
             central_ms=central_ms,
             comm_ms=comm_ms,
             global_objects=global_objects,
+            delivered=delivered,
+            dropped_reports=frozenset(reports) - frozenset(delivered_reports),
+            comm_retries=retries,
         )
 
     # ------------------------------------------------------------------
@@ -205,26 +263,46 @@ class CentralScheduler:
                     break
         return assignment
 
+    def _report_message(
+        self, cam: int, entries: List[ReportEntry], frame_index: int
+    ) -> DetectionReport:
+        return DetectionReport(
+            camera_id=cam,
+            frame_index=frame_index,
+            boxes=tuple(b for _, b, _ in entries),
+            track_ids=tuple(t for t, _, _ in entries),
+            gt_ids=tuple(g for _, _, g in entries),
+        )
+
     def _communication_ms(
         self,
         reports: Dict[int, List[ReportEntry]],
         assigned: Dict[int, List[int]],
         priority: Tuple[int, ...],
         frame_index: int,
-    ) -> float:
-        """Max camera-to-scheduler round trip (cameras talk in parallel)."""
+        faults: Dict[int, LinkFault],
+        retry: RetryPolicy,
+        up_outcomes: Dict[int, TransferOutcome],
+    ) -> Tuple[float, FrozenSet[int], int]:
+        """Max camera-to-scheduler round trip (cameras talk in parallel).
+
+        Returns ``(worst_ms, delivered_cameras, lost_attempts)``. For a
+        faulted camera the round trip replays its recorded uplink outcome
+        and simulates the (retried) assignment download; lost attempts
+        surface as ``net.retry`` child spans and in the link drop
+        counters. Cameras without a channel are delivered for free.
+        """
         if not self.channels:
-            return 0.0
+            return 0.0, frozenset(reports), 0
+        tracer = get_tracer()
         worst = 0.0
-        for cam, channel in self.channels.items():
-            entries = reports.get(cam, [])
-            report = DetectionReport(
-                camera_id=cam,
-                frame_index=frame_index,
-                boxes=tuple(b for _, b, _ in entries),
-                track_ids=tuple(t for t, _, _ in entries),
-                gt_ids=tuple(g for _, _, g in entries),
-            )
+        delivered = {cam for cam in reports if cam not in self.channels}
+        lost_attempts = 0
+        for cam in sorted(reports):
+            channel = self.channels.get(cam)
+            if channel is None:
+                continue
+            report = self._report_message(cam, reports[cam], frame_index)
             reply = AssignmentMessage(
                 camera_id=cam,
                 frame_index=frame_index,
@@ -232,10 +310,39 @@ class CentralScheduler:
                 camera_priority_order=priority,
                 mask_cells=(),  # masks are static; sent once at startup
             )
-            worst = max(
-                worst,
-                channel.round_trip_ms(
-                    report.payload_bytes(), reply.payload_bytes()
-                ),
-            )
-        return worst
+            fault = faults.get(cam)
+            if fault is None:
+                worst = max(
+                    worst,
+                    channel.round_trip_ms(
+                        report.payload_bytes(), reply.payload_bytes()
+                    ),
+                )
+                delivered.add(cam)
+                continue
+            up = up_outcomes[cam]
+            with tracer.span(
+                "net.round_trip",
+                up_bytes=report.payload_bytes(),
+                down_bytes=reply.payload_bytes(),
+                faulted=True,
+            ) as span:
+                total = up.elapsed_ms
+                for _ in range(up.dropped):
+                    with tracer.span("net.retry", direction="up"):
+                        pass
+                if up.delivered:
+                    down = channel.down_transfer(
+                        reply.payload_bytes(), fault, retry
+                    )
+                    total += down.elapsed_ms
+                    for _ in range(down.dropped):
+                        with tracer.span("net.retry", direction="down"):
+                            pass
+                    lost_attempts += down.dropped
+                    if down.delivered:
+                        delivered.add(cam)
+                lost_attempts += up.dropped
+                span.set_tag("delivered", cam in delivered)
+            worst = max(worst, total)
+        return worst, frozenset(delivered), lost_attempts

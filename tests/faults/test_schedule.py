@@ -1,0 +1,123 @@
+"""FaultEvent/FaultSchedule semantics: windows, queries, per-frame views."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
+
+
+def test_event_window_half_open():
+    e = FaultEvent(FaultKind.CAMERA_CRASH, start_frame=5, duration=3,
+                   camera_id=1)
+    assert e.end_frame == 8
+    assert not e.active_at(4)
+    assert e.active_at(5)
+    assert e.active_at(7)
+    assert not e.active_at(8)
+
+
+def test_event_open_ended_until_run_end():
+    e = FaultEvent(FaultKind.CAMERA_CRASH, start_frame=5, camera_id=0)
+    assert e.end_frame is None
+    assert e.active_at(5)
+    assert e.active_at(10_000)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(FaultKind.CAMERA_CRASH, start_frame=-1, camera_id=0)
+    with pytest.raises(ValueError):
+        FaultEvent(FaultKind.CAMERA_CRASH, start_frame=0, duration=0,
+                   camera_id=0)
+    # crash / partition / gpu need a camera
+    for kind in (FaultKind.CAMERA_CRASH, FaultKind.PARTITION,
+                 FaultKind.GPU_SLOWDOWN):
+        with pytest.raises(ValueError):
+            FaultEvent(kind, start_frame=0, magnitude=2.0)
+    with pytest.raises(ValueError):
+        FaultEvent(FaultKind.LINK_LOSS, start_frame=0, magnitude=1.5)
+    with pytest.raises(ValueError):
+        FaultEvent(FaultKind.LINK_DELAY, start_frame=0, magnitude=-1.0)
+    with pytest.raises(ValueError):
+        FaultEvent(FaultKind.GPU_SLOWDOWN, start_frame=0, camera_id=0,
+                   magnitude=0.0)
+
+
+def test_fleet_wide_link_fault_applies_to_every_camera():
+    e = FaultEvent(FaultKind.LINK_LOSS, start_frame=0, magnitude=0.5)
+    assert e.applies_to(0) and e.applies_to(7)
+    scoped = FaultEvent(FaultKind.LINK_LOSS, start_frame=0, camera_id=2,
+                        magnitude=0.5)
+    assert scoped.applies_to(2) and not scoped.applies_to(3)
+
+
+def test_schedule_down_and_partitioned_queries():
+    sched = FaultSchedule([
+        FaultEvent(FaultKind.CAMERA_CRASH, 10, duration=5, camera_id=1),
+        FaultEvent(FaultKind.PARTITION, 12, duration=4, camera_id=2),
+    ])
+    assert sched.down_cameras(9) == frozenset()
+    assert sched.down_cameras(10) == frozenset({1})
+    assert sched.partitioned_cameras(13) == frozenset({2})
+    assert sched.down_cameras(15) == frozenset()
+
+
+def test_loss_prob_composes_as_survival_product():
+    sched = FaultSchedule([
+        FaultEvent(FaultKind.LINK_LOSS, 0, duration=10, magnitude=0.5),
+        FaultEvent(FaultKind.LINK_LOSS, 0, duration=10, camera_id=0,
+                   magnitude=0.5),
+    ])
+    assert sched.loss_prob(0, 0) == pytest.approx(0.75)
+    assert sched.loss_prob(0, 1) == pytest.approx(0.5)
+    assert sched.loss_prob(10, 0) == 0.0
+
+
+def test_gpu_factor_multiplies_and_delay_sums():
+    sched = FaultSchedule([
+        FaultEvent(FaultKind.GPU_SLOWDOWN, 0, duration=5, camera_id=0,
+                   magnitude=2.0),
+        FaultEvent(FaultKind.GPU_SLOWDOWN, 0, duration=5, camera_id=0,
+                   magnitude=3.0),
+        FaultEvent(FaultKind.LINK_DELAY, 0, duration=5, magnitude=10.0),
+        FaultEvent(FaultKind.LINK_DELAY, 0, duration=5, camera_id=0,
+                   magnitude=5.0),
+    ])
+    assert sched.gpu_factor(0, 0) == pytest.approx(6.0)
+    assert sched.gpu_factor(0, 1) == 1.0
+    assert sched.extra_delay_ms(0, 0) == pytest.approx(15.0)
+    assert sched.extra_delay_ms(0, 1) == pytest.approx(10.0)
+
+
+def test_at_partition_is_total_loss():
+    sched = FaultSchedule([
+        FaultEvent(FaultKind.PARTITION, 0, duration=3, camera_id=1),
+    ])
+    view = sched.at(0, [0, 1])
+    assert view.partitioned == frozenset({1})
+    assert view.down == frozenset()
+    assert view.link_faults[1].loss_prob == 1.0
+    assert 0 not in view.link_faults
+    assert view.any_active
+
+
+def test_at_restricts_to_known_cameras():
+    sched = FaultSchedule([
+        FaultEvent(FaultKind.CAMERA_CRASH, 0, duration=3, camera_id=99),
+    ])
+    view = sched.at(0, [0, 1])
+    assert view.down == frozenset()
+
+
+def test_started_at_reports_openings_once():
+    e = FaultEvent(FaultKind.CAMERA_CRASH, 4, duration=3, camera_id=0)
+    sched = FaultSchedule([e])
+    assert sched.started_at(4) == (e,)
+    assert sched.started_at(5) == ()
+
+
+def test_empty_schedule_is_falsy_and_inert():
+    sched = FaultSchedule()
+    assert not sched
+    assert len(sched) == 0
+    view = sched.at(0, [0, 1, 2])
+    assert not view.any_active

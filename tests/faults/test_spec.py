@@ -1,0 +1,112 @@
+"""The --faults spec DSL, chaos presets, and resolve_faults."""
+
+import pytest
+
+from repro.faults import (
+    CHAOS_PRESETS,
+    FaultKind,
+    FaultModel,
+    FaultSchedule,
+    parse_fault_spec,
+    resolve_faults,
+    validate_fault_spec,
+)
+from repro.faults.schedule import FaultEvent
+
+
+def test_parse_scripted_clauses():
+    sched = parse_fault_spec(
+        "crash:cam=1,at=12,for=10;loss:p=0.1;delay:ms=40,at=10,for=5;"
+        "gpu:cam=0,x=3,at=5,for=25;partition:cam=2,at=8,for=6"
+    )
+    assert isinstance(sched, FaultSchedule)
+    kinds = sorted(e.kind.value for e in sched.events)
+    assert kinds == ["camera_crash", "gpu_slowdown", "link_delay",
+                     "link_loss", "partition"]
+    crash = next(e for e in sched.events
+                 if e.kind is FaultKind.CAMERA_CRASH)
+    assert (crash.camera_id, crash.start_frame, crash.duration) == (1, 12, 10)
+    loss = next(e for e in sched.events if e.kind is FaultKind.LINK_LOSS)
+    assert loss.camera_id is None  # fleet-wide
+    assert loss.start_frame == 0 and loss.duration is None
+
+
+def test_parse_defaults_at_zero_for_open_ended():
+    sched = parse_fault_spec("crash:cam=0")
+    (e,) = sched.events
+    assert e.start_frame == 0 and e.duration is None
+
+
+def test_parse_rand_clause_builds_model():
+    model = parse_fault_spec("rand:crash=0.01,outage=12,loss=0.05,gpu_x=2.5")
+    assert isinstance(model, FaultModel)
+    assert model.crash_rate == 0.01
+    assert model.mean_outage_frames == 12
+    assert model.loss_prob == 0.05
+    assert model.slowdown_factor == 2.5
+
+
+@pytest.mark.parametrize("bad", [
+    "",
+    "bogus:cam=1",
+    "crash:cam=1,nope=3",
+    "crash:cam",
+    "loss:",                       # loss needs p=
+    "delay:at=3",                  # delay needs ms=
+    "gpu:cam=0",                   # gpu needs x=
+    "crash:cam=0;rand:crash=0.1",  # rand must be the whole spec
+    "crash:cam=x",
+    "loss:p=1.5",
+    "crash:cam=0,at=-1",
+    "crash:cam=0,cam=1",
+])
+def test_validate_rejects_malformed_specs(bad):
+    with pytest.raises(ValueError):
+        validate_fault_spec(bad)
+
+
+def test_presets_are_valid_non_null_models():
+    assert set(CHAOS_PRESETS) == {"light", "heavy", "cameras", "network",
+                                  "gpu"}
+    for name, model in CHAOS_PRESETS.items():
+        assert isinstance(model, FaultModel), name
+        assert not model.is_null, name
+
+
+def test_resolve_disabled_forms_return_none():
+    assert resolve_faults(None, [0], 10, seed=0) is None
+    assert resolve_faults("", [0], 10, seed=0) is None
+    assert resolve_faults("  ", [0], 10, seed=0) is None
+    assert resolve_faults(FaultModel(), [0], 10, seed=0) is None
+    assert resolve_faults(FaultSchedule(), [0], 10, seed=0) is None
+
+
+def test_resolve_preset_name_and_spec_string():
+    sched = resolve_faults("cameras", [0, 1, 2], 500, seed=0)
+    assert isinstance(sched, FaultSchedule) and len(sched) > 0
+    sched2 = resolve_faults("crash:cam=1,at=3,for=2", [0, 1], 10, seed=0)
+    assert len(sched2) == 1
+
+
+def test_resolve_passes_schedules_through_and_compiles_models():
+    raw = FaultSchedule([
+        FaultEvent(FaultKind.CAMERA_CRASH, 0, duration=2, camera_id=0),
+    ])
+    assert resolve_faults(raw, [0], 10, seed=0) is raw
+    compiled = resolve_faults(
+        FaultModel(crash_rate=0.2), [0, 1], 100, seed=0
+    )
+    assert isinstance(compiled, FaultSchedule)
+
+
+def test_resolve_is_seed_deterministic():
+    a = resolve_faults("heavy", [0, 1, 2], 300, seed=5)
+    b = resolve_faults("heavy", [0, 1, 2], 300, seed=5)
+    c = resolve_faults("heavy", [0, 1, 2], 300, seed=6)
+    assert a.events == b.events
+    assert a.events != c.events
+
+
+def test_resolve_rejects_wrong_types():
+    with pytest.raises(TypeError):
+        resolve_faults(42, [0], 10, seed=0)

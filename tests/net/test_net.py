@@ -9,7 +9,9 @@ from repro.net.link import (
     TESTBED_UPLINK,
     DuplexChannel,
     Link,
+    LinkFault,
     LinkSpec,
+    RetryPolicy,
 )
 from repro.net.messages import AssignmentMessage, DetectionReport
 
@@ -99,3 +101,144 @@ class TestMessages:
             mask_cells=((0, 0), (1, 1)),
         )
         assert msg.payload_bytes() > 64
+
+
+class TestRetryPolicy:
+    def test_linear_backoff_penalty(self):
+        policy = RetryPolicy(max_attempts=4, timeout_ms=60.0, backoff_ms=20.0)
+        assert policy.penalty_ms(0) == pytest.approx(60.0)
+        assert policy.penalty_ms(2) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_ms=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_ms=-1.0)
+
+
+class TestLinkFault:
+    def test_clean_and_validation(self):
+        assert LinkFault().is_clean
+        assert not LinkFault(loss_prob=0.1).is_clean
+        assert not LinkFault(extra_delay_ms=5.0).is_clean
+        with pytest.raises(ValueError):
+            LinkFault(loss_prob=1.1)
+        with pytest.raises(ValueError):
+            LinkFault(extra_delay_ms=-1.0)
+
+
+class TestReliableTransfer:
+    def spec(self):
+        return LinkSpec(bandwidth_mbps=8.0, propagation_ms=2.0)
+
+    def test_clean_fault_costs_plain_transfer(self):
+        link = Link(self.spec())
+        outcome = link.reliable_transfer(
+            1000, LinkFault(), RetryPolicy(), np.random.default_rng(0)
+        )
+        assert outcome.delivered
+        assert outcome.attempts == 1
+        assert outcome.dropped == 0
+        assert outcome.elapsed_ms == pytest.approx(3.0)
+        assert link.messages_dropped == 0
+
+    def test_extra_delay_charged_on_delivery(self):
+        link = Link(self.spec())
+        outcome = link.reliable_transfer(
+            1000, LinkFault(extra_delay_ms=40.0), RetryPolicy(),
+            np.random.default_rng(0),
+        )
+        assert outcome.delivered
+        assert outcome.elapsed_ms == pytest.approx(43.0)
+
+    def test_total_loss_exhausts_attempts_and_counts_drops(self):
+        link = Link(self.spec())
+        policy = RetryPolicy(max_attempts=3, timeout_ms=60.0, backoff_ms=20.0)
+        outcome = link.reliable_transfer(
+            1000, LinkFault(loss_prob=1.0), policy, np.random.default_rng(0)
+        )
+        assert not outcome.delivered
+        assert outcome.attempts == 3
+        assert outcome.dropped == 3
+        # 60 + (60+20) + (60+40): timeout plus linear backoff per attempt.
+        assert outcome.elapsed_ms == pytest.approx(240.0)
+        assert link.messages_dropped == 3
+        assert link.bytes_dropped == 3000
+        # drops never contaminate the delivered-traffic counters
+        assert link.messages_sent == 0
+        assert link.bytes_sent == 0
+
+    def test_partial_loss_retries_then_delivers(self):
+        link = Link(self.spec())
+
+        class ScriptedRng:
+            def __init__(self, draws):
+                self.draws = list(draws)
+
+            def random(self):
+                return self.draws.pop(0)
+
+        # first attempt lost (0.1 < 0.5), second delivered (0.9 >= 0.5)
+        outcome = link.reliable_transfer(
+            1000, LinkFault(loss_prob=0.5),
+            RetryPolicy(timeout_ms=60.0, backoff_ms=20.0),
+            ScriptedRng([0.1, 0.9]),
+        )
+        assert outcome.delivered
+        assert outcome.attempts == 2
+        assert outcome.dropped == 1
+        assert link.messages_dropped == 1
+        assert link.messages_sent == 1
+        # timeout of the lost attempt plus the real transfer (3 ms)
+        assert outcome.elapsed_ms == pytest.approx(63.0)
+
+
+class TestDuplexChannelRNG:
+    def test_directions_get_distinct_streams(self):
+        spec = LinkSpec(bandwidth_mbps=10.0, propagation_ms=1.0,
+                        jitter_ms_std=1.0)
+        channel = DuplexChannel(uplink=spec, downlink=spec, seed=0)
+        ups = [channel.up.transfer_ms(100) for _ in range(8)]
+        downs = [channel.down.transfer_ms(100) for _ in range(8)]
+        assert ups != downs
+
+    def test_different_seeds_give_different_jitter(self):
+        spec = LinkSpec(bandwidth_mbps=10.0, propagation_ms=1.0,
+                        jitter_ms_std=1.0)
+        a = DuplexChannel(uplink=spec, downlink=spec, seed=1)
+        b = DuplexChannel(uplink=spec, downlink=spec, seed=2)
+        assert [a.up.transfer_ms(100) for _ in range(8)] != [
+            b.up.transfer_ms(100) for _ in range(8)
+        ]
+
+    def test_same_seed_reproduces(self):
+        spec = LinkSpec(bandwidth_mbps=10.0, propagation_ms=1.0,
+                        jitter_ms_std=1.0)
+        a = DuplexChannel(uplink=spec, downlink=spec, seed=3)
+        b = DuplexChannel(uplink=spec, downlink=spec, seed=3)
+        assert [a.up.transfer_ms(100) for _ in range(8)] == [
+            b.up.transfer_ms(100) for _ in range(8)
+        ]
+
+    def test_fault_draws_do_not_perturb_jitter_stream(self):
+        spec = LinkSpec(bandwidth_mbps=10.0, propagation_ms=1.0,
+                        jitter_ms_std=1.0)
+        a = DuplexChannel(uplink=spec, downlink=spec, seed=4)
+        b = DuplexChannel(uplink=spec, downlink=spec, seed=4)
+        # interleave fault-rng draws on a only
+        a.up_transfer(100, LinkFault(loss_prob=0.5))
+        a_vals = [a.down.transfer_ms(100) for _ in range(8)]
+        b.up.transfer_ms(100)  # consume the same up-jitter draw count... 
+        b_vals = [b.down.transfer_ms(100) for _ in range(8)]
+        assert a_vals == pytest.approx(b_vals)
+
+    def test_channel_drop_counters_aggregate_directions(self):
+        channel = DuplexChannel(seed=0)
+        channel.up_transfer(100, LinkFault(loss_prob=1.0),
+                            RetryPolicy(max_attempts=2))
+        channel.down_transfer(50, LinkFault(loss_prob=1.0),
+                              RetryPolicy(max_attempts=1))
+        assert channel.messages_dropped == 3
+        assert channel.bytes_dropped == 250

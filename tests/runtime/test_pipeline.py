@@ -40,6 +40,27 @@ class TestPipelineConfig:
         with pytest.raises(ValueError):
             PipelineConfig(n_horizons=0)
 
+    def test_negative_gpu_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(gpu_jitter=-0.01)
+        PipelineConfig(gpu_jitter=0.0)  # disabling jitter is fine
+
+    def test_invalid_link_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(link_timeout_ms=-1.0)
+        with pytest.raises(ValueError):
+            PipelineConfig(link_max_retries=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(link_backoff_ms=-1.0)
+
+    def test_retry_policy_reflects_link_knobs(self):
+        config = PipelineConfig(link_timeout_ms=80.0, link_max_retries=5,
+                                link_backoff_ms=10.0)
+        policy = config.retry_policy()
+        assert policy.max_attempts == 5
+        assert policy.timeout_ms == 80.0
+        assert policy.penalty_ms(2) == 100.0
+
 
 class TestTrainModels:
     def test_profiles_for_all_cameras(self):

@@ -35,6 +35,35 @@ class TestSkewModel:
         with pytest.raises(ValueError):
             SkewModel(max_lag_frames=-1)
 
+    def test_jittered_lag_passthrough_without_jitter(self):
+        model = SkewModel(max_lag_frames=3, jitter=False)
+        rng = np.random.default_rng(0)
+        # without jitter the base lag comes back untouched, no rng draw
+        for base in (0, 1, 3):
+            assert model.jittered_lag(base, rng) == base
+        # the rng was never consumed
+        assert rng.integers(0, 100) == np.random.default_rng(0).integers(0, 100)
+
+    def test_jittered_lag_moves_at_most_one_frame(self):
+        model = SkewModel(max_lag_frames=3, jitter=True)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            lag = model.jittered_lag(2, rng)
+            assert 1 <= lag <= 3
+
+    def test_jittered_lag_clamps_at_zero(self):
+        model = SkewModel(max_lag_frames=3, jitter=True)
+        rng = np.random.default_rng(2)
+        draws = [model.jittered_lag(0, rng) for _ in range(100)]
+        assert all(0 <= lag <= 1 for lag in draws)
+        assert 0 in draws  # -1 jitter draws clamp to 0, not -1
+
+    def test_jittered_lag_covers_all_three_offsets(self):
+        model = SkewModel(max_lag_frames=5, jitter=True)
+        rng = np.random.default_rng(3)
+        draws = {model.jittered_lag(2, rng) for _ in range(200)}
+        assert draws == {1, 2, 3}
+
 
 class TestWorldHistory:
     def test_view_zero_is_latest(self):
@@ -71,6 +100,26 @@ class TestWorldHistory:
             WorldHistory(depth=0)
         with pytest.raises(ValueError):
             WorldHistory(depth=2).view(-1)
+
+    def test_empty_history_any_lag_is_empty(self):
+        history = WorldHistory(depth=3)
+        assert history.view(0) == []
+        assert history.view(10) == []
+
+    def test_lag_beyond_depth_clamps_to_oldest(self):
+        history = WorldHistory(depth=3)
+        for i in range(3):
+            history.push([obj(0, float(i))])
+        # lag 2 is the oldest retained; anything larger clamps to it
+        assert history.view(2)[0].x == 0.0
+        assert history.view(7)[0].x == 0.0
+
+    def test_view_after_eviction_still_clamps(self):
+        history = WorldHistory(depth=2)
+        for i in range(4):
+            history.push([obj(0, float(i))])
+        # snapshots 0 and 1 were evicted; lag 5 clamps to snapshot 2
+        assert history.view(5)[0].x == 2.0
 
 
 class TestPipelineWithSkew:
