@@ -90,16 +90,89 @@ def _config_from(
         gpu_jitter=getattr(args, "gpu_jitter", 0.02),
         trace=trace,
         faults=_faults_from(args),
+        checkpoint_path=getattr(args, "checkpoint", None),
+        checkpoint_every=getattr(args, "checkpoint_every", 0) or 0,
+        stop_after_frames=getattr(args, "stop_after", None),
     )
+
+
+def _fault_summary_table(result, title: str = "fault summary") -> str:
+    """The fault-summary table shared by ``run`` and ``compare``."""
+    def counter_sum(name: str) -> int:
+        return int(sum(
+            m["value"] for m in result.metrics
+            if m["kind"] == "counter" and m["name"] == name
+        ))
+
+    rows = [
+        ("coverage loss", round(result.coverage_loss(), 4)),
+        ("recall (lost counted as missed)",
+         round(result.object_recall(count_lost_as_missed=True), 4)),
+        ("fault events", counter_sum("fault_events_total")),
+        ("forced key frames", counter_sum("forced_key_frames_total")),
+        ("assignment fallbacks", counter_sum("assignment_fallbacks_total")),
+        ("messages dropped", counter_sum("messages_dropped_total")),
+    ]
+    if counter_sum("scheduler_down_frames_total"):
+        recovery = next(
+            (m for m in result.metrics
+             if m["kind"] == "histogram"
+             and m["name"] == "failover_recovery_ms"),
+            None,
+        )
+        rows += [
+            ("scheduler down frames",
+             counter_sum("scheduler_down_frames_total")),
+            ("skipped key frames", counter_sum("skipped_key_frames_total")),
+            ("failover takeovers", counter_sum("failover_takeovers_total")),
+            ("failover handbacks", counter_sum("failover_handbacks_total")),
+            ("checkpoint replications",
+             counter_sum("failover_replications_total")),
+            ("mean recovery ms",
+             0.0 if recovery is None else round(recovery["mean"], 1)),
+        ]
+    return format_table(["metric", "value"], rows, title=title)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one policy on one scenario and print its metrics."""
-    scenario = get_scenario(args.scenario, seed=args.seed)
-    config = _config_from(args, args.policy, trace=bool(args.trace))
-    print(f"Scenario {scenario.name}: {scenario.description}")
-    trained = train_models(scenario, config)
-    result = run_policy(scenario, args.policy, config, trained)
+    if args.resume:
+        if args.faults or args.chaos or args.trace or args.checkpoint:
+            raise SystemExit(
+                "error: --resume restores the checkpointed run; it cannot "
+                "be combined with --faults/--chaos/--trace/--checkpoint"
+            )
+        from repro.checkpoint import CheckpointError, load_checkpoint
+        from repro.runtime.pipeline import Pipeline
+
+        try:
+            checkpoint = load_checkpoint(args.resume)
+        except CheckpointError as exc:
+            raise SystemExit(f"error: {exc}")
+        scenario = checkpoint.scenario
+        config = checkpoint.config
+        trained = checkpoint.trained
+        print(f"Scenario {scenario.name}: {scenario.description}")
+        pipeline = Pipeline(scenario, config, trained=trained)
+        result = pipeline.resume_state(checkpoint.state)
+    else:
+        if (args.checkpoint_every or args.stop_after) and not args.checkpoint:
+            raise SystemExit(
+                "error: --checkpoint-every/--stop-after require --checkpoint"
+            )
+        scenario = get_scenario(args.scenario, seed=args.seed)
+        config = _config_from(args, args.policy, trace=bool(args.trace))
+        print(f"Scenario {scenario.name}: {scenario.description}")
+        trained = train_models(scenario, config)
+        result = run_policy(scenario, args.policy, config, trained)
+        total = config.horizon * config.n_horizons
+        if config.stop_after_frames is not None and result.n_frames < total:
+            print(
+                f"interrupted after {result.n_frames}/{total} frames; "
+                f"checkpoint written to {config.checkpoint_path}"
+            )
+            print(f"resume with: repro run --resume {config.checkpoint_path}")
+            return 0
     print(
         format_table(
             ["policy", "recall", "slowest-cam ms"],
@@ -108,30 +181,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     )
     if config.faults is not None:
-        def counter_sum(name: str) -> int:
-            return int(sum(
-                m["value"] for m in result.metrics
-                if m["kind"] == "counter" and m["name"] == name
-            ))
-
-        print(
-            format_table(
-                ["metric", "value"],
-                [
-                    ("coverage loss", round(result.coverage_loss(), 4)),
-                    ("recall (lost counted as missed)",
-                     round(result.object_recall(count_lost_as_missed=True), 4)),
-                    ("fault events", counter_sum("fault_events_total")),
-                    ("forced key frames",
-                     counter_sum("forced_key_frames_total")),
-                    ("assignment fallbacks",
-                     counter_sum("assignment_fallbacks_total")),
-                    ("messages dropped",
-                     counter_sum("messages_dropped_total")),
-                ],
-                title="fault summary",
-            )
-        )
+        print(_fault_summary_table(result))
     per_cam = result.per_camera_mean_latency()
     print(
         format_table(
@@ -226,6 +276,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
             title="policy comparison",
         )
     )
+    if config.faults is not None:
+        for policy, result in runs.items():
+            print(
+                _fault_summary_table(
+                    result, title=f"fault summary ({policy})"
+                )
+            )
     return 0
 
 
@@ -309,6 +366,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="collect a span trace and write it to PATH as JSON lines",
+    )
+    run_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a crash-consistent checkpoint of the run state to PATH",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="K",
+        help="checkpoint every K frames (requires --checkpoint)",
+    )
+    run_parser.add_argument(
+        "--stop-after", type=int, default=None, metavar="N",
+        help="simulate an interruption: checkpoint and stop after N "
+             "frames (requires --checkpoint); a later --resume run is "
+             "bit-identical to the uninterrupted one",
+    )
+    run_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a checkpointed run to completion; every other "
+             "option is restored from the checkpoint",
     )
     run_parser.set_defaults(func=cmd_run)
 

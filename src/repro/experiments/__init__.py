@@ -24,6 +24,7 @@ from repro.experiments.extensions import (
 )
 from repro.experiments.fault_tolerance import (
     DegradationPoint,
+    FailoverPoint,
     FaultToleranceStudy,
     fault_tolerance_study,
     run_fault_tolerance,
@@ -119,6 +120,7 @@ __all__ = [
     "synchronization_study",
     "DegradationPoint",
     "FaultToleranceStudy",
+    "FailoverPoint",
     "fault_tolerance_study",
     "run_fault_tolerance",
 ]

@@ -13,6 +13,13 @@ scheduling policy degrades:
 * **Link-loss sweep** — report/assignment message loss at increasing
   probabilities for BALB. Cameras that miss their assignment fall back to
   the stale decision; recall degrades smoothly rather than collapsing.
+* **Scheduler-kill sweep** — a scripted central-scheduler outage for BALB
+  vs SP. With failover, a warm-standby camera takes over from its
+  replicated checkpoint within one heartbeat interval; the table reports
+  takeovers, skipped key frames and recall under the outage.
+* **Recovery-vs-heartbeat curve** — the same outage at increasing
+  heartbeat intervals, showing the detection-latency/overhead trade-off
+  of the lease protocol (recovery time grows linearly with the interval).
 
 Every run is deterministic: the fault schedule is compiled from the run
 seed before the frame loop starts.
@@ -48,12 +55,32 @@ class DegradationPoint:
 
 
 @dataclass(frozen=True)
+class FailoverPoint:
+    """One scheduler-outage run: availability and recovery figures."""
+
+    policy: str
+    heartbeat_frames: int
+    recall: float
+    takeovers: int
+    skipped_key_frames: int
+    scheduler_down_frames: int
+    mean_recovery_ms: float
+
+    @property
+    def recovered(self) -> bool:
+        """Did a standby restore central scheduling during the outage?"""
+        return self.takeovers > 0
+
+
+@dataclass(frozen=True)
 class FaultToleranceStudy:
-    """Both sweeps of the FAULTS experiment."""
+    """All sweeps of the FAULTS experiment."""
 
     scenario: str
     crash_sweep: Tuple[DegradationPoint, ...]
     loss_sweep: Tuple[DegradationPoint, ...]
+    scheduler_sweep: Tuple[FailoverPoint, ...] = ()
+    heartbeat_sweep: Tuple[FailoverPoint, ...] = ()
 
     def worst_recall_drop(self, policy: str) -> float:
         """Effective-recall drop from fault-free to the harshest crash rate."""
@@ -101,6 +128,49 @@ def fault_tolerance_study(
             latency_ms=result.mean_slowest_latency(),
         )
 
+    def failover_point(
+        policy: str, heartbeat: int, outage_spec: str
+    ) -> FailoverPoint:
+        cfg = PipelineConfig(
+            **{**base.__dict__, "policy": policy, "faults": outage_spec,
+               "failover_heartbeat_frames": heartbeat}
+        )
+        result = run_policy(scenario, policy, cfg, trained)
+
+        def counter_sum(name: str) -> int:
+            return int(sum(
+                m["value"] for m in result.metrics
+                if m["kind"] == "counter" and m["name"] == name
+            ))
+
+        recovery = next(
+            (m for m in result.metrics
+             if m["kind"] == "histogram"
+             and m["name"] == "failover_recovery_ms"),
+            None,
+        )
+        return FailoverPoint(
+            policy=policy,
+            heartbeat_frames=heartbeat,
+            recall=result.object_recall(),
+            takeovers=counter_sum("failover_takeovers_total"),
+            skipped_key_frames=counter_sum("skipped_key_frames_total"),
+            scheduler_down_frames=counter_sum("scheduler_down_frames_total"),
+            mean_recovery_ms=(
+                0.0 if recovery is None else float(recovery["mean"])
+            ),
+        )
+
+    # One mid-run outage long enough to span several horizons.
+    outage = f"sched_crash:at={2 * base.horizon + 2},for={3 * base.horizon}"
+    scheduler_sweep = tuple(
+        failover_point(policy, base.horizon, outage)
+        for policy in ("balb", "sp")
+    )
+    heartbeat_sweep = tuple(
+        failover_point("balb", hb, outage) for hb in (2, 5, 10)
+    )
+
     crash_sweep = tuple(
         point(policy, crash, 0.0)
         for policy in policies
@@ -111,6 +181,8 @@ def fault_tolerance_study(
         scenario=scenario_name,
         crash_sweep=crash_sweep,
         loss_sweep=loss_sweep,
+        scheduler_sweep=scheduler_sweep,
+        heartbeat_sweep=heartbeat_sweep,
     )
 
 
@@ -137,11 +209,33 @@ def run_fault_tolerance(seed: int = 0) -> str:
         ],
         title=f"FAULTS ({study.scenario}): link-loss sweep (balb)",
     )
+    scheduler_table = format_table(
+        ["policy", "recall", "takeovers", "skipped keys", "down frames",
+         "mean recovery ms"],
+        [
+            (p.policy, round(p.recall, 3), p.takeovers,
+             p.skipped_key_frames, p.scheduler_down_frames,
+             round(p.mean_recovery_ms, 1))
+            for p in study.scheduler_sweep
+        ],
+        title=f"FAULTS ({study.scenario}): scheduler-kill sweep "
+              "(warm-standby failover)",
+    )
+    heartbeat_table = format_table(
+        ["heartbeat frames", "recall", "skipped keys", "mean recovery ms"],
+        [
+            (p.heartbeat_frames, round(p.recall, 3),
+             p.skipped_key_frames, round(p.mean_recovery_ms, 1))
+            for p in study.heartbeat_sweep
+        ],
+        title=f"FAULTS ({study.scenario}): recovery time vs heartbeat "
+              "interval (balb)",
+    )
     drops = ", ".join(
         f"{policy}={study.worst_recall_drop(policy):+.3f}"
         for policy in ("balb", "sp", "balb-ind")
     )
     return "\n\n".join(
-        [crash_table, loss_table,
+        [crash_table, loss_table, scheduler_table, heartbeat_table,
          f"effective-recall drop at the harshest crash rate: {drops}"]
     )

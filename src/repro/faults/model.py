@@ -43,15 +43,18 @@ class FaultModel:
     slowdown_rate: float = 0.0
     slowdown_factor: float = 2.0
     mean_slowdown_frames: float = 20.0
+    scheduler_crash_rate: float = 0.0
+    mean_scheduler_outage_frames: float = 12.0
 
     def __post_init__(self) -> None:
         for name in ("crash_rate", "partition_rate", "delay_spike_rate",
-                     "slowdown_rate", "loss_prob"):
+                     "slowdown_rate", "loss_prob", "scheduler_crash_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability in [0, 1]")
         for name in ("mean_outage_frames", "mean_partition_frames",
-                     "mean_delay_frames", "mean_slowdown_frames"):
+                     "mean_delay_frames", "mean_slowdown_frames",
+                     "mean_scheduler_outage_frames"):
             if getattr(self, name) < 1.0:
                 raise ValueError(f"{name} must be >= 1 frame")
         if self.delay_ms < 0:
@@ -68,6 +71,7 @@ class FaultModel:
             and self.loss_prob == 0.0
             and self.delay_spike_rate == 0.0
             and self.slowdown_rate == 0.0
+            and self.scheduler_crash_rate == 0.0
         )
 
     # ------------------------------------------------------------------
@@ -126,4 +130,25 @@ class FaultModel:
                         frame += duration
                     else:
                         frame += 1
+        # The scheduler-crash process is drawn *after* every per-camera
+        # process, so models without scheduler faults compile to exactly
+        # the schedules they did before the kind existed.
+        if self.scheduler_crash_rate > 0.0:
+            frame = 0
+            while frame < n_frames:
+                if rng.random() < self.scheduler_crash_rate:
+                    duration = int(
+                        rng.geometric(1.0 / self.mean_scheduler_outage_frames)
+                    )
+                    duration = max(1, min(duration, n_frames - frame))
+                    events.append(
+                        FaultEvent(
+                            kind=FaultKind.SCHEDULER_CRASH,
+                            start_frame=frame,
+                            duration=duration,
+                        )
+                    )
+                    frame += duration
+                else:
+                    frame += 1
         return FaultSchedule(events)

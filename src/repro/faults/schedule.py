@@ -24,11 +24,16 @@ class FaultKind(enum.Enum):
     LINK_LOSS = "link_loss"  # probabilistic message loss on the channel
     LINK_DELAY = "link_delay"  # additive per-message latency spike (ms)
     GPU_SLOWDOWN = "gpu_slowdown"  # thermal throttling: latency multiplier
+    SCHEDULER_CRASH = "scheduler_crash"  # central node stops scheduling
+    SCHEDULER_REJOIN = "scheduler_rejoin"  # central node comes back (instant)
 
 
 #: Kinds that require a concrete camera id (link faults may be fleet-wide).
 _CAMERA_REQUIRED = (FaultKind.CAMERA_CRASH, FaultKind.PARTITION,
                     FaultKind.GPU_SLOWDOWN)
+
+#: Kinds affecting the central node itself: never bound to a camera.
+_SCHEDULER_KINDS = (FaultKind.SCHEDULER_CRASH, FaultKind.SCHEDULER_REJOIN)
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,15 @@ class FaultEvent:
             raise ValueError("duration must be >= 1 frame (or None)")
         if self.camera_id is None and self.kind in _CAMERA_REQUIRED:
             raise ValueError(f"{self.kind.value} events need a camera_id")
+        if self.camera_id is not None and self.kind in _SCHEDULER_KINDS:
+            raise ValueError(
+                f"{self.kind.value} affects the central node; camera_id "
+                "must be None"
+            )
+        if self.kind is FaultKind.SCHEDULER_REJOIN and self.duration is not None:
+            raise ValueError(
+                "scheduler_rejoin is instantaneous; it takes no duration"
+            )
         if self.kind is FaultKind.LINK_LOSS and not 0.0 <= self.magnitude <= 1.0:
             raise ValueError("link_loss magnitude is a probability in [0, 1]")
         if self.kind is FaultKind.LINK_DELAY and self.magnitude < 0:
@@ -91,12 +105,13 @@ class FrameFaults:
     gpu_factor: Dict[int, float]  # camera -> multiplier (absent = 1.0)
     link_faults: Dict[int, LinkFault]  # camera -> loss/delay (absent = clean)
     started: Tuple[FaultEvent, ...]  # events whose window opens this frame
+    scheduler_down: bool = False  # central node unavailable this frame
 
     @property
     def any_active(self) -> bool:
         return bool(
             self.down or self.partitioned or self.gpu_factor
-            or self.link_faults or self.started
+            or self.link_faults or self.started or self.scheduler_down
         )
 
 
@@ -141,6 +156,35 @@ class FaultSchedule:
             and e.active_at(frame)
             and e.camera_id is not None
         )
+
+    @property
+    def has_scheduler_faults(self) -> bool:
+        """Does any event target the central node?"""
+        return any(e.kind in _SCHEDULER_KINDS for e in self.events)
+
+    def scheduler_down(self, frame: int) -> bool:
+        """Is the central scheduler node crashed at ``frame``?
+
+        A ``SCHEDULER_CRASH`` window ends at its explicit duration, at the
+        first ``SCHEDULER_REJOIN`` event after its start, or never (an
+        open-ended crash with no rejoin lasts the rest of the run).
+        """
+        rejoins = sorted(
+            e.start_frame
+            for e in self.events
+            if e.kind is FaultKind.SCHEDULER_REJOIN
+        )
+        for e in self.events:
+            if e.kind is not FaultKind.SCHEDULER_CRASH:
+                continue
+            end = e.end_frame
+            if end is None:
+                end = next(
+                    (r for r in rejoins if r > e.start_frame), None
+                )
+            if frame >= e.start_frame and (end is None or frame < end):
+                return True
+        return False
 
     def gpu_factor(self, frame: int, camera_id: int) -> float:
         """Combined (multiplicative) GPU slowdown for one camera."""
@@ -203,4 +247,5 @@ class FaultSchedule:
             gpu_factor=gpu,
             link_faults=link,
             started=self.started_at(frame),
+            scheduler_down=self.scheduler_down(frame),
         )

@@ -8,12 +8,14 @@ Scripted events are semicolon-separated ``kind:key=value,...`` clauses::
     loss:p=0.3,cam=2,at=5,for=20    # scoped loss burst on camera 2's channel
     delay:ms=40,at=10,for=5         # +40 ms per message for 5 frames
     gpu:cam=0,x=3,at=5,for=25       # camera 0's GPU runs 3x slower
+    sched_crash:at=12,for=15        # central scheduler dead for 15 frames
+    sched_crash:at=12;sched_rejoin:at=30   # open-ended crash + explicit rejoin
 
 ``at`` defaults to frame 0 and ``for`` to the rest of the run. A
 ``rand:`` clause instead builds a stochastic
 :class:`~repro.faults.model.FaultModel` (rates per camera-frame)::
 
-    rand:crash=0.01,outage=12,loss=0.05,gpu=0.003,gpu_x=2.5
+    rand:crash=0.01,outage=12,loss=0.05,gpu=0.003,gpu_x=2.5,sched=0.005
 
 Chaos presets name curated models: ``--chaos heavy`` etc.
 """
@@ -52,6 +54,10 @@ CHAOS_PRESETS: Dict[str, FaultModel] = {
     "gpu": FaultModel(
         slowdown_rate=0.01, slowdown_factor=3.0, mean_slowdown_frames=25.0
     ),
+    "scheduler": FaultModel(
+        scheduler_crash_rate=0.01, mean_scheduler_outage_frames=15.0,
+        loss_prob=0.05,
+    ),
 }
 
 _EVENT_KINDS = {
@@ -60,6 +66,8 @@ _EVENT_KINDS = {
     "loss": FaultKind.LINK_LOSS,
     "delay": FaultKind.LINK_DELAY,
     "gpu": FaultKind.GPU_SLOWDOWN,
+    "sched_crash": FaultKind.SCHEDULER_CRASH,
+    "sched_rejoin": FaultKind.SCHEDULER_REJOIN,
 }
 
 #: ``rand:`` clause keys -> FaultModel fields.
@@ -75,6 +83,8 @@ _RAND_KEYS = {
     "gpu": "slowdown_rate",
     "gpu_x": "slowdown_factor",
     "gpu_frames": "mean_slowdown_frames",
+    "sched": "scheduler_crash_rate",
+    "sched_frames": "mean_scheduler_outage_frames",
 }
 
 
@@ -118,6 +128,17 @@ def _float_field(kv: Dict[str, str], key: str, clause: str) -> Optional[float]:
 
 def _parse_event(name: str, kv: Dict[str, str], clause: str) -> FaultEvent:
     kind = _EVENT_KINDS[name]
+    if kind in (FaultKind.SCHEDULER_CRASH, FaultKind.SCHEDULER_REJOIN):
+        if "cam" in kv:
+            raise ValueError(
+                f"fault clause {clause!r}: {name} targets the central "
+                "node and takes no cam="
+            )
+        if kind is FaultKind.SCHEDULER_REJOIN and "for" in kv:
+            raise ValueError(
+                f"fault clause {clause!r}: sched_rejoin is instantaneous "
+                "and takes no for="
+            )
     camera = _int_field(kv, "cam", clause)
     start = _int_field(kv, "at", clause) or 0
     duration = _int_field(kv, "for", clause)

@@ -11,9 +11,19 @@ from repro.net.link import (
     RetryPolicy,
     TransferOutcome,
 )
-from repro.net.messages import AssignmentMessage, DetectionReport
+from repro.net.heartbeat import HeartbeatMonitor, LeaseConfig
+from repro.net.messages import (
+    AssignmentMessage,
+    DetectionReport,
+    Heartbeat,
+    SchedulerCheckpoint,
+)
 
 __all__ = [
+    "Heartbeat",
+    "HeartbeatMonitor",
+    "LeaseConfig",
+    "SchedulerCheckpoint",
     "LinkSpec",
     "Link",
     "LinkFault",

@@ -1,0 +1,81 @@
+"""Heartbeat/lease protocol for central-scheduler failover.
+
+The acting central scheduler broadcasts a :class:`~repro.net.messages.
+Heartbeat` every ``heartbeat_interval_frames`` frames. Cameras grant it
+a lease of ``lease_misses`` heartbeats: once that many due beacons in a
+row go unanswered, the lease is expired and the deterministic warm
+standby may claim leadership. Everything is frame-quantized — the
+protocol runs inside the simulated frame loop, so detection latency is
+bounded by ``lease_misses * heartbeat_interval_frames`` frames (with the
+default single-miss lease: one heartbeat interval, the availability bar
+the runtime's acceptance tests pin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class LeaseConfig:
+    """Knobs of the heartbeat/lease failover protocol."""
+
+    #: Frames between scheduler heartbeats (and lease renewals).
+    heartbeat_interval_frames: int = 5
+    #: Consecutive missed heartbeats before the lease expires.
+    lease_misses: int = 1
+    #: Modeled cost of deserializing the replicated checkpoint and
+    #: rebuilding scheduler state at takeover, in ms.
+    takeover_restore_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_frames < 1:
+            raise ValueError("heartbeat_interval_frames must be >= 1")
+        if self.lease_misses < 1:
+            raise ValueError("lease_misses must be >= 1")
+        if self.takeover_restore_ms < 0:
+            raise ValueError("takeover_restore_ms must be non-negative")
+
+    def is_heartbeat_due(self, frame: int) -> bool:
+        """Is a heartbeat scheduled at ``frame``?"""
+        return frame % self.heartbeat_interval_frames == 0
+
+
+class HeartbeatMonitor:
+    """Tracks the acting scheduler's lease as the camera fleet sees it.
+
+    Drive it once per frame with :meth:`observe`. While the scheduler
+    answers its due heartbeats the lease stays renewed; after a crash
+    the monitor counts the due-but-missed beacons *strictly after* the
+    last renewal and reports expiry once ``lease_misses`` accumulate.
+    """
+
+    def __init__(self, config: Optional[LeaseConfig] = None) -> None:
+        self.config = config or LeaseConfig()
+        self.last_renewal_frame: Optional[int] = None
+        self.missed = 0
+
+    @property
+    def lease_expired(self) -> bool:
+        return self.missed >= self.config.lease_misses
+
+    def observe(self, frame: int, scheduler_alive: bool) -> bool:
+        """Advance the lease one frame; returns True if it expired *now*.
+
+        A live scheduler renews at every frame (its due heartbeats all
+        arrive). A dead one misses exactly the due frames, so expiry
+        lands on a heartbeat boundary — within one interval of the crash
+        under the default single-miss lease.
+        """
+        if scheduler_alive:
+            self.last_renewal_frame = frame
+            self.missed = 0
+            return False
+        if not self.config.is_heartbeat_due(frame):
+            return False
+        if self.last_renewal_frame is not None and frame <= self.last_renewal_frame:
+            return False
+        already_expired = self.lease_expired
+        self.missed += 1
+        return self.lease_expired and not already_expired

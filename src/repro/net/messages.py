@@ -55,3 +55,54 @@ class AssignmentMessage:
             + len(self.camera_priority_order) * 4
             + len(self.mask_cells) * 8
         )
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness beacon of the acting central scheduler.
+
+    ``leader_id`` identifies who currently holds central duties: ``-1``
+    for the dedicated scheduler node, a camera id for a warm standby
+    that took over. The same message doubles as the standby's
+    leadership-claim broadcast at takeover.
+    """
+
+    frame_index: int
+    leader_id: int = -1
+
+    def payload_bytes(self) -> int:
+        """Serialized size: two ids plus a small envelope."""
+        return 16 + 2 * 4
+
+
+@dataclass(frozen=True)
+class SchedulerCheckpoint:
+    """Replicated central-scheduler state, piggybacked on assignment
+    downloads to the designated warm standby.
+
+    Carries everything the standby needs to resume central duties after
+    a takeover: the association state (global object -> per-camera local
+    track ids), the last decision (per-camera assigned tracks) and the
+    camera priority order. Cell masks are static and replicated once at
+    startup, so they are not part of the checkpoint.
+    """
+
+    frame_index: int
+    priority_order: Tuple[int, ...]
+    assigned: Dict[int, Tuple[int, ...]]  # camera -> assigned local tracks
+    association: Dict[int, Tuple[Tuple[int, int], ...]]  # gid -> (cam, tid)
+
+    @property
+    def n_global_objects(self) -> int:
+        return len(self.association)
+
+    def payload_bytes(self) -> int:
+        """Serialized size: envelope + ids for every replicated entry."""
+        n_assigned = sum(len(v) for v in self.assigned.values())
+        n_members = sum(len(v) for v in self.association.values())
+        return (
+            64
+            + len(self.priority_order) * 4
+            + len(self.assigned) * 8 + n_assigned * 4
+            + len(self.association) * 8 + n_members * 8
+        )

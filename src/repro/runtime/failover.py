@@ -1,0 +1,231 @@
+"""Scheduler failover: warm-standby election and takeover cost model.
+
+The central BALB stage is a single point of failure: without this layer
+a dead scheduler leaves every camera on its stale mask forever. The
+:class:`FailoverManager` closes that gap with the heartbeat/lease
+protocol of :mod:`repro.net.heartbeat`:
+
+* While the primary answers heartbeats it also *replicates* a
+  :class:`~repro.net.messages.SchedulerCheckpoint` (association state,
+  last decision, priority order) to a deterministic warm-standby camera,
+  piggybacked on that camera's assignment download.
+* When the primary crashes, key frames are suppressed and cameras run
+  the distributed stage on their last-known masks — degraded but alive.
+* Once the lease expires (one missed heartbeat by default) the standby
+  claims leadership: it restores from its replica, broadcasts a
+  leadership claim over the real downlinks, and resumes central duty at
+  a forced key frame. The whole takeover is modeled through the existing
+  link/overhead models and surfaced as ``failover.*`` spans plus a
+  recovery-time metric.
+* When the primary rejoins, leadership hands back (the standby syncs its
+  state up to the primary) at another forced key frame.
+
+The standby order is deterministic — descending device capacity, camera
+id as tie-break — so two same-seed runs elect the same leaders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.net.heartbeat import HeartbeatMonitor, LeaseConfig
+from repro.net.link import DuplexChannel
+from repro.net.messages import Heartbeat, SchedulerCheckpoint
+from repro.runtime.overhead import OverheadModel
+
+#: ``leader_id`` of the dedicated (primary) scheduler node.
+PRIMARY = -1
+
+
+@dataclass(frozen=True)
+class FailoverTransition:
+    """One leadership change, with its modeled cost.
+
+    ``recovery_ms`` is the time from the scheduler crash until central
+    scheduling is restored (detection latency plus takeover cost); it is
+    ``None`` for a handback from a standby that was already leading,
+    where central duty never lapsed.
+    """
+
+    kind: str  # "takeover" | "handback"
+    frame: int
+    leader_id: int  # new leader: camera id, or PRIMARY
+    cost_ms: float
+    recovery_ms: Optional[float] = None
+    replica_frame: Optional[int] = None  # checkpoint the leader restored
+
+
+class FailoverManager:
+    """Frame-quantized failover state machine for one pipeline run."""
+
+    def __init__(
+        self,
+        camera_ids: Sequence[int],
+        capacities: Dict[int, float],
+        lease: Optional[LeaseConfig] = None,
+        frame_dt_s: float = 0.1,
+        channels: Optional[Dict[int, DuplexChannel]] = None,
+        overheads: Optional[OverheadModel] = None,
+    ) -> None:
+        if frame_dt_s <= 0:
+            raise ValueError("frame_dt_s must be positive")
+        self.lease = lease or LeaseConfig()
+        self.frame_dt_s = frame_dt_s
+        self.channels = channels or {}
+        self.overheads = overheads or OverheadModel()
+        #: Deterministic standby election order: fastest device first.
+        self.standby_order: Tuple[int, ...] = tuple(
+            sorted(camera_ids, key=lambda c: (-capacities.get(c, 0.0), c))
+        )
+        self.primary_alive = True
+        self.leader_camera: Optional[int] = None
+        self.crash_frame: Optional[int] = None
+        self.monitor = HeartbeatMonitor(self.lease)
+        self.replica: Optional[SchedulerCheckpoint] = None
+        self.replications = 0
+        self.stale_replications = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def leader_id(self) -> int:
+        """Who holds central duty right now (PRIMARY, or a camera id)."""
+        return PRIMARY if self.primary_alive else (
+            PRIMARY if self.leader_camera is None else self.leader_camera
+        )
+
+    @property
+    def central_available(self) -> bool:
+        """Can anyone run the central stage this frame?"""
+        return self.primary_alive or self.leader_camera is not None
+
+    def replication_target(self, live: Sequence[int]) -> Optional[int]:
+        """The camera whose assignment download carries the checkpoint.
+
+        The first live standby that is not currently leading — so a
+        leading standby replicates onward to the next in line.
+        """
+        live_set = set(live)
+        for cam in self.standby_order:
+            if cam in live_set and cam != self.leader_camera:
+                return cam
+        return None
+
+    def record_replication(
+        self, checkpoint: SchedulerCheckpoint, delivered: bool
+    ) -> None:
+        """Account one piggybacked checkpoint transfer."""
+        if delivered:
+            self.replica = checkpoint
+            self.replications += 1
+        else:
+            self.stale_replications += 1
+
+    # ------------------------------------------------------------------
+    def step(
+        self, frame: int, scheduler_down: bool, live: Sequence[int]
+    ) -> Optional[FailoverTransition]:
+        """Advance the protocol one frame; return a transition if any."""
+        if not scheduler_down:
+            if self.primary_alive:
+                self.monitor.observe(frame, True)
+                return None
+            return self._handback(frame)
+        if self.primary_alive:
+            # Crash instant: the lease is considered granted through this
+            # frame, so detection lands on the next heartbeat boundary.
+            self.primary_alive = False
+            self.crash_frame = frame
+            self.monitor = HeartbeatMonitor(self.lease)
+            self.monitor.last_renewal_frame = frame
+            return None
+        if self.leader_camera is not None:
+            if self.leader_camera in set(live):
+                return None
+            # The leading standby died too: re-elect immediately — the
+            # fleet is already in failover mode, so no detection lag.
+            return self._takeover(frame, live, redetection=False)
+        self.monitor.observe(frame, False)
+        if self.monitor.lease_expired:
+            return self._takeover(frame, live, redetection=True)
+        return None
+
+    # ------------------------------------------------------------------
+    def _takeover(
+        self, frame: int, live: Sequence[int], redetection: bool
+    ) -> Optional[FailoverTransition]:
+        previous = self.leader_camera
+        standby = next(
+            (c for c in self.standby_order if c in set(live) and c != previous),
+            None,
+        )
+        if standby is None:
+            self.leader_camera = None
+            return None
+        self.leader_camera = standby
+        cost = self._takeover_cost_ms(standby, live)
+        recovery = cost
+        if redetection and self.crash_frame is not None:
+            recovery += (frame - self.crash_frame) * self.frame_dt_s * 1e3
+        return FailoverTransition(
+            kind="takeover",
+            frame=frame,
+            leader_id=standby,
+            cost_ms=cost,
+            recovery_ms=recovery,
+            replica_frame=(
+                None if self.replica is None else self.replica.frame_index
+            ),
+        )
+
+    def _takeover_cost_ms(self, standby: int, live: Sequence[int]) -> float:
+        """Restore the replica, then broadcast the leadership claim.
+
+        The claim rides the same downlinks the scheduler uses (cameras
+        listen in parallel, so the worst link bounds the cost); restoring
+        costs the fixed deserialize time plus one central-stage pass over
+        the replicated association state.
+        """
+        n_objects = 0 if self.replica is None else self.replica.n_global_objects
+        restore = self.lease.takeover_restore_ms + self.overheads.central_stage_ms(
+            n_objects, len(live)
+        )
+        claim = Heartbeat(frame_index=0, leader_id=standby)
+        broadcast = max(
+            (
+                self.channels[cam].down.transfer_ms(claim.payload_bytes())
+                for cam in sorted(live)
+                if cam != standby and cam in self.channels
+            ),
+            default=0.0,
+        )
+        return restore + broadcast
+
+    def _handback(self, frame: int) -> FailoverTransition:
+        """The primary rejoined: sync state back and return leadership."""
+        standby = self.leader_camera
+        cost = 0.0
+        if standby is not None and self.replica is not None:
+            channel = self.channels.get(standby)
+            if channel is not None:
+                cost = channel.up.transfer_ms(self.replica.payload_bytes())
+        recovery: Optional[float] = None
+        if standby is None and self.crash_frame is not None:
+            # The outage ended before any takeover: central duty was down
+            # from the crash until right now.
+            recovery = (frame - self.crash_frame) * self.frame_dt_s * 1e3
+        self.primary_alive = True
+        self.leader_camera = None
+        self.crash_frame = None
+        self.monitor = HeartbeatMonitor(self.lease)
+        self.monitor.last_renewal_frame = frame
+        return FailoverTransition(
+            kind="handback",
+            frame=frame,
+            leader_id=PRIMARY,
+            cost_ms=cost,
+            recovery_ms=recovery,
+            replica_frame=(
+                None if self.replica is None else self.replica.frame_index
+            ),
+        )

@@ -27,12 +27,15 @@ from repro.cameras.rig import CameraRig
 from repro.core.distributed import DistributedPolicy
 from repro.devices.profiler import DeviceProfile, profile_device
 from repro.devices.profiles import latency_model_for
+from repro.checkpoint import RunCheckpoint, save_checkpoint
 from repro.faults.schedule import FaultSchedule, FrameFaults
 from repro.faults.spec import resolve_faults
+from repro.net.heartbeat import LeaseConfig
 from repro.net.link import DuplexChannel, RetryPolicy
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Tracer, get_tracer, use_tracer
 from repro.runtime.camera_node import CameraNode
+from repro.runtime.failover import FailoverManager
 from repro.runtime.metrics import FrameRecord, RunResult
 from repro.runtime.overhead import OverheadModel
 from repro.runtime.policies import (
@@ -99,6 +102,21 @@ class PipelineConfig:
     link_timeout_ms: float = 60.0
     link_max_retries: int = 3
     link_backoff_ms: float = 20.0
+    #: Scheduler failover (only armed when the fault plan contains
+    #: scheduler_crash events): heartbeat cadence and lease width of the
+    #: warm-standby protocol. Detection latency is bounded by their
+    #: product, in frames.
+    failover_heartbeat_frames: int = 5
+    failover_lease_misses: int = 1
+    #: Crash-consistent checkpointing: with ``checkpoint_path`` set the
+    #: run snapshots its full state there every ``checkpoint_every``
+    #: frames (0 = only on interruption), and ``stop_after_frames``
+    #: simulates an interruption — the run checkpoints and stops after
+    #: that many frames. A resumed run is bit-identical to an
+    #: uninterrupted one (wall-clock observations aside).
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 0
+    stop_after_frames: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -121,6 +139,20 @@ class PipelineConfig:
             raise ValueError("link_max_retries must be >= 1")
         if self.link_backoff_ms < 0:
             raise ValueError("link_backoff_ms must be non-negative")
+        if self.failover_heartbeat_frames < 1:
+            raise ValueError("failover_heartbeat_frames must be >= 1")
+        if self.failover_lease_misses < 1:
+            raise ValueError("failover_lease_misses must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if self.stop_after_frames is not None and self.stop_after_frames < 1:
+            raise ValueError("stop_after_frames must be >= 1")
+        if self.checkpoint_path is None and (
+            self.checkpoint_every > 0 or self.stop_after_frames is not None
+        ):
+            raise ValueError(
+                "checkpoint_every/stop_after_frames need checkpoint_path"
+            )
 
     def retry_policy(self) -> RetryPolicy:
         """The link retry policy these knobs describe."""
@@ -138,6 +170,39 @@ class TrainedModels:
     associator: Optional[PairwiseAssociator]
     typical_box_sizes: Dict[int, float]
     profiles: Dict[int, DeviceProfile]
+
+
+@dataclass
+class _RunState:
+    """Everything mutable about a run in flight.
+
+    This is the checkpoint payload: pickling one object keeps shared
+    references (the scheduler's channels, the nodes' executors) shared
+    on restore, which is what makes a resumed run bit-identical to an
+    uninterrupted one. ``next_frame`` is the first frame the loop has
+    not yet processed.
+    """
+
+    next_frame: int
+    total_frames: int
+    dt: float
+    world: object
+    rig: CameraRig
+    nodes: Dict[int, CameraNode]
+    scheduler: Optional[CentralScheduler]
+    policies: Dict[int, RegularFramePolicy]
+    result: RunResult
+    registry: MetricsRegistry
+    camera_ids: List[int]
+    faults: Optional[FaultSchedule]
+    retry: RetryPolicy
+    prev_down: frozenset
+    stale_horizons: Dict[int, int]
+    central_amortized: float
+    occlusion: Optional[OcclusionModel]
+    history: Optional[WorldHistory]
+    camera_lags: Dict[int, int]
+    failover: Optional[FailoverManager]
 
 
 def train_models(
@@ -223,14 +288,37 @@ class Pipeline:
             activation = nullcontext()
         registry = MetricsRegistry()
         with activation:
-            result = self._run_frames(tracer, registry)
+            state = self._init_state(registry)
+            result = self._frame_loop(state, tracer)
         if config.trace:
             result.spans = tracer.records
         result.metrics = registry.export()
         return result
 
-    def _run_frames(self, tracer, registry: MetricsRegistry) -> RunResult:
-        """The frame loop, instrumented against ``tracer``/``registry``."""
+    def resume_state(self, state: _RunState) -> RunResult:
+        """Continue a checkpointed run from ``state`` to completion.
+
+        The counterpart of :meth:`run` for a state restored by
+        :func:`repro.checkpoint.resume_run`: same tracer/metrics
+        plumbing, but the frame loop picks up at ``state.next_frame``
+        with the checkpointed registry instead of a fresh one.
+        """
+        config = self.config
+        if config.trace:
+            tracer = Tracer()
+            activation = use_tracer(tracer)
+        else:
+            tracer = get_tracer()
+            activation = nullcontext()
+        with activation:
+            result = self._frame_loop(state, tracer)
+        if config.trace:
+            result.spans = tracer.records
+        result.metrics = state.registry.export()
+        return result
+
+    def _init_state(self, registry: MetricsRegistry) -> _RunState:
+        """Build the mutable run state the frame loop advances."""
         config = self.config
         scenario = self.scenario
         dt = scenario.frame_interval
@@ -248,7 +336,6 @@ class Pipeline:
             scenario=scenario.name,
             horizon=config.horizon,
         )
-        central_amortized = 0.0
         total_frames = config.horizon * config.n_horizons
         camera_ids = [cam.camera_id for cam in rig]
 
@@ -259,8 +346,6 @@ class Pipeline:
         faults: Optional[FaultSchedule] = resolve_faults(
             config.faults, camera_ids, total_frames, config.seed + 31_337
         )
-        retry = config.retry_policy()
-        prev_down: frozenset = frozenset()
         stale_horizons: Dict[int, int] = {cam: 0 for cam in camera_ids}
 
         occlusion = OcclusionModel() if config.occlusion else None
@@ -274,6 +359,92 @@ class Pipeline:
             )
             history = WorldHistory(depth=config.max_camera_lag_frames + 1)
 
+        # Failover is armed only when the fault plan can actually take the
+        # scheduler down: every other run keeps the pre-failover code path
+        # (and its bit-exact outputs) untouched.
+        failover: Optional[FailoverManager] = None
+        if (
+            scheduler is not None
+            and faults is not None
+            and faults.has_scheduler_faults
+        ):
+            failover = FailoverManager(
+                camera_ids,
+                scheduler.capacities,
+                lease=LeaseConfig(
+                    heartbeat_interval_frames=config.failover_heartbeat_frames,
+                    lease_misses=config.failover_lease_misses,
+                ),
+                frame_dt_s=dt,
+                channels=scheduler.channels,
+                overheads=scheduler.overheads,
+            )
+
+        return _RunState(
+            next_frame=0,
+            total_frames=total_frames,
+            dt=dt,
+            world=world,
+            rig=rig,
+            nodes=nodes,
+            scheduler=scheduler,
+            policies=policies,
+            result=result,
+            registry=registry,
+            camera_ids=camera_ids,
+            faults=faults,
+            retry=config.retry_policy(),
+            prev_down=frozenset(),
+            stale_horizons=stale_horizons,
+            central_amortized=0.0,
+            occlusion=occlusion,
+            history=history,
+            camera_lags=camera_lags,
+            failover=failover,
+        )
+
+    def _save_state(self, state: _RunState) -> None:
+        """Checkpoint the run as-of ``state.next_frame`` (atomic write)."""
+        assert self.config.checkpoint_path is not None
+        save_checkpoint(
+            self.config.checkpoint_path,
+            RunCheckpoint(
+                scenario=self.scenario,
+                config=self.config,
+                trained=self.trained,
+                state=state,
+            ),
+        )
+
+    def _frame_loop(self, state: _RunState, tracer) -> RunResult:
+        """Advance ``state`` frame by frame until the run completes.
+
+        Everything the loop mutates lives on ``state``, so checkpointing
+        mid-run is just pickling ``state`` between two frames.
+        """
+        config = self.config
+        scenario = self.scenario
+        dt = state.dt
+        world = state.world
+        rig = state.rig
+        nodes = state.nodes
+        scheduler = state.scheduler
+        policies = state.policies
+        result = state.result
+        registry = state.registry
+        camera_ids = state.camera_ids
+        faults = state.faults
+        retry = state.retry
+        stale_horizons = state.stale_horizons
+        occlusion = state.occlusion
+        history = state.history
+        camera_lags = state.camera_lags
+        failover = state.failover
+        total_frames = state.total_frames
+        central_amortized = state.central_amortized
+        prev_down = state.prev_down
+        interrupted = False
+
         run_span = tracer.span(
             "run",
             policy=config.policy,
@@ -281,7 +452,7 @@ class Pipeline:
             horizon=config.horizon,
         )
         with run_span:
-            for frame_idx in range(total_frames):
+            for frame_idx in range(state.next_frame, total_frames):
                 in_horizon = frame_idx % config.horizon
                 frame_faults: Optional[FrameFaults] = (
                     faults.at(frame_idx, camera_ids)
@@ -307,9 +478,43 @@ class Pipeline:
                         and config.policy != "full"
                         and in_horizon != 0
                     )
-                is_key = (
-                    config.policy == "full" or in_horizon == 0 or forced_key
+                # Scheduler failover: advance the heartbeat/lease protocol
+                # one frame. A leadership change forces a key frame (the
+                # new leader re-runs the central stage from its replica);
+                # while nobody leads, key frames are suppressed and the
+                # fleet runs distributed-only on last-known masks.
+                transition = None
+                central_ok = True
+                if failover is not None:
+                    live = [c for c in camera_ids if c not in down]
+                    transition = failover.step(
+                        frame_idx,
+                        frame_faults is not None
+                        and frame_faults.scheduler_down,
+                        live,
+                    )
+                    central_ok = failover.central_available
+                    if transition is not None:
+                        forced_key = forced_key or in_horizon != 0
+                is_key = config.policy == "full" or (
+                    (in_horizon == 0 or forced_key) and central_ok
                 )
+                if (
+                    failover is not None
+                    and not central_ok
+                    and (in_horizon == 0 or forced_key)
+                ):
+                    # A scheduled (or forced) key frame lands in the
+                    # outage window: skip it, everyone's decision goes
+                    # one horizon staler.
+                    registry.counter("skipped_key_frames_total").inc()
+                    for cam_id in camera_ids:
+                        if cam_id not in down:
+                            stale_horizons[cam_id] += 1
+                            registry.gauge(
+                                "assignment_staleness_horizons",
+                                camera=cam_id,
+                            ).set(stale_horizons[cam_id])
                 frame_start = time.perf_counter()
 
                 frame_tags = {"frame": frame_idx, "key": is_key}
@@ -320,6 +525,8 @@ class Pipeline:
                         self._apply_frame_faults(
                             tracer, registry, frame_faults, nodes, forced_key
                         )
+                    if transition is not None:
+                        self._record_transition(tracer, registry, transition)
                     with tracer.span("sim.advance"):
                         world.step(dt)
                         objects = world.objects
@@ -368,6 +575,11 @@ class Pipeline:
                     detected: set = set()
                     overheads: Dict[str, float] = {}
                     n_slices: Dict[int, int] = {}
+                    if transition is not None:
+                        # Restore/sync/claim-broadcast time of the
+                        # leadership change, modeled through the link and
+                        # overhead models, lands on this frame.
+                        overheads["failover"] = transition.cost_ms
 
                     if is_key:
                         reports = {}
@@ -395,6 +607,13 @@ class Pipeline:
                                 max(tracking) if tracking else 0.0
                             )
                             if scheduler is not None and reports:
+                                replicate_to = (
+                                    failover.replication_target(
+                                        sorted(reports)
+                                    )
+                                    if failover is not None
+                                    else None
+                                )
                                 decision = scheduler.schedule(
                                     reports,
                                     frame_idx,
@@ -404,7 +623,20 @@ class Pipeline:
                                         else None
                                     ),
                                     retry=retry,
+                                    replicate_to=replicate_to,
                                 )
+                                if (
+                                    replicate_to is not None
+                                    and decision.checkpoint is not None
+                                ):
+                                    self._record_replication(
+                                        tracer,
+                                        registry,
+                                        failover,
+                                        decision.checkpoint,
+                                        replicate_to,
+                                        replicate_to in decision.delivered,
+                                    )
                                 for cam_id, node in nodes.items():
                                     if cam_id in down:
                                         continue
@@ -507,6 +739,32 @@ class Pipeline:
                         coverage_lost=coverage_lost,
                     )
                 )
+                # Between two frames the run is crash-consistent: fold the
+                # loop-local mutations back into the state and snapshot it
+                # if the checkpoint cadence (or a simulated interruption)
+                # says so.
+                state.next_frame = frame_idx + 1
+                state.central_amortized = central_amortized
+                state.prev_down = prev_down
+                if config.checkpoint_path is not None:
+                    done = frame_idx + 1
+                    if (
+                        config.stop_after_frames is not None
+                        and done == config.stop_after_frames
+                        and done < total_frames
+                    ):
+                        self._save_state(state)
+                        interrupted = True
+                        break
+                    if (
+                        config.checkpoint_every > 0
+                        and done % config.checkpoint_every == 0
+                    ):
+                        self._save_state(state)
+        if interrupted:
+            # The post-loop accounting below must run exactly once per
+            # run, at completion — the resumed continuation will do it.
+            return result
         if faults is not None and scheduler is not None:
             for cam_id, channel in scheduler.channels.items():
                 if channel.messages_dropped:
@@ -546,8 +804,57 @@ class Pipeline:
             registry.counter(
                 "camera_down_frames_total", camera=cam_id
             ).inc()
+        if frame_faults.scheduler_down:
+            registry.counter("scheduler_down_frames_total").inc()
         if forced_key:
             registry.counter("forced_key_frames_total").inc()
+
+    def _record_transition(self, tracer, registry, transition) -> None:
+        """Surface one leadership change: span, counters, recovery time."""
+        with tracer.span(
+            "failover." + transition.kind,
+            frame=transition.frame,
+            leader=transition.leader_id,
+            replica_frame=(
+                -1
+                if transition.replica_frame is None
+                else transition.replica_frame
+            ),
+        ):
+            pass
+        registry.counter(
+            "failover_takeovers_total"
+            if transition.kind == "takeover"
+            else "failover_handbacks_total"
+        ).inc()
+        if transition.recovery_ms is not None:
+            registry.histogram("failover_recovery_ms").observe(
+                transition.recovery_ms
+            )
+
+    def _record_replication(
+        self,
+        tracer,
+        registry,
+        failover: FailoverManager,
+        checkpoint,
+        target: int,
+        delivered: bool,
+    ) -> None:
+        """Account one piggybacked checkpoint replication attempt."""
+        failover.record_replication(checkpoint, delivered)
+        with tracer.span(
+            "failover.replicate",
+            target=target,
+            delivered=delivered,
+            bytes=checkpoint.payload_bytes(),
+        ):
+            pass
+        registry.counter(
+            "failover_replications_total"
+            if delivered
+            else "failover_stale_replicas_total"
+        ).inc()
 
     # ------------------------------------------------------------------
     def _build_nodes(self, rig: CameraRig, dt: float) -> Dict[int, CameraNode]:

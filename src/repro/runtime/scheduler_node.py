@@ -32,7 +32,11 @@ from repro.net.link import (
     RetryPolicy,
     TransferOutcome,
 )
-from repro.net.messages import AssignmentMessage, DetectionReport
+from repro.net.messages import (
+    AssignmentMessage,
+    DetectionReport,
+    SchedulerCheckpoint,
+)
 from repro.obs.trace import get_tracer
 from repro.runtime.overhead import OverheadModel
 
@@ -58,6 +62,9 @@ class ScheduleDecision:
     dropped_reports: FrozenSet[int] = frozenset()
     #: Lost message attempts across the whole exchange (drops + give-ups).
     comm_retries: int = 0
+    #: Failover replica piggybacked on one camera's assignment download
+    #: (None unless the scheduler was asked to replicate this round).
+    checkpoint: Optional[SchedulerCheckpoint] = None
 
 
 class CentralScheduler:
@@ -107,6 +114,7 @@ class CentralScheduler:
         frame_index: int = 0,
         link_faults: Optional[Dict[int, LinkFault]] = None,
         retry: Optional[RetryPolicy] = None,
+        replicate_to: Optional[int] = None,
     ) -> ScheduleDecision:
         """One central-stage round over the key-frame reports.
 
@@ -117,6 +125,12 @@ class CentralScheduler:
         ``decision.delivered`` so the runtime falls back to its stale
         decision. Without faults the exchange is lossless and every
         reporting camera is delivered — the pre-fault behaviour.
+
+        ``replicate_to`` piggybacks a :class:`SchedulerCheckpoint` of
+        this round's state on that camera's assignment download (the
+        failover warm standby); the extra bytes ride the same modeled
+        transfer, and the checkpoint only counts as replicated if the
+        download is delivered.
         """
         retry = retry or DEFAULT_RETRY
         faults = {
@@ -207,10 +221,17 @@ class CentralScheduler:
             central_ms = self.overheads.central_stage_ms(
                 n_objects, len(self.profiles)
             )
+            checkpoint: Optional[SchedulerCheckpoint] = None
+            extra_down: Dict[int, int] = {}
+            if replicate_to is not None:
+                checkpoint = self._build_checkpoint(
+                    frame_index, priority, assigned, global_objects
+                )
+                extra_down[replicate_to] = checkpoint.payload_bytes()
             with tracer.span("scheduler.comm"):
                 comm_ms, delivered, retries = self._communication_ms(
                     reports, assigned, priority, frame_index,
-                    faults, retry, up_outcomes,
+                    faults, retry, up_outcomes, extra_down,
                 )
             sched_span.set_tag("n_global_objects", n_objects)
         return ScheduleDecision(
@@ -224,6 +245,7 @@ class CentralScheduler:
             delivered=delivered,
             dropped_reports=frozenset(reports) - frozenset(delivered_reports),
             comm_retries=retries,
+            checkpoint=checkpoint,
         )
 
     # ------------------------------------------------------------------
@@ -274,6 +296,27 @@ class CentralScheduler:
             gt_ids=tuple(g for _, _, g in entries),
         )
 
+    def _build_checkpoint(
+        self,
+        frame_index: int,
+        priority: Tuple[int, ...],
+        assigned: Dict[int, List[int]],
+        global_objects: Sequence[GlobalObject],
+    ) -> SchedulerCheckpoint:
+        """Package this round's state for warm-standby replication."""
+        return SchedulerCheckpoint(
+            frame_index=frame_index,
+            priority_order=tuple(priority),
+            assigned={cam: tuple(v) for cam, v in sorted(assigned.items())},
+            association={
+                obj.global_id: tuple(
+                    (cam, obj.members[cam].track_id)
+                    for cam in sorted(obj.members)
+                )
+                for obj in global_objects
+            },
+        )
+
     def _communication_ms(
         self,
         reports: Dict[int, List[ReportEntry]],
@@ -283,6 +326,7 @@ class CentralScheduler:
         faults: Dict[int, LinkFault],
         retry: RetryPolicy,
         up_outcomes: Dict[int, TransferOutcome],
+        extra_down_bytes: Optional[Dict[int, int]] = None,
     ) -> Tuple[float, FrozenSet[int], int]:
         """Max camera-to-scheduler round trip (cameras talk in parallel).
 
@@ -291,7 +335,10 @@ class CentralScheduler:
         and simulates the (retried) assignment download; lost attempts
         surface as ``net.retry`` child spans and in the link drop
         counters. Cameras without a channel are delivered for free.
+        ``extra_down_bytes`` (camera -> bytes) models piggybacked payload
+        on that camera's download (the failover checkpoint replica).
         """
+        extra = extra_down_bytes or {}
         if not self.channels:
             return 0.0, frozenset(reports), 0
         tracer = get_tracer()
@@ -310,12 +357,13 @@ class CentralScheduler:
                 camera_priority_order=priority,
                 mask_cells=(),  # masks are static; sent once at startup
             )
+            down_bytes = reply.payload_bytes() + extra.get(cam, 0)
             fault = faults.get(cam)
             if fault is None:
                 worst = max(
                     worst,
                     channel.round_trip_ms(
-                        report.payload_bytes(), reply.payload_bytes()
+                        report.payload_bytes(), down_bytes
                     ),
                 )
                 delivered.add(cam)
@@ -324,7 +372,7 @@ class CentralScheduler:
             with tracer.span(
                 "net.round_trip",
                 up_bytes=report.payload_bytes(),
-                down_bytes=reply.payload_bytes(),
+                down_bytes=down_bytes,
                 faulted=True,
             ) as span:
                 total = up.elapsed_ms
@@ -333,7 +381,7 @@ class CentralScheduler:
                         pass
                 if up.delivered:
                     down = channel.down_transfer(
-                        reply.payload_bytes(), fault, retry
+                        down_bytes, fault, retry
                     )
                     total += down.elapsed_ms
                     for _ in range(down.dropped):

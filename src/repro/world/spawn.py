@@ -120,17 +120,31 @@ class Spawner:
         return classes[idx]
 
 
+@dataclass(frozen=True)
+class SinusoidalModulator:
+    """Sinusoidal rate modulation alternating between lulls and rushes.
+
+    A plain callable class (not a closure) so worlds that use it stay
+    picklable for run checkpoints.
+    """
+
+    period_s: float = 120.0
+    low: float = 0.3
+    high: float = 1.7
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not 0 <= self.low <= self.high:
+            raise ValueError("need 0 <= low <= high")
+
+    def __call__(self, t: float) -> float:
+        phase = (1.0 + np.sin(2.0 * np.pi * t / self.period_s)) / 2.0
+        return self.low + (self.high - self.low) * phase
+
+
 def rush_hour_modulator(
     period_s: float = 120.0, low: float = 0.3, high: float = 1.7
 ) -> RateModulator:
     """Sinusoidal rate modulation alternating between lulls and rushes."""
-    if period_s <= 0:
-        raise ValueError("period_s must be positive")
-    if not 0 <= low <= high:
-        raise ValueError("need 0 <= low <= high")
-
-    def modulate(t: float) -> float:
-        phase = (1.0 + np.sin(2.0 * np.pi * t / period_s)) / 2.0
-        return low + (high - low) * phase
-
-    return modulate
+    return SinusoidalModulator(period_s=period_s, low=low, high=high)

@@ -75,3 +75,36 @@ def test_steady_loss_becomes_fleet_wide_event():
 def test_compile_rejects_empty_run():
     with pytest.raises(ValueError):
         FaultModel(crash_rate=0.1).compile([0], 0, seed=0)
+
+
+def test_scheduler_rate_validation():
+    with pytest.raises(ValueError):
+        FaultModel(scheduler_crash_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultModel(mean_scheduler_outage_frames=0.5)
+    assert not FaultModel(scheduler_crash_rate=0.01).is_null
+
+
+def test_scheduler_process_does_not_perturb_camera_draws():
+    # Adding a scheduler process must leave the camera fault schedules of
+    # a scheduler-free model exactly as they were before the kind existed.
+    base = FaultModel(crash_rate=0.05, loss_prob=0.1)
+    with_sched = FaultModel(crash_rate=0.05, loss_prob=0.1,
+                            scheduler_crash_rate=0.02)
+    a = base.compile([0, 1, 2], 300, seed=7)
+    b = with_sched.compile([0, 1, 2], 300, seed=7)
+    camera_events = [e for e in b.events
+                     if e.kind is not FaultKind.SCHEDULER_CRASH]
+    assert a.events == tuple(camera_events) or list(a.events) == camera_events
+
+
+def test_scheduler_outages_compile_within_run():
+    model = FaultModel(scheduler_crash_rate=0.05,
+                       mean_scheduler_outage_frames=10.0)
+    sched = model.compile([0], 200, seed=1)
+    crashes = [e for e in sched.events
+               if e.kind is FaultKind.SCHEDULER_CRASH]
+    assert crashes
+    for e in crashes:
+        assert e.camera_id is None
+        assert e.end_frame is not None and e.end_frame <= 200

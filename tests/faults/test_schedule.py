@@ -121,3 +121,53 @@ def test_empty_schedule_is_falsy_and_inert():
     assert len(sched) == 0
     view = sched.at(0, [0, 1, 2])
     assert not view.any_active
+
+
+def test_scheduler_event_validation():
+    # scheduler faults target the central node: no camera id allowed
+    with pytest.raises(ValueError):
+        FaultEvent(FaultKind.SCHEDULER_CRASH, start_frame=0, camera_id=1)
+    with pytest.raises(ValueError):
+        FaultEvent(FaultKind.SCHEDULER_REJOIN, start_frame=5, camera_id=0)
+    # rejoin is instantaneous
+    with pytest.raises(ValueError):
+        FaultEvent(FaultKind.SCHEDULER_REJOIN, start_frame=5, duration=3)
+
+
+def test_scheduler_down_window():
+    sched = FaultSchedule([
+        FaultEvent(FaultKind.SCHEDULER_CRASH, 10, duration=5),
+    ])
+    assert sched.has_scheduler_faults
+    assert not sched.scheduler_down(9)
+    assert sched.scheduler_down(10)
+    assert sched.scheduler_down(14)
+    assert not sched.scheduler_down(15)
+    view = sched.at(12, [0, 1])
+    assert view.scheduler_down and view.any_active
+    assert not sched.at(20, [0, 1]).scheduler_down
+
+
+def test_scheduler_open_crash_closed_by_rejoin():
+    sched = FaultSchedule([
+        FaultEvent(FaultKind.SCHEDULER_CRASH, 8),
+        FaultEvent(FaultKind.SCHEDULER_REJOIN, 20),
+    ])
+    assert sched.scheduler_down(8)
+    assert sched.scheduler_down(19)
+    assert not sched.scheduler_down(20)
+    assert not sched.scheduler_down(100)
+
+
+def test_scheduler_open_crash_without_rejoin_lasts_forever():
+    sched = FaultSchedule([FaultEvent(FaultKind.SCHEDULER_CRASH, 8)])
+    assert sched.scheduler_down(10_000)
+
+
+def test_camera_schedules_report_no_scheduler_faults():
+    sched = FaultSchedule([
+        FaultEvent(FaultKind.CAMERA_CRASH, 0, duration=2, camera_id=0),
+    ])
+    assert not sched.has_scheduler_faults
+    assert not sched.scheduler_down(0)
+    assert not sched.at(0, [0]).scheduler_down

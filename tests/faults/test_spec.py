@@ -67,7 +67,7 @@ def test_validate_rejects_malformed_specs(bad):
 
 def test_presets_are_valid_non_null_models():
     assert set(CHAOS_PRESETS) == {"light", "heavy", "cameras", "network",
-                                  "gpu"}
+                                  "gpu", "scheduler"}
     for name, model in CHAOS_PRESETS.items():
         assert isinstance(model, FaultModel), name
         assert not model.is_null, name
@@ -110,3 +110,36 @@ def test_resolve_is_seed_deterministic():
 def test_resolve_rejects_wrong_types():
     with pytest.raises(TypeError):
         resolve_faults(42, [0], 10, seed=0)
+
+
+def test_parse_scheduler_clauses():
+    sched = parse_fault_spec("sched_crash:at=12,for=15")
+    (e,) = sched.events
+    assert e.kind is FaultKind.SCHEDULER_CRASH
+    assert e.camera_id is None
+    assert (e.start_frame, e.duration) == (12, 15)
+    paired = parse_fault_spec("sched_crash:at=12;sched_rejoin:at=30")
+    kinds = [e.kind for e in paired.events]
+    assert kinds == [FaultKind.SCHEDULER_CRASH, FaultKind.SCHEDULER_REJOIN]
+    assert paired.scheduler_down(29) and not paired.scheduler_down(30)
+
+
+def test_parse_scheduler_clause_rejections_name_the_clause():
+    with pytest.raises(ValueError, match="sched_crash:cam=1"):
+        parse_fault_spec("sched_crash:cam=1,at=5")
+    with pytest.raises(ValueError, match="takes no for="):
+        parse_fault_spec("sched_rejoin:at=5,for=3")
+
+
+def test_rand_scheduler_keys_build_model():
+    model = parse_fault_spec("rand:sched=0.01,sched_frames=20")
+    assert isinstance(model, FaultModel)
+    assert model.scheduler_crash_rate == 0.01
+    assert model.mean_scheduler_outage_frames == 20.0
+
+
+def test_scheduler_chaos_preset_exists():
+    model = CHAOS_PRESETS["scheduler"]
+    assert model.scheduler_crash_rate > 0
+    compiled = model.compile([0, 1, 2], 500, seed=0)
+    assert compiled.has_scheduler_faults

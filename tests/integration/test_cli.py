@@ -70,3 +70,122 @@ class TestCommands:
         assert code == 0
         content = out_file.read_text()
         assert "batch-awareness" in content
+
+
+RUN_SMALL = [
+    "run",
+    "--scenario", "S1",
+    "--horizon", "5",
+    "--horizons", "4",
+    "--train-duration", "20",
+]
+
+
+class TestFaultSpecErrors:
+    def test_bad_faults_spec_names_offending_clause(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--faults", "crash:cam=1,at=banana"])
+        assert "at must be an integer" in str(exc.value)
+        assert "crash:cam=1,at=banana" in str(exc.value)
+
+    def test_unknown_fault_kind_lists_options(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--faults", "meteor:at=5"])
+        assert "unknown fault kind 'meteor'" in str(exc.value)
+        assert "sched_crash" in str(exc.value)
+
+    def test_scheduler_clause_with_camera_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--faults", "sched_crash:cam=1,at=5"])
+        assert "takes no cam=" in str(exc.value)
+
+    def test_faults_and_chaos_mutually_exclusive(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--faults", "loss:p=0.1", "--chaos", "heavy"])
+        assert "mutually exclusive" in str(exc.value)
+
+    def test_unknown_chaos_preset_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--chaos", "mayhem"])
+
+
+class TestCheckpointCli:
+    def test_checkpoint_knobs_require_checkpoint(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--stop-after", "5"])
+        assert "require --checkpoint" in str(exc.value)
+
+    def test_resume_rejects_run_options(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--resume", "x.ckpt", "--faults", "loss:p=0.1"])
+        assert "cannot be combined" in str(exc.value)
+
+    def test_resume_missing_checkpoint_is_clean_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--resume", "/no/such/file.ckpt"])
+        assert "cannot read checkpoint" in str(exc.value)
+
+    def test_interrupt_then_resume_reproduces_stdout(self, tmp_path, capsys):
+        assert main(RUN_SMALL) == 0
+        full_out = capsys.readouterr().out
+
+        ckpt = str(tmp_path / "run.ckpt")
+        args = RUN_SMALL + ["--checkpoint", ckpt, "--stop-after", "9"]
+        assert main(args) == 0
+        interrupted_out = capsys.readouterr().out
+        assert "interrupted after 9/20 frames" in interrupted_out
+        assert "slowest-cam ms" not in interrupted_out  # no partial tables
+
+        assert main(["run", "--resume", ckpt]) == 0
+        resumed_out = capsys.readouterr().out
+        assert resumed_out == full_out  # byte-identical stdout
+
+    def test_corrupted_checkpoint_refused(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        args = RUN_SMALL + ["--checkpoint", ckpt, "--stop-after", "5"]
+        assert main(args) == 0
+        capsys.readouterr()
+        blob = bytearray(open(ckpt, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(ckpt, "wb") as fh:
+            fh.write(bytes(blob))
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--resume", ckpt])
+        assert "digest mismatch" in str(exc.value)
+
+
+class TestFaultSummaries:
+    def test_run_prints_failover_summary(self, capsys):
+        args = RUN_SMALL + ["--faults", "sched_crash:at=6,for=8"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "fault summary" in out
+        assert "failover takeovers" in out
+        assert "mean recovery ms" in out
+
+    def test_compare_prints_fault_summary_per_policy(self, capsys):
+        args = [
+            "compare",
+            "--scenario", "S1",
+            "--horizon", "5",
+            "--horizons", "3",
+            "--train-duration", "20",
+            "--policies", "balb", "balb-ind",
+            "--faults", "crash:cam=1,at=4,for=5",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "fault summary (balb)" in out
+        assert "fault summary (balb-ind)" in out
+
+    def test_compare_without_faults_prints_no_summary(self, capsys):
+        args = [
+            "compare",
+            "--scenario", "S1",
+            "--horizon", "5",
+            "--horizons", "3",
+            "--train-duration", "20",
+            "--policies", "balb-ind",
+        ]
+        assert main(args) == 0
+        assert "fault summary" not in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Heartbeat/lease protocol: renewal, expiry timing, config validation."""
+
+import pytest
+
+from repro.net import Heartbeat, HeartbeatMonitor, LeaseConfig
+
+
+def test_lease_config_validation():
+    with pytest.raises(ValueError):
+        LeaseConfig(heartbeat_interval_frames=0)
+    with pytest.raises(ValueError):
+        LeaseConfig(lease_misses=0)
+    with pytest.raises(ValueError):
+        LeaseConfig(takeover_restore_ms=-1.0)
+
+
+def test_heartbeat_due_frames():
+    lease = LeaseConfig(heartbeat_interval_frames=4)
+    assert [f for f in range(10) if lease.is_heartbeat_due(f)] == [0, 4, 8]
+
+
+def test_live_scheduler_never_expires():
+    monitor = HeartbeatMonitor(LeaseConfig(heartbeat_interval_frames=3))
+    for frame in range(20):
+        assert not monitor.observe(frame, True)
+    assert not monitor.lease_expired
+
+
+def test_expiry_lands_on_first_due_frame_after_crash():
+    lease = LeaseConfig(heartbeat_interval_frames=5, lease_misses=1)
+    monitor = HeartbeatMonitor(lease)
+    for frame in range(7):
+        monitor.observe(frame, True)
+    # crash after frame 6: the next due beacon is frame 10
+    expiries = [f for f in range(7, 20) if monitor.observe(f, False)]
+    assert expiries == [10]
+    assert monitor.lease_expired
+
+
+def test_crash_on_due_frame_waits_a_full_interval():
+    # The "dying gasp": a renewal granted at the crash frame means the
+    # first countable miss is strictly later, bounding detection at one
+    # full interval rather than zero.
+    lease = LeaseConfig(heartbeat_interval_frames=5, lease_misses=1)
+    monitor = HeartbeatMonitor(lease)
+    monitor.last_renewal_frame = 10  # lease granted through frame 10
+    assert not monitor.observe(10, False)  # due, but covered by renewal
+    assert not monitor.observe(12, False)  # not due
+    assert monitor.observe(15, False)  # first due frame after renewal
+    assert monitor.lease_expired
+
+
+def test_multi_miss_lease_expires_later():
+    lease = LeaseConfig(heartbeat_interval_frames=4, lease_misses=2)
+    monitor = HeartbeatMonitor(lease)
+    monitor.observe(0, True)
+    assert not monitor.observe(4, False)  # one miss
+    assert monitor.observe(8, False)  # second miss: expiry, exactly once
+    assert not monitor.observe(12, False)  # already expired: not "now"
+
+
+def test_recovery_resets_misses():
+    monitor = HeartbeatMonitor(LeaseConfig(heartbeat_interval_frames=2,
+                                           lease_misses=2))
+    monitor.observe(0, True)
+    monitor.observe(2, False)
+    assert monitor.missed == 1
+    monitor.observe(3, True)
+    assert monitor.missed == 0 and not monitor.lease_expired
+
+
+def test_heartbeat_message_payload():
+    beat = Heartbeat(frame_index=12, leader_id=3)
+    assert beat.payload_bytes() > 0

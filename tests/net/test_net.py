@@ -117,6 +117,18 @@ class TestRetryPolicy:
         with pytest.raises(ValueError):
             RetryPolicy(backoff_ms=-1.0)
 
+    def test_policy_is_immutable(self):
+        # Shared between the pipeline, scheduler and failover layers —
+        # a mutated policy would silently change retry semantics mid-run.
+        import dataclasses
+
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            policy.max_attempts = 5
+        fault = LinkFault(loss_prob=0.1)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            fault.loss_prob = 0.9
+
 
 class TestLinkFault:
     def test_clean_and_validation(self):

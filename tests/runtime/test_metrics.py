@@ -98,3 +98,63 @@ class TestOverheads:
         assert breakdown["tracking"] == pytest.approx(15.0)
         assert breakdown["batching"] == pytest.approx(2.0)  # missing -> 0
         assert breakdown["total"] == pytest.approx(17.0)
+
+
+class TestFaultEdgeCases:
+    """RunResult edge cases around coverage loss and degenerate runs."""
+
+    def lossy_record(self, idx, visible, detected, lost):
+        return FrameRecord(
+            frame_index=idx,
+            is_key_frame=False,
+            inference_ms={},
+            visible_gt=frozenset(visible),
+            detected_gt=frozenset(detected),
+            coverage_lost=frozenset(lost),
+        )
+
+    def test_count_lost_as_missed_widens_denominator(self):
+        result = RunResult("balb", "S1", horizon=1)
+        result.add(self.lossy_record(0, {1, 2}, {1, 2}, {3, 4}))
+        assert result.object_recall() == 1.0
+        assert result.object_recall(count_lost_as_missed=True) == (
+            pytest.approx(0.5)
+        )
+
+    def test_count_lost_as_missed_equals_plain_without_loss(self):
+        result = RunResult("balb", "S1", horizon=1)
+        result.add(self.lossy_record(0, {1, 2}, {1}, set()))
+        assert result.object_recall() == result.object_recall(
+            count_lost_as_missed=True
+        )
+
+    def test_all_coverage_lost_naive_recall_zero(self):
+        result = RunResult("balb", "S1", horizon=1)
+        result.add(self.lossy_record(0, set(), set(), {1, 2, 3}))
+        assert result.object_recall() == 1.0  # nothing schedulable missed
+        assert result.object_recall(count_lost_as_missed=True) == 0.0
+        assert result.coverage_loss() == 1.0
+
+    def test_coverage_loss_on_zero_frame_run(self):
+        result = RunResult("balb", "S1", horizon=1)
+        assert result.n_frames == 0
+        assert result.coverage_loss() == 0.0
+        assert result.object_recall() == 1.0
+        assert result.object_recall(count_lost_as_missed=True) == 1.0
+        assert result.mean_slowest_latency() == 0.0
+
+    def test_coverage_loss_mixed_fraction(self):
+        result = RunResult("balb", "S1", horizon=1)
+        result.add(self.lossy_record(0, {1, 2, 3}, {1, 2, 3}, {4}))
+        assert result.coverage_loss() == pytest.approx(0.25)
+
+    def test_recall_over_time_window_larger_than_run(self):
+        result = RunResult("balb", "S1", horizon=2)
+        result.add(record(0, {}, {1}, {1}))
+        result.add(record(1, {}, {1}, set()))
+        trace = result.recall_over_time(window=100)
+        assert trace == [pytest.approx(0.5)]  # one window covering it all
+
+    def test_recall_over_time_on_empty_run(self):
+        result = RunResult("balb", "S1", horizon=2)
+        assert result.recall_over_time(window=10) == []
