@@ -7,12 +7,12 @@ BALB per scenario and the derived multiplicative speedups.
 
 import pytest
 
+from repro.experiments.fig12_recall import run_policies
 from repro.experiments.fig13_latency import (
     LATENCY_POLICIES,
     latency_rows,
     speedup_summary,
 )
-from repro.experiments.fig12_recall import run_policies
 from repro.experiments.report import format_table
 
 from conftest import bench_config

@@ -6,7 +6,6 @@ cost amortized over more frames) while recall trends downward; T = 10 is
 a good trade-off.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.fig14_horizon import sweep_horizons

@@ -14,11 +14,10 @@ negligible (sub-millisecond); totals land in the paper's tens-of-ms range.
 import pytest
 
 from repro.experiments.report import format_table
-from repro.experiments.table2_overhead import measure_overheads
-
-from conftest import bench_config
 from repro.runtime.pipeline import run_policy
 from repro.scenarios.aic21 import get_scenario
+
+from conftest import bench_config
 
 
 def measure(scenario, trained_by_scenario):

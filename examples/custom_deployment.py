@@ -9,7 +9,6 @@ fleet, and the pipeline.
 Run:  python examples/custom_deployment.py
 """
 
-import math
 
 from repro.cameras import Camera, CameraIntrinsics, CameraPose
 from repro.devices import JETSON_NANO, JETSON_TX2
@@ -110,7 +109,7 @@ def main() -> None:
             f"{result.policy:8s} {result.object_recall():8.3f} "
             f"{result.mean_slowest_latency():15.1f}"
         )
-    print(f"\nBALB speedup on the custom deployment: "
+    print("\nBALB speedup on the custom deployment: "
           f"{speedup_vs(full, balb):.2f}x")
 
 

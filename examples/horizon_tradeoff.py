@@ -47,9 +47,9 @@ def main() -> None:
     )
     print(
         f"\nBest combined trade-off at T = {knee.horizon} "
-        f"(the paper picks T = 10): longer horizons amortize the key-frame\n"
-        f"cost over more frames, but tracking drift and unseen arrivals\n"
-        f"erode recall."
+        "(the paper picks T = 10): longer horizons amortize the key-frame\n"
+        "cost over more frames, but tracking drift and unseen arrivals\n"
+        "erode recall."
     )
 
 

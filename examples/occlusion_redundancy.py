@@ -58,7 +58,7 @@ def main() -> None:
     print(
         f"\nRedundancy recovered {gain * 100:+.1f} recall points for a "
         f"{cost:.2f}x latency cost — the trade the paper's limitations "
-        f"section anticipates."
+        "section anticipates."
     )
 
 

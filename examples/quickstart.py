@@ -44,7 +44,7 @@ def main() -> None:
             f"{result.mean_slowest_latency():15.1f}"
         )
     print()
-    print(f"BALB speedup over full-frame inspection: "
+    print("BALB speedup over full-frame inspection: "
           f"{speedup_vs(full, balb):.2f}x")
 
 

@@ -35,7 +35,7 @@ def main() -> None:
     print(f"Fleet: {', '.join(names[c] for c in sorted(names))}")
     print(f"Objects: {len(instance.objects)} "
           f"({sum(1 for o in instance.objects if len(o.coverage) > 1)} "
-          f"multi-view)\n")
+          "multi-view)\n")
 
     # 1. Bandwidth: minimum view cover vs streaming everything.
     frame_sizes = {cam: (1280, 704) for cam in profiles}

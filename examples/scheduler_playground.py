@@ -10,16 +10,7 @@ Run:  python examples/scheduler_playground.py
 
 import numpy as np
 
-from repro.core import (
-    balb_central,
-    bins_fit,
-    independent_latencies,
-    is_feasible,
-    latency_profile,
-    mvs_from_bin_packing,
-    optimal_assignment,
-    system_latency,
-)
+from repro.core import balb_central, bins_fit, independent_latencies, is_feasible, mvs_from_bin_packing, optimal_assignment, system_latency
 from repro.experiments import jetson_fleet_profiles, random_instance
 
 
@@ -57,9 +48,9 @@ def demo_latency_balancing() -> None:
     print(f"  camera priority order (fastest first): {result.priority_order}")
     redundant = independent_latencies(instance)
     print(
-        f"  max latency — BALB: "
+        "  max latency — BALB: "
         f"{max(result.camera_latencies.values()):.1f} ms vs "
-        f"independent tracking: "
+        "independent tracking: "
         f"{max(redundant.values()) + max(p.t_full for p in instance.profiles.values()):.1f} ms"
     )
     print()

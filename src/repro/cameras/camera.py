@@ -11,8 +11,8 @@ association over plain homography.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import Optional, Tuple
 
 import numpy as np

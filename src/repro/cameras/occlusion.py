@@ -15,7 +15,7 @@ of strictly closer objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.cameras.camera import Camera
 from repro.geometry.box import BBox

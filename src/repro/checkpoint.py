@@ -18,11 +18,14 @@ run never silently starts from corrupted state.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import hashlib
 import os
 import pickle
-from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.runtime.metrics import RunResult
 
 MAGIC = b"repro-checkpoint-v1\n"
 
@@ -31,7 +34,7 @@ class CheckpointError(RuntimeError):
     """A checkpoint file is missing, torn, or fails its digest check."""
 
 
-@dataclass
+@dataclass(frozen=True)
 class RunCheckpoint:
     """A pipeline run frozen between two frames.
 
@@ -49,11 +52,11 @@ class RunCheckpoint:
 
     @property
     def next_frame(self) -> int:
-        return self.state.next_frame
+        return int(self.state.next_frame)
 
     @property
     def total_frames(self) -> int:
-        return self.state.total_frames
+        return int(self.state.total_frames)
 
 
 def save_checkpoint(path: str, checkpoint: RunCheckpoint) -> None:
@@ -106,7 +109,7 @@ def load_checkpoint(path: str) -> RunCheckpoint:
     return checkpoint
 
 
-def resume_run(path: str):
+def resume_run(path: str) -> "RunResult":
     """Resume the run checkpointed at ``path`` and run it to completion.
 
     Returns the same :class:`~repro.runtime.metrics.RunResult` the

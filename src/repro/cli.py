@@ -70,7 +70,7 @@ def _faults_from(args: argparse.Namespace) -> Optional[str]:
         try:
             validate_fault_spec(spec)
         except ValueError as exc:
-            raise SystemExit(f"error: bad --faults spec: {exc}")
+            raise SystemExit(f"error: bad --faults spec: {exc}") from exc
         return spec
     return chaos
 
@@ -148,7 +148,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         try:
             checkpoint = load_checkpoint(args.resume)
         except CheckpointError as exc:
-            raise SystemExit(f"error: {exc}")
+            raise SystemExit(f"error: {exc}") from exc
         scenario = checkpoint.scenario
         config = checkpoint.config
         trained = checkpoint.trained
@@ -334,6 +334,39 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repo's determinism & invariant linter (``reprolint``).
+
+    The linter lives in ``tools/reprolint`` at the repository root (it
+    is developer tooling, not part of the installed package), so this
+    subcommand only works from a source checkout.
+    """
+    import os
+
+    try:
+        from tools.reprolint.cli import main as reprolint_main
+    except ImportError:
+        # Not importable: either we're not at the repo root, or the
+        # package was installed without its source tree.
+        if os.path.isfile(os.path.join("tools", "reprolint", "cli.py")):
+            sys.path.insert(0, os.getcwd())
+            from tools.reprolint.cli import main as reprolint_main
+        else:
+            print(
+                "error: reprolint not found — 'repro lint' runs the "
+                "repo-local checker in tools/reprolint and must be "
+                "invoked from a source checkout root",
+                file=sys.stderr,
+            )
+            return 2
+    argv = list(args.paths)
+    if args.json:
+        argv.insert(0, "--json")
+    if args.list_rules:
+        argv.insert(0, "--list-rules")
+    return reprolint_main(argv)
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     """List the available scenario deployments."""
     rows = []
@@ -425,6 +458,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     scen_parser = sub.add_parser("scenarios", help="list scenarios")
     scen_parser.set_defaults(func=cmd_scenarios)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the determinism & invariant linter (reprolint)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true",
+        help="emit findings as a single JSON document",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the RL rule catalog and exit",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -1,13 +1,6 @@
 """Core contribution: the MVS problem and the BALB scheduling algorithm."""
 
 from repro.core.balb import BALBResult, balb_central, order_objects
-from repro.core.baselines import (
-    full_frame_latencies,
-    greedy_min_latency_assignment,
-    independent_latencies,
-    unordered_balb_assignment,
-)
-from repro.core.distributed import DistributedPolicy
 from repro.core.bandwidth import (
     UploadPlan,
     all_cameras_upload_mbps,
@@ -15,6 +8,13 @@ from repro.core.bandwidth import (
     min_view_cover,
     upload_plan_for_instance,
 )
+from repro.core.baselines import (
+    full_frame_latencies,
+    greedy_min_latency_assignment,
+    independent_latencies,
+    unordered_balb_assignment,
+)
+from repro.core.distributed import DistributedPolicy
 from repro.core.energy import (
     DEFAULT_ENERGY_MODELS,
     EnergyModel,
@@ -23,20 +23,6 @@ from repro.core.energy import (
     energy_models_for,
 )
 from repro.core.hardness import bins_fit, mvs_from_bin_packing
-from repro.core.quality import (
-    QualityResult,
-    qualities_from_boxes,
-    quality_aware_central,
-    view_quality,
-)
-from repro.core.redundancy import (
-    MultiAssignment,
-    RedundantResult,
-    balb_redundant,
-    is_feasible_multi,
-    multi_camera_latency,
-    multi_system_latency,
-)
 from repro.core.masks import (
     CameraMask,
     build_camera_masks,
@@ -53,6 +39,20 @@ from repro.core.problem import (
     is_feasible,
     latency_profile,
     system_latency,
+)
+from repro.core.quality import (
+    QualityResult,
+    qualities_from_boxes,
+    quality_aware_central,
+    view_quality,
+)
+from repro.core.redundancy import (
+    MultiAssignment,
+    RedundantResult,
+    balb_redundant,
+    is_feasible_multi,
+    multi_camera_latency,
+    multi_system_latency,
 )
 
 __all__ = [

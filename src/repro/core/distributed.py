@@ -21,7 +21,7 @@ Complexity per frame: O(N).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from repro.core.masks import CameraMask, priority_owner
 from repro.geometry.box import BBox

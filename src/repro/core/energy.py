@@ -11,8 +11,8 @@ few joules as possible.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import Dict, Mapping, Optional
 
 from repro.core.balb import balb_central, order_objects

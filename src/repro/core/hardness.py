@@ -9,7 +9,7 @@ question, which the tests verify on small cases.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.core.problem import MVSInstance, SchedObject
 from repro.devices.profiler import DeviceProfile

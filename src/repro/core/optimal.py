@@ -9,15 +9,10 @@ least-flexible-first order BALB uses, which tightens pruning.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.balb import balb_central, order_objects
-from repro.core.problem import (
-    Assignment,
-    MVSInstance,
-    camera_latency,
-    system_latency,
-)
+from repro.core.problem import Assignment, MVSInstance, system_latency
 
 
 def optimal_assignment(

@@ -9,9 +9,9 @@ latencies for one frame (Definitions 1-3).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import math
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Tuple
 
 from repro.devices.profiler import DeviceProfile
 

@@ -17,9 +17,9 @@ This module provides:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+import math
+from typing import Dict, Mapping, Tuple
 
 from repro.core.balb import order_objects
 from repro.core.problem import Assignment, MVSInstance, is_feasible

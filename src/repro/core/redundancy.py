@@ -15,8 +15,8 @@ already chosen.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.balb import balb_central

@@ -64,9 +64,14 @@ class GPUExecutor:
     ) -> None:
         if jitter_std_fraction < 0:
             raise ValueError("jitter_std_fraction must be non-negative")
+        if jitter_std_fraction > 0 and rng is None:
+            raise ValueError(
+                "a jittered GPUExecutor (jitter_std_fraction > 0) requires "
+                "an explicit rng seeded from the run config"
+            )
         self.model = model
         self.jitter_std_fraction = jitter_std_fraction
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng
         self.slowdown = 1.0
 
     def set_slowdown(self, factor: float) -> None:
@@ -105,6 +110,7 @@ class GPUExecutor:
     def _jitter(self, true_ms: float) -> float:
         if self.jitter_std_fraction == 0.0:
             return true_ms
+        assert self._rng is not None  # guaranteed by __init__
         factor = 1.0 + self._rng.normal(0.0, self.jitter_std_fraction)
         return max(1e-3, true_ms * factor)
 

@@ -18,7 +18,6 @@ penalized for exceeding the limit.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 

@@ -29,7 +29,6 @@ from repro.experiments.fault_tolerance import (
     fault_tolerance_study,
     run_fault_tolerance,
 )
-from repro.experiments.fig2_workload import WorkloadTrace, workload_trace
 from repro.experiments.fig10_classification import (
     ClassificationRow,
     evaluate_classifiers,
@@ -61,6 +60,7 @@ from repro.experiments.fig14_horizon import (
     run_figure14,
     sweep_horizons,
 )
+from repro.experiments.fig2_workload import WorkloadTrace, workload_trace
 from repro.experiments.report import format_table
 from repro.experiments.runner import run_all
 from repro.experiments.table2_overhead import (

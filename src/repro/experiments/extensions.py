@@ -29,7 +29,7 @@ from repro.core.energy import (
     assignment_energy_mj,
     energy_aware_assignment,
 )
-from repro.core.problem import camera_latency, system_latency
+from repro.core.problem import system_latency
 from repro.experiments.ablations import jetson_fleet_profiles, random_instance
 from repro.experiments.report import format_table
 from repro.runtime.metrics import RunResult

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-import numpy as np
 
 from repro.association.baselines import CLASSIFIER_FACTORIES
 from repro.experiments.assoc_data import PairSplit, collect_and_split

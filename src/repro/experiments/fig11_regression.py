@@ -16,7 +16,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.association.baselines import REGRESSOR_FACTORIES
-from repro.experiments.assoc_data import PairSplit, collect_and_split
+from repro.experiments.assoc_data import collect_and_split
 from repro.experiments.report import format_table
 from repro.ml.metrics import mean_absolute_error
 from repro.scenarios.aic21 import get_scenario

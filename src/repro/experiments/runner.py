@@ -11,19 +11,18 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.obs import MetricsRegistry, format_metrics_table
-
 from repro.experiments.ablations import run_ablations
 from repro.experiments.extensions import run_extensions
 from repro.experiments.fault_tolerance import run_fault_tolerance
-from repro.experiments.fig2_workload import workload_trace
 from repro.experiments.fig10_classification import run_figure10
 from repro.experiments.fig11_regression import run_figure11
 from repro.experiments.fig12_recall import run_figure12
 from repro.experiments.fig13_latency import run_figure13
 from repro.experiments.fig14_horizon import run_figure14
+from repro.experiments.fig2_workload import workload_trace
 from repro.experiments.report import format_table
 from repro.experiments.table2_overhead import run_table2
+from repro.obs import MetricsRegistry, format_metrics_table
 
 
 def run_figure2_text(seed: int = 0) -> str:

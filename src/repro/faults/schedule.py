@@ -9,8 +9,8 @@ events *starting* at that frame, which it emits as trace spans.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
+import enum
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.net.link import LinkFault

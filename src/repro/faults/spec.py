@@ -22,7 +22,7 @@ Chaos presets name curated models: ``--chaos heavy`` etc.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.faults.model import FaultModel
 from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
@@ -196,7 +196,7 @@ def parse_fault_spec(spec: str) -> Union[FaultSchedule, FaultModel]:
     clauses = [c.strip() for c in spec.split(";") if c.strip()]
     if not clauses:
         raise ValueError("empty fault spec")
-    events = []
+    events: List[FaultEvent] = []
     for clause in clauses:
         name, _, body = clause.partition(":")
         name = name.strip()

@@ -11,8 +11,8 @@ following the convention of the paper's detector (YOLO-style corner format).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import Iterable, List, Sequence, Tuple
 
 

@@ -8,8 +8,8 @@ masks.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import List, Sequence, Tuple
 
 Point = Tuple[float, float]

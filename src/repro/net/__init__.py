@@ -1,5 +1,6 @@
 """Network substrate: links, reliability modeling and protocol messages."""
 
+from repro.net.heartbeat import HeartbeatMonitor, LeaseConfig
 from repro.net.link import (
     DEFAULT_RETRY,
     TESTBED_DOWNLINK,
@@ -11,7 +12,6 @@ from repro.net.link import (
     RetryPolicy,
     TransferOutcome,
 )
-from repro.net.heartbeat import HeartbeatMonitor, LeaseConfig
 from repro.net.messages import (
     AssignmentMessage,
     DetectionReport,

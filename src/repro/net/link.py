@@ -103,13 +103,23 @@ class TransferOutcome:
 
 
 class Link:
-    """A unidirectional link that computes transfer latencies."""
+    """A unidirectional link that computes transfer latencies.
+
+    A link whose spec draws jitter must be given an explicit ``rng``:
+    a silent seed-0 fallback would share one stream across every link
+    built without a seed, coupling their jitter draws between runs.
+    """
 
     def __init__(
         self, spec: LinkSpec, rng: Optional[np.random.Generator] = None
     ) -> None:
+        if spec.jitter_ms_std > 0 and rng is None:
+            raise ValueError(
+                "a jittered link (jitter_ms_std > 0) requires an explicit "
+                "rng seeded from the run config"
+            )
         self.spec = spec
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng
         self.bytes_sent = 0
         self.messages_sent = 0
         self.bytes_dropped = 0
@@ -120,11 +130,11 @@ class Link:
         if payload_bytes < 0:
             raise ValueError("payload_bytes must be non-negative")
         serialization = payload_bytes * 8.0 / (self.spec.bandwidth_mbps * 1e6) * 1e3
-        jitter = (
-            abs(self._rng.normal(0.0, self.spec.jitter_ms_std))
-            if self.spec.jitter_ms_std > 0
-            else 0.0
-        )
+        if self.spec.jitter_ms_std > 0:
+            assert self._rng is not None  # guaranteed by __init__
+            jitter = abs(self._rng.normal(0.0, self.spec.jitter_ms_std))
+        else:
+            jitter = 0.0
         self.bytes_sent += payload_bytes
         self.messages_sent += 1
         return self.spec.propagation_ms + serialization + jitter
@@ -168,11 +178,11 @@ class Link:
 class DuplexChannel:
     """Camera <-> scheduler channel with asymmetric up/down links.
 
-    When constructed with a ``seed`` (or an ``rng``), the two directions
-    get *distinct* jitter streams derived from it, and a third derived
-    stream drives fault (loss) draws — so two channels seeded from
-    different camera ids never share randomness, and fault draws never
-    perturb the jitter sequence.
+    Construction requires an explicit ``seed`` or ``rng``: the two
+    directions get *distinct* jitter streams derived from it, and a
+    third derived stream drives fault (loss) draws — so two channels
+    seeded from different camera ids never share randomness, and fault
+    draws never perturb the jitter sequence.
     """
 
     def __init__(
@@ -183,7 +193,14 @@ class DuplexChannel:
         seed: Optional[int] = None,
     ) -> None:
         if rng is None:
-            rng = np.random.default_rng(0 if seed is None else seed)
+            if seed is None:
+                raise ValueError(
+                    "DuplexChannel requires an explicit rng or seed "
+                    "(derive it from the run config) — a silent seed-0 "
+                    "fallback would alias every unseeded channel's "
+                    "jitter/loss streams"
+                )
+            rng = np.random.default_rng(seed)
         self.up = Link(uplink, _derive_rng(rng))
         self.down = Link(downlink, _derive_rng(rng))
         self._fault_rng = _derive_rng(rng)

@@ -8,8 +8,8 @@ priorities and the cell masks used by the distributed stage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.geometry.box import BBox
 

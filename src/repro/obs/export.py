@@ -26,20 +26,21 @@ def write_spans_jsonl(
 ) -> None:
     """Write spans to a path or open text file."""
     text = spans_to_jsonl(spans)
-    if hasattr(destination, "write"):
-        destination.write(text + ("\n" if text else ""))
-    else:
+    payload = text + ("\n" if text else "")
+    if isinstance(destination, str):
         with open(destination, "w") as f:
-            f.write(text + ("\n" if text else ""))
+            f.write(payload)
+    else:
+        destination.write(payload)
 
 
 def read_spans_jsonl(source: Union[str, IO[str]]) -> List[SpanRecord]:
     """Parse a JSONL trace back into span records."""
-    if hasattr(source, "read"):
-        text = source.read()
-    else:
+    if isinstance(source, str):
         with open(source) as f:
             text = f.read()
+    else:
+        text = source.read()
     return [
         SpanRecord.from_dict(json.loads(line))
         for line in text.splitlines()

@@ -1,0 +1,88 @@
+"""The registered inventory of span and metric names.
+
+Every name passed to the tracer (``tracer.span(...)``) or the metrics
+registry (``registry.counter/gauge/histogram(...)``) anywhere under
+``src/repro`` must be a string literal listed here. The ``reprolint``
+RL005 rule enforces that at lint time: the registry creates a series on
+first use, so a typo'd name never raises — it silently forks a metric
+into two series and golden-trace tests chase ghosts. Keeping the full
+inventory in one module makes renames diffable and typos machine-caught.
+
+To add a name: add the literal to the matching set below (keep the sets
+sorted), then use the same literal at the call site. Dynamic span
+families (``"fault." + kind``, ``"failover." + kind``) register their
+*prefix* in :data:`SPAN_PREFIXES`.
+
+This module is read *syntactically* by the linter (never imported), so
+the sets must stay literal — no comprehensions, concatenation or
+imports feeding them.
+"""
+
+from __future__ import annotations
+
+#: Every static span name the tracer records.
+SPAN_NAMES = frozenset(
+    {
+        "balb.central",
+        "camera.detect",
+        "camera.flow_predict",
+        "camera.key_frame",
+        "camera.new_regions",
+        "camera.policy_select",
+        "camera.regular_frame",
+        "camera.slice",
+        "camera.track_refresh",
+        "central_stage",
+        "distributed_stage",
+        "failover.replicate",
+        "frame",
+        "gpu.execute",
+        "gpu.full_frame",
+        "net.retry",
+        "net.round_trip",
+        "run",
+        "scheduler.associate",
+        "scheduler.comm",
+        "scheduler.schedule",
+        "scheduler.solve",
+        "sim.advance",
+    }
+)
+
+#: Registered prefixes for dynamic span families (prefix + enum value).
+SPAN_PREFIXES = frozenset(
+    {
+        "fault.",
+        "failover.",
+    }
+)
+
+#: Every metric (counter/gauge/histogram) name the registry serves.
+METRIC_NAMES = frozenset(
+    {
+        "assignment_fallbacks_total",
+        "assignment_staleness_horizons",
+        "bytes_dropped_total",
+        "camera_down_frames_total",
+        "coverage_lost_object_frames_total",
+        "experiment_wall_s",
+        "experiments_total",
+        "failover_handbacks_total",
+        "failover_recovery_ms",
+        "failover_replications_total",
+        "failover_stale_replicas_total",
+        "failover_takeovers_total",
+        "fault_events_total",
+        "forced_key_frames_total",
+        "frame_wall_ms",
+        "frames_total",
+        "inference_ms",
+        "key_frames_total",
+        "message_retries_total",
+        "messages_dropped_total",
+        "regular_frames_total",
+        "scheduler_down_frames_total",
+        "skipped_key_frames_total",
+        "slices_total",
+    }
+)

@@ -10,9 +10,11 @@ and lets two seeded runs produce byte-identical counter exports.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Tuple, Type, TypeVar, Union
 
 LabelKey = Tuple[Tuple[str, Any], ...]
+
+InstrumentT = TypeVar("InstrumentT", "Counter", "Gauge", "Histogram")
 
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
@@ -130,9 +132,16 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._instruments: Dict[Tuple[str, LabelKey], Any] = {}
+        self._instruments: Dict[
+            Tuple[str, LabelKey], Union["Counter", "Gauge", "Histogram"]
+        ] = {}
 
-    def _get(self, cls: type, name: str, labels: Dict[str, Any]) -> Any:
+    def _get(
+        self,
+        cls: Type[InstrumentT],
+        name: str,
+        labels: Dict[str, Any],
+    ) -> InstrumentT:
         key = (name, _label_key(labels))
         inst = self._instruments.get(key)
         if inst is None:

@@ -16,9 +16,9 @@ instrumentation left in the hot path is effectively free when disabled.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+import time
 from typing import Any, Dict, Iterator, List, Optional
 
 

@@ -1,5 +1,6 @@
 """End-to-end runtime: camera nodes, central scheduler, pipeline, metrics."""
 
+from repro.obs.trace import SpanRecord, Tracer, get_tracer, use_tracer
 from repro.runtime.camera_node import (
     CameraNode,
     KeyFrameOutcome,
@@ -25,7 +26,6 @@ from repro.runtime.policies import (
     StaticPartitioningPolicy,
     TrackView,
 )
-from repro.obs.trace import SpanRecord, Tracer, get_tracer, use_tracer
 from repro.runtime.scheduler_node import CentralScheduler, ScheduleDecision
 from repro.runtime.synchronization import SkewModel, WorldHistory
 

@@ -10,9 +10,8 @@ GPU and refreshes its tracks from the resulting detections.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import enum
-import math
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

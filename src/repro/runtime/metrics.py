@@ -15,7 +15,7 @@ Implements the paper's evaluation metrics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional
+from typing import Any, Dict, FrozenSet, List
 
 import numpy as np
 

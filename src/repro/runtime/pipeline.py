@@ -13,21 +13,21 @@ Policies: ``full``, ``balb``, ``balb-cen``, ``balb-ind``, ``sp``.
 
 from __future__ import annotations
 
-import time
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.association.pairwise import PairwiseAssociator
-from repro.cameras.occlusion import OcclusionModel, visible_fractions
 from repro.association.training import collect_association_dataset
+from repro.cameras.occlusion import OcclusionModel, visible_fractions
 from repro.cameras.rig import CameraRig
+from repro.checkpoint import RunCheckpoint, save_checkpoint
 from repro.core.distributed import DistributedPolicy
 from repro.devices.profiler import DeviceProfile, profile_device
 from repro.devices.profiles import latency_model_for
-from repro.checkpoint import RunCheckpoint, save_checkpoint
 from repro.faults.schedule import FaultSchedule, FrameFaults
 from repro.faults.spec import resolve_faults
 from repro.net.heartbeat import LeaseConfig

@@ -14,7 +14,6 @@ BALB (central + distributed), BALB-Cen (central only), BALB-Ind
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.distributed import DistributedPolicy

@@ -20,9 +20,9 @@ from repro.association.matcher import (
 )
 from repro.association.pairwise import PairwiseAssociator
 from repro.core.balb import balb_central
-from repro.core.redundancy import balb_redundant
 from repro.core.masks import CameraMask, build_camera_masks, capacity_owner
 from repro.core.problem import MVSInstance, SchedObject
+from repro.core.redundancy import balb_redundant
 from repro.devices.profiler import DeviceProfile
 from repro.geometry.box import BBox, quantize_size
 from repro.net.link import (

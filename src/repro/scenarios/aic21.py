@@ -18,8 +18,7 @@ frame of the dataset; the rest use 1280x704.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List
+from typing import List
 
 from repro.cameras.camera import Camera, CameraIntrinsics, CameraPose
 from repro.devices.profiles import (

@@ -7,9 +7,9 @@ so repeated experiment runs are independent but identically configured.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.cameras.camera import Camera
 from repro.cameras.rig import CameraRig

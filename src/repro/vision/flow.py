@@ -15,7 +15,7 @@ Section II-B). We reproduce both contracts:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -51,8 +51,13 @@ class FlowPredictor:
         noise: Optional[FlowNoiseModel] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
+        if rng is None:
+            raise ValueError(
+                "FlowPredictor requires an explicit rng seeded from the "
+                "run config; every predict() call draws from it"
+            )
         self.noise = noise or FlowNoiseModel()
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng
         self._states: Dict[int, TrackState] = {}
 
     # ------------------------------------------------------------------

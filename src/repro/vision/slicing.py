@@ -11,7 +11,7 @@ same; we model it as the size staying servable).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.geometry.box import DEFAULT_SIZE_SET, BBox, quantize_size

@@ -8,9 +8,9 @@ poor cross-camera mapping in the paper (Section II-C, footnote 1).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import enum
 import math
-from dataclasses import dataclass, field
 from typing import List, Tuple
 
 

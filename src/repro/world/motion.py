@@ -9,8 +9,8 @@ the paper's Figure 2.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import math
-from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 Point = Tuple[float, float]

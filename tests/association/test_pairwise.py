@@ -8,7 +8,7 @@ from repro.association.pairwise import (
     default_classifier_factory,
     default_regressor_factory,
 )
-from repro.association.training import AssociationDataset, PairDataset
+from repro.association.training import AssociationDataset
 from repro.geometry.box import BBox
 
 

@@ -14,9 +14,9 @@ On randomized small MVS instances:
   the identical result).
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
 
 from repro.core.balb import balb_central
 from repro.core.baselines import independent_latencies

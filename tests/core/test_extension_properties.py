@@ -1,8 +1,8 @@
 """Property-based tests for the extension modules."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
 
 from repro.core.balb import balb_central
 from repro.core.bandwidth import min_view_cover

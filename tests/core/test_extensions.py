@@ -1,7 +1,6 @@
 """Tests for the Section V extension modules: redundancy, bandwidth,
 energy and quality-aware scheduling."""
 
-import numpy as np
 import pytest
 
 from repro.core.balb import balb_central
@@ -18,12 +17,7 @@ from repro.core.energy import (
     energy_aware_assignment,
     energy_models_for,
 )
-from repro.core.problem import (
-    MVSInstance,
-    SchedObject,
-    camera_latency,
-    system_latency,
-)
+from repro.core.problem import MVSInstance, SchedObject, camera_latency
 from repro.core.quality import (
     qualities_from_boxes,
     quality_aware_central,

@@ -1,6 +1,5 @@
 """Tests for the MVS problem formulation."""
 
-import math
 
 import pytest
 

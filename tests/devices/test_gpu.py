@@ -96,3 +96,9 @@ class TestGPUExecutor:
     def test_invalid_jitter_raises(self):
         with pytest.raises(ValueError):
             GPUExecutor(model(), jitter_std_fraction=-0.1)
+
+    def test_jittered_executor_requires_explicit_rng(self):
+        # Regression: the silent default_rng(0) fallback was removed —
+        # a noisy executor must own a stream seeded from the run config.
+        with pytest.raises(ValueError, match="explicit rng"):
+            GPUExecutor(model(), jitter_std_fraction=0.1)

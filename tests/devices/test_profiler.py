@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.devices.latency import LatencyModel
 from repro.devices.profiler import DeviceProfile, profile_device
 from repro.devices.profiles import JETSON_TX2, latency_model_for
 

@@ -1,6 +1,5 @@
 """Unit tests for bounding boxes, IoU and size quantization."""
 
-import math
 
 import pytest
 

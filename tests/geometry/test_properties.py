@@ -1,6 +1,5 @@
 """Property-based tests for the geometry substrate."""
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

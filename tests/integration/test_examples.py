@@ -7,7 +7,6 @@ cheap instance-level examples are executed end to end.
 import pathlib
 import py_compile
 import runpy
-import sys
 
 import pytest
 

@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.experiments.ablations import (
@@ -11,13 +12,11 @@ from repro.experiments.ablations import (
     measure_optimality_gap,
     random_instance,
 )
-from repro.experiments.fig2_workload import workload_trace
 from repro.experiments.fig10_classification import evaluate_classifiers
 from repro.experiments.fig11_regression import evaluate_regressors
+from repro.experiments.fig2_workload import workload_trace
 from repro.experiments.report import format_table
 from repro.scenarios.aic21 import get_scenario
-
-import numpy as np
 
 
 class TestReport:

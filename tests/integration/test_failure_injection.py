@@ -7,8 +7,6 @@ assert the pipeline degrades gracefully instead of crashing or silently
 corrupting its metrics.
 """
 
-import numpy as np
-import pytest
 
 from repro.association.pairwise import PairwiseAssociator
 from repro.association.training import AssociationDataset
@@ -22,7 +20,6 @@ from repro.runtime.policies import IndependentPolicy
 from repro.runtime.scheduler_node import CentralScheduler
 from repro.scenarios.aic21 import scenario_s2
 from repro.vision.detector import DetectorErrorModel
-from repro.vision.flow import FlowNoiseModel
 from repro.world.entities import ObjectClass, WorldObject
 
 
@@ -138,7 +135,6 @@ class TestDegradedAssociation:
 
 class TestNetworkDegradation:
     def test_slow_network_inflates_central_overhead_only(self):
-        from repro.net.link import LinkSpec
 
         scenario = scenario_s2(seed=0)
         config = small_config()

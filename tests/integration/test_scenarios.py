@@ -9,7 +9,6 @@ from repro.scenarios.aic21 import (
     scenario_s2,
     scenario_s3,
 )
-from repro.devices.profiles import JETSON_AGX_XAVIER, JETSON_NANO, JETSON_TX2
 
 
 class TestScenarioCatalogue:

@@ -1,12 +1,12 @@
 """Tests for the from-scratch Hungarian algorithm, including a
 property-based comparison against scipy's reference implementation."""
 
-import numpy as np
-import pytest
-import scipy.optimize
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
+import numpy as np
+import pytest
+import scipy.optimize
 
 from repro.ml.hungarian import assignment_cost, hungarian
 

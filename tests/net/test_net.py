@@ -60,13 +60,13 @@ class TestLink:
             assert link.transfer_ms(100) >= base - 1e-9
 
     def test_slower_uplink_than_downlink(self):
-        channel = DuplexChannel()
+        channel = DuplexChannel(seed=0)
         up = channel.up.transfer_ms(10_000)
         down = channel.down.transfer_ms(10_000)
         assert up > down
 
     def test_round_trip_sums_directions(self):
-        channel = DuplexChannel()
+        channel = DuplexChannel(seed=0)
         rt = channel.round_trip_ms(1000, 1000)
         assert rt == pytest.approx(
             channel.up.spec.propagation_ms
@@ -205,6 +205,33 @@ class TestReliableTransfer:
         assert link.messages_sent == 1
         # timeout of the lost attempt plus the real transfer (3 ms)
         assert outcome.elapsed_ms == pytest.approx(63.0)
+
+
+class TestExplicitSeedRequired:
+    """Silent seed-0 fallbacks were removed: randomness must be owned.
+
+    Regression tests for the reprolint audit — a jittered link or a
+    channel built without an explicit seed/rng used to share the
+    hard-coded ``default_rng(0)`` stream.
+    """
+
+    def test_channel_without_seed_or_rng_raises(self):
+        with pytest.raises(ValueError, match="explicit rng or seed"):
+            DuplexChannel()
+
+    def test_jittered_link_without_rng_raises(self):
+        spec = LinkSpec(bandwidth_mbps=10.0, jitter_ms_std=0.5)
+        with pytest.raises(ValueError, match="explicit"):
+            Link(spec)
+
+    def test_jitter_free_link_needs_no_rng(self):
+        link = Link(LinkSpec(bandwidth_mbps=10.0))
+        assert link.transfer_ms(100) > 0.0
+
+    def test_seeded_channel_still_deterministic(self):
+        a = DuplexChannel(seed=7)
+        b = DuplexChannel(seed=7)
+        assert a.round_trip_ms(1000, 1000) == b.round_trip_ms(1000, 1000)
 
 
 class TestDuplexChannelRNG:

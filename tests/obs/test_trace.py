@@ -128,10 +128,11 @@ class TestDeterminism:
         first, second = Tracer(), Tracer()
         _workload(first)
         _workload(second)
-        shape = lambda t: [
-            (r.span_id, r.parent_id, r.name, r.depth, r.tags)
-            for r in t.records
-        ]
+        def shape(t):
+            return [
+                (r.span_id, r.parent_id, r.name, r.depth, r.tags)
+                for r in t.records
+            ]
         assert shape(first) == shape(second)
         assert len(first.records) == 1 + 3 * (1 + 1 + 2)
 

@@ -1,0 +1,13 @@
+"""Fixture: global-state RNG use. Every marked line must trip RL001."""
+
+import random  # line 3: stdlib random import
+from random import choice  # line 4: from-import
+
+import numpy as np
+
+
+def jitter():
+    a = np.random.rand(3)  # line 10: global numpy RNG
+    b = np.random.randint(0, 10)  # line 11: global numpy RNG
+    c = random.random()
+    return a, b, c, choice([1, 2])

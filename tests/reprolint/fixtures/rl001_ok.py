@@ -1,0 +1,10 @@
+"""Fixture: RNG done right — explicit Generators, seeded streams."""
+
+import numpy as np
+
+
+def jitter(seed):
+    rng = np.random.default_rng(seed)
+    child = np.random.default_rng(np.random.SeedSequence(seed))
+    assert isinstance(rng, np.random.Generator)
+    return rng.normal(), child.integers(0, 10)

@@ -1,0 +1,18 @@
+"""Fixture: nondeterminism sources. Every marked line must trip RL002."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+import secrets  # line 8: OS entropy import
+
+
+def stamp():
+    a = time.time()  # line 12: timestamp
+    b = datetime.now()  # line 13: timestamp
+    c = time.perf_counter()  # line 14: wallclock
+    d = uuid.uuid4()  # line 15: entropy
+    e = os.urandom(8)  # line 16: entropy
+    f = hash(("env", "dependent"))  # line 17: salted hash
+    return a, b, c, d, e, f, secrets

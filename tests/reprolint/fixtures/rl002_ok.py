@@ -1,0 +1,12 @@
+"""Fixture: determinism-safe alternatives to the RL002 sources."""
+
+import hashlib
+
+
+def stable_key(fields):
+    digest = hashlib.sha256(repr(sorted(fields)).encode()).hexdigest()
+    return digest
+
+
+def modeled_clock(frame_index, frame_interval_ms):
+    return frame_index * frame_interval_ms

@@ -1,0 +1,18 @@
+"""Fixture: unfrozen wire dataclasses. Every class here must trip RL003."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BareMessage:  # line 7 region: bare @dataclass
+    camera_id: int
+
+
+@dataclass(frozen=False)
+class ExplicitlyThawed:
+    frame_index: int
+
+
+@dataclass(order=True)
+class OrderedButMutable:
+    priority: int

@@ -1,0 +1,17 @@
+"""Fixture: frozen dataclasses and plain classes — no RL003 findings."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrozenMessage:
+    camera_id: int
+
+
+@dataclass(frozen=True, order=True)
+class FrozenOrdered:
+    priority: int
+
+
+class PlainClass:
+    pass

@@ -1,0 +1,11 @@
+"""Fixture: unseeded default_rng calls. Each call must trip RL004."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh_entropy():
+    a = np.random.default_rng()  # line 8: no seed -> OS entropy
+    b = default_rng()  # line 9: bare name, still unseeded
+    c = np.random.default_rng(None)  # line 10: explicit None is the same
+    return a, b, c

@@ -1,0 +1,11 @@
+"""Fixture: seeded default_rng calls — no RL004 findings."""
+
+import numpy as np
+
+
+def seeded(config_seed):
+    a = np.random.default_rng(config_seed)
+    b = np.random.default_rng(0)
+    c = np.random.default_rng(seed=config_seed + 1)
+    d = np.random.default_rng(np.random.SeedSequence(config_seed))
+    return a, b, c, d

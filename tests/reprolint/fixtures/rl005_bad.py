@@ -1,0 +1,16 @@
+"""Fixture: unregistered / dynamic obs names. Marked lines trip RL005.
+
+The test lints this with a NameSets of span {"frame"}, metric
+{"frames_total"}, prefixes {"fault."}.
+"""
+
+
+def record(tracer, metrics, kind):
+    with tracer.span("frame_typo"):  # line 9: unregistered span name
+        pass
+    metrics.counter("frames_totall").inc()  # line 11: metric typo
+    metrics.counter("frames_total" if kind else "nope").inc()  # line 12
+    with tracer.span("oops." + kind):  # line 13: unregistered prefix
+        pass
+    with tracer.span(f"dyn.{kind}"):  # line 15: not a literal at all
+        pass

@@ -1,0 +1,17 @@
+"""Fixture: registered obs names only — no RL005 findings.
+
+Linted with NameSets of span {"frame"}, metric {"frames_total"},
+prefixes {"fault."}.
+"""
+
+
+def record(tracer, metrics, kind, flag):
+    with tracer.span("frame"):
+        pass
+    metrics.counter("frames_total").inc()
+    metrics.counter(name="frames_total").inc()
+    metrics.counter("frames_total" if flag else "frames_total").inc()
+    with tracer.span("fault." + kind):
+        pass
+    with tracer.span():  # zero-arg overload takes no name
+        pass

@@ -1,0 +1,22 @@
+"""Fixture: mutable default arguments. Every marked line trips RL006."""
+
+from collections import defaultdict
+
+
+def list_default(items=[]):  # line 6
+    return items
+
+
+def dict_default(mapping={}):  # line 10
+    return mapping
+
+
+def call_default(seen=set(), extra=defaultdict(list)):  # line 14: two hits
+    return seen, extra
+
+
+def kwonly_default(*, acc=[]):  # line 18
+    return acc
+
+
+adder = lambda x, acc=[]: acc + [x]  # line 22: lambda default

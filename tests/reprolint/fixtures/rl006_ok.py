@@ -1,0 +1,11 @@
+"""Fixture: immutable defaults and the None idiom — no RL006 findings."""
+
+
+def none_idiom(items=None):
+    if items is None:
+        items = []
+    return items
+
+
+def immutable_defaults(pair=(1, 2), name="x", flags=frozenset()):
+    return pair, name, flags

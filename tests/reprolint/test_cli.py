@@ -1,0 +1,116 @@
+"""CLI tests: exit codes, JSON output, selection, and the meta-test
+that the repository's own tree lints clean."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from tools.reprolint.cli import main as reprolint_main
+from tools.reprolint.rules import ALL_RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_SOURCE = "import numpy as np\nx = np.random.rand(3)\n"
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    """A fake repo tree with one RL001 violation inside src/repro."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD_SOURCE)
+    return tmp_path
+
+
+def run_in(tree, argv, monkeypatch):
+    monkeypatch.chdir(tree)
+    return reprolint_main(argv)
+
+
+class TestExitCodes:
+    def test_violations_exit_1(self, bad_tree, monkeypatch, capsys):
+        assert run_in(bad_tree, ["src"], monkeypatch) == 1
+        out = capsys.readouterr()
+        assert "RL001" in out.out
+        assert "1 error(s)" in out.err
+
+    def test_clean_tree_exits_0(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "fine.py").write_text("x = 1\n")
+        assert run_in(tmp_path, ["src"], monkeypatch) == 0
+        assert "clean" in capsys.readouterr().err
+
+    def test_warn_demotion_exits_0(self, bad_tree, monkeypatch, capsys):
+        code = run_in(bad_tree, ["--warn", "RL001", "src"], monkeypatch)
+        assert code == 0
+        out = capsys.readouterr()
+        assert "[warning]" in out.out
+        assert "1 warning(s)" in out.err
+
+    def test_select_skips_other_rules(self, bad_tree, monkeypatch, capsys):
+        code = run_in(bad_tree, ["--select", "RL006", "src"], monkeypatch)
+        assert code == 0
+        capsys.readouterr()
+
+    def test_unknown_select_is_usage_error(self, bad_tree, monkeypatch,
+                                           capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_in(bad_tree, ["--select", "RL999", "src"], monkeypatch)
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+
+class TestJsonOutput:
+    def test_json_document_shape(self, bad_tree, monkeypatch, capsys):
+        assert run_in(bad_tree, ["--json", "src"], monkeypatch) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["errors"] == 1
+        assert doc["warnings"] == 0
+        (finding,) = doc["findings"]
+        assert finding["code"] == "RL001"
+        assert finding["path"] == "src/repro/bad.py"
+        assert finding["line"] == 2
+        assert finding["severity"] == "error"
+
+
+class TestListRules:
+    def test_catalog_lists_every_rule(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.code in out
+        assert len(ALL_RULES) == 6
+
+
+class TestReproLintSubcommand:
+    def test_repro_lint_on_bad_tree(self, bad_tree, monkeypatch, capsys):
+        monkeypatch.chdir(bad_tree)
+        monkeypatch.syspath_prepend(str(REPO_ROOT))
+        assert repro_main(["lint", "src"]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+    def test_repro_lint_json(self, bad_tree, monkeypatch, capsys):
+        monkeypatch.chdir(bad_tree)
+        monkeypatch.syspath_prepend(str(REPO_ROOT))
+        assert repro_main(["lint", "--json", "src"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["errors"] == 1
+
+
+class TestRepositoryIsClean:
+    """The meta-test: the repo's own tree must satisfy its own linter."""
+
+    def test_module_invocation_on_src_and_tests_exits_0(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "src", "tests"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stderr

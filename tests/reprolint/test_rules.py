@@ -1,0 +1,185 @@
+"""Fixture-driven tests: every RL rule fires on its bad fixture and
+stays quiet on its good one.
+
+Fixtures live in ``tests/reprolint/fixtures`` and are linted via
+:func:`lint_source` under a *virtual* path inside ``src/repro`` — the
+engine anchors scope matching on the reported path, not the on-disk
+location, so the intentional violations never pollute a real lint run
+(the directory name ``fixtures`` is also excluded from file walks).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import Config, NameSets, lint_source, rule_by_code
+from tools.reprolint.rules import ALL_RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: NameSets the RL005 fixtures are written against.
+TEST_NAMES = NameSets(
+    span_names=frozenset({"frame"}),
+    metric_names=frozenset({"frames_total"}),
+    span_prefixes=frozenset({"fault."}),
+)
+
+CONFIG = Config(rl005_names=TEST_NAMES)
+
+#: Virtual paths that put a buffer in each rule's scope.
+IN_SCOPE = {
+    "RL001": "src/repro/virtual_fixture.py",
+    "RL002": "src/repro/virtual_fixture.py",
+    "RL003": "src/repro/net/messages.py",
+    "RL004": "src/repro/virtual_fixture.py",
+    "RL005": "src/repro/virtual_fixture.py",
+    "RL006": "src/repro/virtual_fixture.py",
+}
+
+RULE_CODES = [rule.code for rule in ALL_RULES]
+
+
+def read_fixture(name):
+    return (FIXTURES / name).read_text()
+
+
+def line_of(source, needle):
+    """1-based line of the first source line containing ``needle``."""
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if needle in text:
+            return lineno
+    raise AssertionError(f"fixture does not contain {needle!r}")
+
+
+def lint_fixture(name, code, path=None):
+    source = read_fixture(name)
+    findings = lint_source(
+        source,
+        path or IN_SCOPE[code],
+        CONFIG,
+        rules=[rule_by_code(code)],
+    )
+    return source, findings
+
+
+class TestBadFixturesFail:
+    """Each rule is demonstrated by at least one failing fixture."""
+
+    @pytest.mark.parametrize("code", RULE_CODES)
+    def test_bad_fixture_produces_findings(self, code):
+        _, findings = lint_fixture(f"{code.lower()}_bad.py", code)
+        assert findings, f"{code} bad fixture produced no findings"
+        assert {f.code for f in findings} == {code}
+        assert all(f.severity == "error" for f in findings)
+
+    @pytest.mark.parametrize("code", RULE_CODES)
+    def test_good_fixture_is_clean(self, code):
+        _, findings = lint_fixture(f"{code.lower()}_ok.py", code)
+        assert findings == []
+
+
+class TestRL001:
+    def test_flags_each_global_rng_use(self):
+        source, findings = lint_fixture("rl001_bad.py", "RL001")
+        lines = {f.line for f in findings}
+        assert line_of(source, "import random") in lines
+        assert line_of(source, "from random import choice") in lines
+        assert line_of(source, "np.random.rand(3)") in lines
+        assert line_of(source, "np.random.randint(0, 10)") in lines
+
+    def test_out_of_scope_path_not_linted(self):
+        _, findings = lint_fixture(
+            "rl001_bad.py", "RL001", path="examples/outside.py"
+        )
+        assert findings == []
+
+
+class TestRL002:
+    def test_flags_every_source_kind(self):
+        source, findings = lint_fixture("rl002_bad.py", "RL002")
+        lines = {f.line for f in findings}
+        for needle in (
+            "import secrets",
+            "time.time()",
+            "datetime.now()",
+            "time.perf_counter()",
+            "uuid.uuid4()",
+            "os.urandom(8)",
+            'hash(("env", "dependent"))',
+        ):
+            assert line_of(source, needle) in lines, needle
+
+    def test_wallclock_allowlist_only_unflags_wallclock(self):
+        source, findings = lint_fixture(
+            "rl002_bad.py", "RL002", path="src/repro/obs/trace.py"
+        )
+        lines = {f.line for f in findings}
+        assert line_of(source, "time.perf_counter()") not in lines
+        assert line_of(source, "time.time()") in lines
+        assert line_of(source, "uuid.uuid4()") in lines
+
+    def test_timestamp_allowlist_only_unflags_timestamps(self):
+        source, findings = lint_fixture(
+            "rl002_bad.py", "RL002", path="src/repro/cli.py"
+        )
+        lines = {f.line for f in findings}
+        assert line_of(source, "time.time()") not in lines
+        assert line_of(source, "datetime.now()") not in lines
+        assert line_of(source, "time.perf_counter()") in lines
+        assert line_of(source, "os.urandom(8)") in lines
+
+
+class TestRL003:
+    def test_each_unfrozen_dataclass_flagged(self):
+        source, findings = lint_fixture("rl003_bad.py", "RL003")
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        for name in ("BareMessage", "ExplicitlyThawed", "OrderedButMutable"):
+            assert name in messages
+
+    def test_rule_limited_to_wire_modules(self):
+        _, findings = lint_fixture(
+            "rl003_bad.py", "RL003", path="src/repro/analysis.py"
+        )
+        assert findings == []
+
+
+class TestRL004:
+    def test_unseeded_calls_flagged(self):
+        source, findings = lint_fixture("rl004_bad.py", "RL004")
+        lines = {f.line for f in findings}
+        assert line_of(source, "np.random.default_rng()  #") in lines
+        assert line_of(source, "b = default_rng()") in lines
+        assert line_of(source, "np.random.default_rng(None)") in lines
+        assert len(findings) == 3
+
+
+class TestRL005:
+    def test_unregistered_and_dynamic_names_flagged(self):
+        source, findings = lint_fixture("rl005_bad.py", "RL005")
+        lines = {f.line for f in findings}
+        for needle in (
+            '"frame_typo"',
+            '"frames_totall"',
+            'else "nope"',
+            '"oops." + kind',
+            'f"dyn.{kind}"',
+        ):
+            assert line_of(source, needle) in lines, needle
+
+    def test_registered_literals_ternaries_and_prefixes_pass(self):
+        _, findings = lint_fixture("rl005_ok.py", "RL005")
+        assert findings == []
+
+
+class TestRL006:
+    def test_each_mutable_default_flagged(self):
+        source, findings = lint_fixture("rl006_bad.py", "RL006")
+        lines = [f.line for f in findings]
+        assert line_of(source, "items=[]") in lines
+        assert line_of(source, "mapping={}") in lines
+        assert line_of(source, "kwonly_default") in lines
+        assert line_of(source, "lambda x, acc=[]") in lines
+        # seen=set() and extra=defaultdict(list) are two findings on one line
+        assert lines.count(line_of(source, "call_default")) == 2
+        assert len(findings) == 6

@@ -1,6 +1,5 @@
 """Tests for the camera node pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.cameras.camera import Camera, CameraIntrinsics, CameraPose

@@ -1,9 +1,7 @@
 """Tests for the simulated detector."""
 
-import math
 
 import numpy as np
-import pytest
 
 from repro.cameras.camera import Camera, CameraIntrinsics, CameraPose
 from repro.geometry.box import BBox

@@ -1,6 +1,5 @@
 """Tests for the optical-flow stand-in."""
 
-import math
 
 import numpy as np
 import pytest
@@ -16,26 +15,32 @@ def noise_free():
 
 
 class TestFlowPredictor:
+    def test_requires_explicit_rng(self):
+        # Regression: the silent default_rng(0) fallback was removed —
+        # every predictor draws noise, so its stream must be owned.
+        with pytest.raises(ValueError, match="explicit rng"):
+            FlowPredictor(noise_free())
+
     def test_predict_unknown_key_none(self):
-        flow = FlowPredictor(noise_free())
+        flow = FlowPredictor(noise_free(), np.random.default_rng(0))
         assert flow.predict(42) is None
 
     def test_static_object_prediction(self):
-        flow = FlowPredictor(noise_free())
+        flow = FlowPredictor(noise_free(), np.random.default_rng(0))
         box = BBox.from_xywh(100, 100, 40, 40)
         flow.observe(1, box)
         pred = flow.predict(1)
         assert pred.center == pytest.approx(box.center)
 
     def test_velocity_extrapolation(self):
-        flow = FlowPredictor(noise_free())
+        flow = FlowPredictor(noise_free(), np.random.default_rng(0))
         flow.observe(1, BBox.from_xywh(100, 100, 40, 40))
         flow.observe(1, BBox.from_xywh(110, 100, 40, 40))  # moved +10 px/frame
         pred = flow.predict(1)
         assert pred.center[0] == pytest.approx(120.0)
 
     def test_velocity_averages_over_missed_frames(self):
-        flow = FlowPredictor(noise_free())
+        flow = FlowPredictor(noise_free(), np.random.default_rng(0))
         flow.observe(1, BBox.from_xywh(100, 100, 40, 40))
         flow.predict(1)
         flow.predict(1)  # two unobserved frames
@@ -61,7 +66,7 @@ class TestFlowPredictor:
         assert spreads[1] > spreads[0] * 2
 
     def test_drop_and_tracked_keys(self):
-        flow = FlowPredictor(noise_free())
+        flow = FlowPredictor(noise_free(), np.random.default_rng(0))
         flow.observe(1, BBox.from_xywh(0, 0, 10, 10))
         flow.observe(2, BBox.from_xywh(5, 5, 10, 10))
         assert flow.tracked_keys() == [1, 2]
@@ -70,7 +75,7 @@ class TestFlowPredictor:
         assert flow.predict(1) is None
 
     def test_staleness_counter(self):
-        flow = FlowPredictor(noise_free())
+        flow = FlowPredictor(noise_free(), np.random.default_rng(0))
         flow.observe(1, BBox.from_xywh(0, 0, 10, 10))
         assert flow.staleness(1) == 0
         flow.predict(1)

@@ -1,10 +1,8 @@
 """Tests for the stepping world simulation."""
 
-import numpy as np
 import pytest
 
-from repro.world.entities import ObjectClass
-from repro.world.motion import MotionParams, Route, TrafficLight
+from repro.world.motion import Route, TrafficLight
 from repro.world.spawn import SpawnSpec
 from repro.world.world import World, WorldConfig
 

@@ -1,0 +1,45 @@
+"""reprolint: AST-based determinism & invariant checker for this repo.
+
+The reproduction's headline guarantees — same-seed runs are
+bit-identical, faulted runs are deterministic, and checkpoint/resume
+reproduces stdout byte-for-byte — rest on coding invariants that no
+general-purpose linter knows about: every RNG must be an explicitly
+seeded :class:`numpy.random.Generator`, no wall-clock or OS entropy may
+reach the simulation, wire/checkpoint dataclasses must be frozen, and
+metric/span names must come from the registered constants module.
+
+``reprolint`` machine-checks those invariants with nothing but the
+stdlib ``ast`` module. See ``docs/static-analysis.md`` for the rule
+catalog and rationale.
+
+Usage::
+
+    python -m tools.reprolint src tests          # human output
+    python -m tools.reprolint --json src tests   # machine output
+    repro lint                                   # CLI subcommand
+
+Programmatic use::
+
+    from tools.reprolint import Config, lint_paths, lint_source
+    findings = lint_paths(["src", "tests"], Config())
+"""
+
+from tools.reprolint.engine import (
+    Config,
+    Finding,
+    NameSets,
+    lint_paths,
+    lint_source,
+)
+from tools.reprolint.rules import ALL_RULES, Rule, rule_by_code
+
+__all__ = [
+    "ALL_RULES",
+    "Config",
+    "Finding",
+    "NameSets",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "rule_by_code",
+]

@@ -1,0 +1,6 @@
+"""Module entry point: ``python -m tools.reprolint [paths...]``."""
+
+from tools.reprolint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""Command-line front end: ``python -m tools.reprolint [paths...]``.
+
+Exit codes: 0 — no error-severity findings; 1 — at least one error;
+2 — bad invocation. ``--json`` emits a machine-readable findings list
+(one JSON document) for CI annotation tooling; the default output is
+one ``path:line:col: RLxxx [severity] message`` line per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+import json
+import sys
+from typing import List, Optional
+
+from tools.reprolint.engine import Config, lint_paths
+from tools.reprolint.rules import ALL_RULES, rules_for
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description=(
+            "AST-based determinism & invariant checker for this repo "
+            "(rules RL001-RL006; see docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit findings as a single JSON document",
+    )
+    parser.add_argument(
+        "--select", metavar="RLxxx", action="append", default=None,
+        help="run only these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--warn", metavar="RLxxx", action="append", default=None,
+        help="demote a rule to warning severity: its findings are "
+             "reported but never fail the run (repeatable)",
+    )
+    parser.add_argument(
+        "--names-module", metavar="PATH", default=None,
+        help="override the registered obs-names module RL005 reads",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.code} [{rule.severity}] {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    config = Config()
+    if args.warn:
+        config = replace(config, demote_to_warning=frozenset(args.warn))
+    if args.names_module:
+        config = replace(config, rl005_names_module=args.names_module)
+    rules = None
+    if args.select:
+        try:
+            rules = rules_for(args.select)
+        except KeyError as exc:
+            parser.error(str(exc))
+
+    findings = lint_paths(args.paths, config, rules)
+    errors = [f for f in findings if f.severity == "error"]
+    warnings = [f for f in findings if f.severity != "error"]
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "errors": len(errors),
+                    "warnings": len(warnings),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(
+                f"reprolint: {len(findings)} finding(s) "
+                f"({len(errors)} error(s), {len(warnings)} warning(s))",
+                file=sys.stderr,
+            )
+        else:
+            print("reprolint: clean", file=sys.stderr)
+    return 1 if errors else 0

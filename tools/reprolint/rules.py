@@ -1,0 +1,469 @@
+"""The RL rule catalog.
+
+Each rule is a small class with a ``code``, a one-line ``summary``, a
+``rationale`` tying it to the determinism/resume guarantees it protects,
+a default ``severity``, and a ``check`` that yields
+:class:`~tools.reprolint.engine.Finding` objects for one parsed file.
+``applies_to`` gates the rule on the config's path scope, so adding a
+rule never requires touching the engine.
+
+Suppress a finding with ``# reprolint: disable=RLxxx`` on the offending
+line (see ``docs/static-analysis.md`` before reaching for that).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from tools.reprolint.engine import (
+    SEEDED_NP_RANDOM_ATTRS,
+    Context,
+    Finding,
+    in_scope,
+)
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and ``check``."""
+
+    code: str = "RL000"
+    summary: str = ""
+    rationale: str = ""
+    severity: str = "error"
+
+    def applies_to(self, ctx: Context) -> bool:
+        raise NotImplementedError
+
+    def check(self, tree: ast.AST, ctx: Context) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, node: ast.AST, ctx: Context, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            severity=self.severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ("a", "b", "c"); None for non-trivial receivers."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class NoGlobalStateRNG(Rule):
+    """RL001: all randomness must come from explicitly seeded Generators."""
+
+    code = "RL001"
+    summary = (
+        "no global-state RNG: np.random.<fn> (other than Generator "
+        "construction) and the stdlib random module are banned"
+    )
+    rationale = (
+        "Global RNG state is shared across the process: one stray draw "
+        "reorders every later draw, so two same-seed runs diverge and "
+        "checkpoint/resume stops being bit-identical. Randomness must "
+        "flow through np.random.Generator objects seeded from the run "
+        "config."
+    )
+
+    def applies_to(self, ctx: Context) -> bool:
+        return in_scope(ctx.path, ctx.config.rl001_scope)
+
+    def check(self, tree: ast.AST, ctx: Context) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield self.finding(
+                            node,
+                            ctx,
+                            "stdlib 'random' uses hidden global state; "
+                            "use a seeded np.random.Generator instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        node,
+                        ctx,
+                        "stdlib 'random' uses hidden global state; "
+                        "use a seeded np.random.Generator instead",
+                    )
+            elif isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                if (
+                    chain is not None
+                    and len(chain) == 3
+                    and chain[0] in ("np", "numpy")
+                    and chain[1] == "random"
+                    and chain[2] not in SEEDED_NP_RANDOM_ATTRS
+                ):
+                    yield self.finding(
+                        node,
+                        ctx,
+                        f"np.random.{chain[2]} draws from numpy's global "
+                        "RNG state; use a seeded np.random.Generator",
+                    )
+
+
+#: (attribute-chain suffix, category, human label) checked by RL002.
+_RL002_SOURCES: Tuple[Tuple[Tuple[str, ...], str, str], ...] = (
+    (("time", "time"), "timestamp", "time.time()"),
+    (("time", "time_ns"), "timestamp", "time.time_ns()"),
+    (("datetime", "now"), "timestamp", "datetime.now()"),
+    (("datetime", "utcnow"), "timestamp", "datetime.utcnow()"),
+    (("date", "today"), "timestamp", "date.today()"),
+    (("time", "perf_counter"), "wallclock", "time.perf_counter()"),
+    (("time", "perf_counter_ns"), "wallclock", "time.perf_counter_ns()"),
+    (("time", "monotonic"), "wallclock", "time.monotonic()"),
+    (("time", "monotonic_ns"), "wallclock", "time.monotonic_ns()"),
+    (("uuid", "uuid1"), "entropy", "uuid.uuid1()"),
+    (("uuid", "uuid4"), "entropy", "uuid.uuid4()"),
+    (("os", "urandom"), "entropy", "os.urandom()"),
+)
+
+
+class NoNondeterminismSources(Rule):
+    """RL002: wall clocks, timestamps and OS entropy stay out of the sim."""
+
+    code = "RL002"
+    summary = (
+        "no nondeterminism sources (time.time, datetime.now, uuid4, "
+        "os.urandom, env-dependent hash) outside the allowlist"
+    )
+    rationale = (
+        "Anything read from the host — clocks, UUIDs, OS entropy, "
+        "PYTHONHASHSEED-dependent hash() — differs between two runs of "
+        "the same seed, silently breaking the MVS latency comparisons "
+        "and the byte-for-byte resume guarantee. Wall-clock reads are "
+        "allowed only where the code measures the host itself (tracer "
+        "span durations, frame wall time); timestamps only at the "
+        "CLI/exporter edge."
+    )
+
+    def applies_to(self, ctx: Context) -> bool:
+        return in_scope(ctx.path, ctx.config.rl002_scope)
+
+    def check(self, tree: ast.AST, ctx: Context) -> Iterator[Finding]:
+        cfg = ctx.config
+        timestamps_ok = ctx.path in cfg.rl002_timestamp_allow
+        wallclock_ok = ctx.path in cfg.rl002_wallclock_allow
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "secrets":
+                        yield self.finding(
+                            node, ctx, "'secrets' is an OS entropy source"
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "secrets":
+                yield self.finding(
+                    node, ctx, "'secrets' is an OS entropy source"
+                )
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id == "hash":
+                    yield self.finding(
+                        node,
+                        ctx,
+                        "builtin hash() is salted by PYTHONHASHSEED and "
+                        "differs across processes; use a stable key "
+                        "(tuple/sorted fields) or hashlib",
+                    )
+                    continue
+                chain = _attr_chain(node.func)
+                if chain is None or len(chain) < 2:
+                    continue
+                suffix = chain[-2:]
+                for pattern, category, label in _RL002_SOURCES:
+                    if suffix != pattern:
+                        continue
+                    if category == "timestamp" and timestamps_ok:
+                        continue
+                    if category == "wallclock" and wallclock_ok:
+                        continue
+                    yield self.finding(
+                        node,
+                        ctx,
+                        f"{label} is a nondeterminism source; derive the "
+                        "value from the modeled clock / run config "
+                        "(see docs/static-analysis.md#rl002)",
+                    )
+
+
+class FrozenWireDataclasses(Rule):
+    """RL003: wire/checkpoint dataclasses must be ``frozen=True``."""
+
+    code = "RL003"
+    summary = (
+        "every dataclass in the wire/checkpoint modules must be "
+        "declared frozen=True"
+    )
+    rationale = (
+        "Messages and checkpoints are replicated and replayed (failover "
+        "warm standby, crash/resume). A mutable instance lets one node "
+        "alter state another node already hashed or replicated, so the "
+        "resumed run no longer matches the uninterrupted one."
+    )
+
+    def applies_to(self, ctx: Context) -> bool:
+        return ctx.path in ctx.config.rl003_modules
+
+    def check(self, tree: ast.AST, ctx: Context) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for deco in node.decorator_list:
+                if self._is_unfrozen_dataclass(deco):
+                    yield self.finding(
+                        node,
+                        ctx,
+                        f"dataclass {node.name!r} must be frozen=True in "
+                        "this module (wire/checkpoint state is "
+                        "replicated; mutation breaks resume)",
+                    )
+
+    @staticmethod
+    def _is_unfrozen_dataclass(deco: ast.AST) -> bool:
+        if isinstance(deco, ast.Call):
+            target = deco.func
+            frozen = any(
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in deco.keywords
+            )
+        else:
+            target = deco
+            frozen = False
+        chain = _attr_chain(target)
+        is_dataclass = chain is not None and chain[-1] == "dataclass"
+        return is_dataclass and not frozen
+
+
+class NoUnseededDefaultRng(Rule):
+    """RL004: ``default_rng()`` must always receive a seed."""
+
+    code = "RL004"
+    summary = "np.random.default_rng() must never be called with no seed"
+    rationale = (
+        "A no-argument default_rng() pulls its seed from OS entropy, so "
+        "the stream differs every process — the one thing the "
+        "reproduction must never do. Seeds must flow from the run "
+        "config or function arguments."
+    )
+
+    def applies_to(self, ctx: Context) -> bool:
+        return in_scope(ctx.path, ctx.config.rl004_scope)
+
+    def check(self, tree: ast.AST, ctx: Context) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None or chain[-1] != "default_rng":
+                continue
+            unseeded = not node.args and not node.keywords
+            seeded_none = (
+                len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+                and not node.keywords
+            )
+            if unseeded or seeded_none:
+                yield self.finding(
+                    node,
+                    ctx,
+                    "default_rng() without a seed draws from OS entropy; "
+                    "pass a seed derived from the run config",
+                )
+
+
+class RegisteredObsNames(Rule):
+    """RL005: span/metric names are literals from ``repro.obs.names``."""
+
+    code = "RL005"
+    summary = (
+        "metric and span names must be string literals registered in "
+        "repro.obs.names"
+    )
+    rationale = (
+        "The registry creates a series on first use, so a typo'd name "
+        "never errors — it silently splits one metric into two and the "
+        "golden span-tree/metrics tests chase ghosts. Keeping every "
+        "name in one constants module makes the inventory diffable and "
+        "typos machine-caught."
+    )
+
+    _METHODS = {
+        "span": "span",
+        "counter": "metric",
+        "gauge": "metric",
+        "histogram": "metric",
+    }
+
+    def applies_to(self, ctx: Context) -> bool:
+        return in_scope(ctx.path, ctx.config.rl005_scope)
+
+    def check(self, tree: ast.AST, ctx: Context) -> Iterator[Finding]:
+        names = ctx.name_sets
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            kind = self._METHODS.get(node.func.attr)
+            if kind is None:
+                continue
+            arg = self._name_argument(node)
+            if arg is None:
+                continue  # zero-arg call: not a name-taking overload
+            registered = (
+                names.span_names if kind == "span" else names.metric_names
+            )
+            for finding in self._check_name(node, arg, kind, registered,
+                                            names.span_prefixes, ctx):
+                yield finding
+
+    @staticmethod
+    def _name_argument(node: ast.Call) -> Optional[ast.expr]:
+        if node.args:
+            return node.args[0]
+        for kw in node.keywords:
+            if kw.arg == "name":
+                return kw.value
+        return None
+
+    def _check_name(
+        self,
+        node: ast.Call,
+        arg: ast.expr,
+        kind: str,
+        registered: frozenset,
+        prefixes: frozenset,
+        ctx: Context,
+    ) -> Iterator[Finding]:
+        module = ctx.config.rl005_names_module
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if arg.value not in registered:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"{kind} name {arg.value!r} is not registered in "
+                    f"{module}; add it there (or fix the typo)",
+                )
+        elif isinstance(arg, ast.IfExp):
+            for branch in (arg.body, arg.orelse):
+                for finding in self._check_name(
+                    node, branch, kind, registered, prefixes, ctx
+                ):
+                    yield finding
+        elif (
+            isinstance(arg, ast.BinOp)
+            and isinstance(arg.op, ast.Add)
+            and isinstance(arg.left, ast.Constant)
+            and isinstance(arg.left.value, str)
+        ):
+            if arg.left.value not in prefixes:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"dynamic {kind} name prefix {arg.left.value!r} is "
+                    f"not a registered SPAN_PREFIXES entry in {module}",
+                )
+        else:
+            yield self.finding(
+                node,
+                ctx,
+                f"{kind} name must be a string literal (or a registered "
+                "'prefix' + suffix) so the linter can verify it against "
+                f"{module}",
+            )
+
+
+class NoMutableDefaults(Rule):
+    """RL006: no mutable default arguments."""
+
+    code = "RL006"
+    summary = "no mutable default arguments (list/dict/set literals or calls)"
+    rationale = (
+        "A mutable default is one object shared by every call: state "
+        "leaks across frames, runs and tests, which is both a classic "
+        "bug and a determinism hazard (the leaked state depends on call "
+        "history, not the seed)."
+    )
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                      "OrderedDict", "Counter", "deque"}
+
+    def applies_to(self, ctx: Context) -> bool:
+        return in_scope(ctx.path, ctx.config.rl006_scope)
+
+    def check(self, tree: ast.AST, ctx: Context) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if self._is_mutable(default):
+                    label = (
+                        "<lambda>"
+                        if isinstance(node, ast.Lambda)
+                        else node.name
+                    )
+                    yield self.finding(
+                        default,
+                        ctx,
+                        f"mutable default argument in {label!r}; use "
+                        "None and create the value inside the function",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            return chain is not None and chain[-1] in self._MUTABLE_CALLS
+        return False
+
+
+#: Every rule, in code order. The CLI, docs and tests iterate this.
+ALL_RULES: Tuple[Rule, ...] = (
+    NoGlobalStateRNG(),
+    NoNondeterminismSources(),
+    FrozenWireDataclasses(),
+    NoUnseededDefaultRng(),
+    RegisteredObsNames(),
+    NoMutableDefaults(),
+)
+
+
+def rule_by_code(code: str) -> Rule:
+    """Look up a rule instance by its RLxxx code."""
+    for rule in ALL_RULES:
+        if rule.code == code:
+            return rule
+    raise KeyError(code)
+
+
+def rules_for(codes: Sequence[str]) -> Tuple[Rule, ...]:
+    """Subset of :data:`ALL_RULES` matching ``codes`` (order preserved)."""
+    wanted = set(codes)
+    unknown = wanted - {r.code for r in ALL_RULES}
+    if unknown:
+        raise KeyError(f"unknown rule codes: {sorted(unknown)}")
+    return tuple(r for r in ALL_RULES if r.code in wanted)
