@@ -131,13 +131,20 @@ class CrossCameraMatcher:
         model = self.associator.model(cam_a, cam_b)
         if model is None:
             return
-        candidates: List[Tuple[int, BBox]] = []
-        for idx, obs in enumerate(obs_a):
-            if not model.predict_visible(obs.bbox):
-                continue
-            predicted = model.predict_box(obs.bbox)
-            if predicted is not None:
-                candidates.append((idx, predicted))
+        # One classifier call and one regressor call per camera pair per
+        # frame, instead of one of each per observation.
+        visible = model.predict_visible_batch([obs.bbox for obs in obs_a])
+        vis_idx = [idx for idx in range(len(obs_a)) if visible[idx]]
+        if not vis_idx:
+            return
+        predicted_boxes = model.predict_boxes(
+            [obs_a[idx].bbox for idx in vis_idx]
+        )
+        candidates: List[Tuple[int, BBox]] = [
+            (idx, predicted)
+            for idx, predicted in zip(vis_idx, predicted_boxes)
+            if predicted is not None
+        ]
         if not candidates:
             return
         cost = np.array(

@@ -10,7 +10,7 @@ the same machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -66,9 +66,39 @@ class PairModel:
         feats = self._scaled_features(box)
         return target_to_box(self.regressor.predict(feats)[0])
 
+    def predict_visible_batch(
+        self, boxes: Sequence[BBox], threshold: float = 0.5
+    ) -> np.ndarray:
+        """Vectorized :meth:`predict_visible`: one classifier call for all boxes.
+
+        Returns a boolean array aligned with ``boxes``. Agrees elementwise
+        with the scalar path: the KNN distance computation is row-wise
+        independent, so batching changes only the BLAS call shape.
+        """
+        n = len(boxes)
+        if self.constant_label is not None:
+            return np.full(n, bool(self.constant_label))
+        if self.classifier is None or self.feature_scaler is None or n == 0:
+            return np.zeros(n, dtype=bool)
+        feats = self._scaled_features_batch(boxes)
+        return np.asarray(self.classifier.predict_proba(feats) >= threshold)
+
+    def predict_boxes(self, boxes: Sequence[BBox]) -> List[Optional[BBox]]:
+        """Vectorized :meth:`predict_box`: one regressor call for all boxes."""
+        if self.regressor is None or self.feature_scaler is None or not boxes:
+            return [None] * len(boxes)
+        feats = self._scaled_features_batch(boxes)
+        targets = self.regressor.predict(feats)
+        return [target_to_box(t) for t in targets]
+
     def _scaled_features(self, box: BBox) -> np.ndarray:
         assert self.feature_scaler is not None
         raw = np.asarray([box_features(box)], dtype=float)
+        return self.feature_scaler.transform(raw)
+
+    def _scaled_features_batch(self, boxes: Sequence[BBox]) -> np.ndarray:
+        assert self.feature_scaler is not None
+        raw = np.asarray([box_features(b) for b in boxes], dtype=float)
         return self.feature_scaler.transform(raw)
 
 
@@ -98,6 +128,15 @@ class PairwiseAssociator:
         """Visibility of a source-camera box on the target camera."""
         model = self._models.get((source, target))
         return model.predict_visible(box) if model else False
+
+    def predict_visible_many(
+        self, source: int, target: int, boxes: Sequence[BBox]
+    ) -> np.ndarray:
+        """Visibility of many source boxes in one classifier call."""
+        model = self._models.get((source, target))
+        if model is None:
+            return np.zeros(len(boxes), dtype=bool)
+        return model.predict_visible_batch(boxes)
 
     def predict_box(self, source: int, target: int, box: BBox) -> Optional[BBox]:
         """Predicted target box when classified visible, else None."""

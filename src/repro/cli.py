@@ -334,6 +334,67 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate the full report, optionally in parallel and cached."""
+    # Imported lazily: pulls in every harness.
+    from repro.experiments.parallel import FULL_PROFILE, QUICK_PROFILE
+    from repro.experiments.runner import run_all
+
+    profile = QUICK_PROFILE if args.quick else FULL_PROFILE
+    try:
+        report = run_all(
+            seed=args.seed,
+            out_path=args.out,
+            workers=args.workers,
+            cache=args.cache_dir,
+            profile=profile,
+            sections=[s.upper() for s in args.sections] if args.sections else None,
+            timings=not args.no_timings,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the content-addressed artifact cache."""
+    from repro.cache import ArtifactCache, default_cache_root
+
+    root = args.dir or default_cache_root()
+    cache = ArtifactCache(root)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(
+            format_table(
+                ["field", "value"],
+                [
+                    ("root", stats.root),
+                    ("entries", stats.entries),
+                    ("total bytes", stats.total_bytes),
+                ],
+                title="artifact cache",
+            )
+        )
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cache entries from {root}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the hot-path microbenchmarks (see ``repro.bench``)."""
+    from repro.bench import main as bench_main
+
+    argv = ["--out", args.out, "--max-regression", str(args.max_regression)]
+    if args.quick:
+        argv.append("--quick")
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    return bench_main(argv)
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the repo's determinism & invariant linter (``reprolint``).
 
@@ -455,6 +516,64 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("--out", default=None, help="also write to file")
     exp_parser.add_argument("--seed", type=int, default=0)
     exp_parser.set_defaults(func=cmd_experiments)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="regenerate the full report (parallel, cached, profiled)",
+    )
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument("--out", default=None, help="also write to file")
+    report_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size; 1 = serial (byte-identical either way)",
+    )
+    report_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact-cache root (default: REPRO_CACHE_DIR or "
+             "~/.cache/repro when workers > 1)",
+    )
+    report_parser.add_argument(
+        "--quick", action="store_true",
+        help="small smoke profile instead of the full paper sweeps",
+    )
+    report_parser.add_argument(
+        "--sections", nargs="+", default=None, metavar="NAME",
+        help="subset of report sections (FIG2 ... FAULTS)",
+    )
+    report_parser.add_argument(
+        "--no-timings", action="store_true",
+        help="omit wall-clock figures (deterministic report bytes)",
+    )
+    report_parser.set_defaults(func=cmd_report)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the artifact cache"
+    )
+    cache_parser.add_argument("action", choices=("stats", "clear"))
+    cache_parser.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="cache root (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache_parser.set_defaults(func=cmd_cache)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run hot-path microbenchmarks (perf-regression gate)"
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true", help="fewer rounds (CI smoke mode)"
+    )
+    bench_parser.add_argument(
+        "--out", default="BENCH_micro.json", help="output JSON path"
+    )
+    bench_parser.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON to gate against (exit 1 on regression)",
+    )
+    bench_parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="fail when median exceeds baseline by this ratio (default 2.0)",
+    )
+    bench_parser.set_defaults(func=cmd_bench)
 
     scen_parser = sub.add_parser("scenarios", help="list scenarios")
     scen_parser.set_defaults(func=cmd_scenarios)

@@ -34,9 +34,21 @@ class BALBResult:
     camera_latencies: Dict[int, float]
     priority_order: Tuple[int, ...]  # camera ids, increasing assigned latency
 
+    def __post_init__(self) -> None:
+        # priority_of is on the distributed-stage hot path (every cell of
+        # every mask per key frame); an O(n) tuple.index there is real cost.
+        self._rank: Dict[int, int] = {
+            cam: rank for rank, cam in enumerate(self.priority_order)
+        }
+
     def priority_of(self, camera_id: int) -> int:
         """Rank of a camera in the priority order (0 = highest priority)."""
-        return self.priority_order.index(camera_id)
+        try:
+            return self._rank[camera_id]
+        except KeyError:
+            raise ValueError(
+                f"camera {camera_id} is not in the priority order"
+            ) from None
 
 
 @dataclass
@@ -147,7 +159,7 @@ def _camera_with_incomplete_batch(
     """
     best_cam: Optional[int] = None
     best_capacity = -1.0
-    for cam in sorted(obj.coverage):
+    for cam in obj.sorted_coverage:
         size = obj.size_on(cam)
         tracker = trackers[cam]
         if not tracker.has_incomplete(size):
@@ -168,7 +180,7 @@ def _camera_minimizing_updated_latency(
     """Line 10: argmin over C_j of ``L_i + t_i^{s_ij}``."""
     best_cam = -1
     best_latency = float("inf")
-    for cam in sorted(obj.coverage):
+    for cam in obj.sorted_coverage:
         candidate = latencies[cam] + instance.profiles[cam].t_size(obj.size_on(cam))
         if candidate < best_latency:
             best_latency = candidate

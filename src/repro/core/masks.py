@@ -77,19 +77,27 @@ def build_camera_masks(
     for cam in camera_ids:
         w, h = frame_sizes[cam]
         size = typical_box_sizes.get(cam, 60.0)
-        coverage_grid: List[List[Tuple[int, ...]]] = []
+        # All nx*ny cell probes at once: one batched classifier call per
+        # (cam, other) pair instead of one per cell per pair.
+        probes: List[BBox] = []
         for iy in range(ny):
-            row: List[Tuple[int, ...]] = []
             cy = (iy + 0.5) / ny * h
             for ix in range(nx):
                 cx = (ix + 0.5) / nx * w
-                probe = BBox.from_xywh(cx, cy, size, size * 0.7)
-                covering = [cam]
-                for other in camera_ids:
-                    if other == cam:
-                        continue
-                    if associator.predict_visible(cam, other, probe):
-                        covering.append(other)
+                probes.append(BBox.from_xywh(cx, cy, size, size * 0.7))
+        others = [other for other in camera_ids if other != cam]
+        visible = {
+            other: associator.predict_visible_many(cam, other, probes)
+            for other in others
+        }
+        coverage_grid: List[List[Tuple[int, ...]]] = []
+        for iy in range(ny):
+            row: List[Tuple[int, ...]] = []
+            for ix in range(nx):
+                cell = iy * nx + ix
+                covering = [cam] + [
+                    other for other in others if visible[other][cell]
+                ]
                 row.append(tuple(sorted(covering)))
             coverage_grid.append(row)
         masks[cam] = CameraMask(

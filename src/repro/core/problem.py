@@ -31,11 +31,21 @@ class SchedObject:
         if not self.target_sizes:
             raise ValueError(f"object {self.key} has an empty coverage set")
         object.__setattr__(self, "target_sizes", dict(self.target_sizes))
+        # The BALB inner loops scan coverage in sorted order once per
+        # object per candidate step; cache the sort at construction.
+        object.__setattr__(
+            self, "_sorted_coverage", tuple(sorted(self.target_sizes))
+        )
 
     @property
     def coverage(self) -> FrozenSet[int]:
         """The coverage set C_j: cameras that can see this object."""
         return frozenset(self.target_sizes)
+
+    @property
+    def sorted_coverage(self) -> Tuple[int, ...]:
+        """The coverage set in ascending camera-id order (precomputed)."""
+        return self._sorted_coverage  # type: ignore[attr-defined, no-any-return]
 
     def size_on(self, camera_id: int) -> int:
         """The quantized target size ``s_ij`` on one coverage camera."""

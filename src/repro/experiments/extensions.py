@@ -32,7 +32,6 @@ from repro.core.energy import (
 from repro.core.problem import system_latency
 from repro.experiments.ablations import jetson_fleet_profiles, random_instance
 from repro.experiments.report import format_table
-from repro.runtime.metrics import RunResult
 from repro.runtime.pipeline import (
     PipelineConfig,
     TrainedModels,
@@ -40,6 +39,7 @@ from repro.runtime.pipeline import (
     train_models,
 )
 from repro.scenarios.aic21 import get_scenario
+from repro.scenarios.builder import Scenario
 
 
 # ----------------------------------------------------------------------
@@ -64,6 +64,29 @@ class OcclusionStudy:
         return self.latency_k2 / self.latency_k1
 
 
+def default_occlusion_config(seed: int = 0) -> PipelineConfig:
+    """The base run config of the EXT-OCC study."""
+    return PipelineConfig(
+        policy="balb", n_horizons=25, warmup_s=30.0, train_duration_s=120.0,
+        seed=seed,
+    )
+
+
+def occlusion_point(
+    scenario: Scenario,
+    base: PipelineConfig,
+    trained: TrainedModels,
+    k: int,
+) -> Tuple[float, float]:
+    """One redundancy level under occlusion: (recall, slowest-cam ms)."""
+    cfg = PipelineConfig(
+        **{**base.__dict__, "policy": "balb", "occlusion": True,
+           "redundancy": k}
+    )
+    result = run_policy(scenario, "balb", cfg, trained)
+    return result.object_recall(), result.mean_slowest_latency()
+
+
 def occlusion_redundancy_study(
     scenario_name: str = "S3",
     config: Optional[PipelineConfig] = None,
@@ -72,25 +95,18 @@ def occlusion_redundancy_study(
 ) -> OcclusionStudy:
     """Run BALB with k=1 and k=2 under occlusion on one scenario."""
     scenario = get_scenario(scenario_name, seed=seed)
-    base = config or PipelineConfig(
-        policy="balb", n_horizons=25, warmup_s=30.0, train_duration_s=120.0,
-        seed=seed,
-    )
+    base = config or default_occlusion_config(seed)
     if trained is None:
         trained = train_models(scenario, base)
-    runs: Dict[int, RunResult] = {}
-    for k in (1, 2):
-        cfg = PipelineConfig(
-            **{**base.__dict__, "policy": "balb", "occlusion": True,
-               "redundancy": k}
-        )
-        runs[k] = run_policy(scenario, "balb", cfg, trained)
+    points: Dict[int, Tuple[float, float]] = {
+        k: occlusion_point(scenario, base, trained, k) for k in (1, 2)
+    }
     return OcclusionStudy(
         scenario=scenario_name,
-        recall_k1=runs[1].object_recall(),
-        recall_k2=runs[2].object_recall(),
-        latency_k1=runs[1].mean_slowest_latency(),
-        latency_k2=runs[2].mean_slowest_latency(),
+        recall_k1=points[1][0],
+        recall_k2=points[2][0],
+        latency_k1=points[1][1],
+        latency_k2=points[2][1],
     )
 
 
@@ -193,6 +209,28 @@ class SynchronizationStudy:
         return self.recalls[0] - self.recalls[-1]
 
 
+def default_sync_config(seed: int = 0) -> PipelineConfig:
+    """The base run config of the EXT-SYNC study."""
+    return PipelineConfig(
+        policy="balb", n_horizons=20, warmup_s=30.0, train_duration_s=120.0,
+        seed=seed,
+    )
+
+
+def synchronization_point(
+    scenario: Scenario,
+    base: PipelineConfig,
+    trained: TrainedModels,
+    lag: int,
+) -> Tuple[float, float]:
+    """One camera-skew level: (recall, slowest-cam ms)."""
+    cfg = PipelineConfig(
+        **{**base.__dict__, "policy": "balb", "max_camera_lag_frames": lag}
+    )
+    result = run_policy(scenario, "balb", cfg, trained)
+    return result.object_recall(), result.mean_slowest_latency()
+
+
 def synchronization_study(
     scenario_name: str = "S3",
     lags: Tuple[int, ...] = (0, 2, 5),
@@ -202,26 +240,16 @@ def synchronization_study(
 ) -> SynchronizationStudy:
     """Run BALB at increasing camera skew on one scenario."""
     scenario = get_scenario(scenario_name, seed=seed)
-    base = config or PipelineConfig(
-        policy="balb", n_horizons=20, warmup_s=30.0, train_duration_s=120.0,
-        seed=seed,
-    )
+    base = config or default_sync_config(seed)
     if trained is None:
         trained = train_models(scenario, base)
-    recalls, latencies = [], []
-    for lag in lags:
-        cfg = PipelineConfig(
-            **{**base.__dict__, "policy": "balb",
-               "max_camera_lag_frames": lag}
-        )
-        result = run_policy(scenario, "balb", cfg, trained)
-        recalls.append(result.object_recall())
-        latencies.append(result.mean_slowest_latency())
+    points = [synchronization_point(scenario, base, trained, lag)
+              for lag in lags]
     return SynchronizationStudy(
         scenario=scenario_name,
         lags=tuple(lags),
-        recalls=tuple(recalls),
-        latencies=tuple(latencies),
+        recalls=tuple(p[0] for p in points),
+        latencies=tuple(p[1] for p in points),
     )
 
 
@@ -231,6 +259,16 @@ def run_extensions(seed: int = 0) -> str:
     bw = bandwidth_study(seed=seed)
     en = energy_study(seed=seed)
     sync = synchronization_study(seed=seed)
+    return format_extensions(occ, bw, en, sync)
+
+
+def format_extensions(
+    occ: OcclusionStudy,
+    bw: BandwidthStudy,
+    en: EnergyStudy,
+    sync: SynchronizationStudy,
+) -> str:
+    """Render the four extension studies as the EXTENSIONS section."""
     occ_table = format_table(
         ["k", "recall", "slowest-cam ms"],
         [

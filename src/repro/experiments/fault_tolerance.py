@@ -39,6 +39,7 @@ from repro.runtime.pipeline import (
     train_models,
 )
 from repro.scenarios.aic21 import get_scenario
+from repro.scenarios.builder import Scenario
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,86 @@ class FaultToleranceStudy:
         return baseline.recall - worst.recall
 
 
+def default_fault_config(seed: int = 0) -> PipelineConfig:
+    """The base run config the FAULTS sweeps share."""
+    return PipelineConfig(
+        policy="balb", horizon=5, n_horizons=10, warmup_s=30.0,
+        train_duration_s=90.0, seed=seed,
+    )
+
+
+def outage_spec_for(base: PipelineConfig) -> str:
+    """One mid-run scheduler outage long enough to span several horizons."""
+    return f"sched_crash:at={2 * base.horizon + 2},for={3 * base.horizon}"
+
+
+def degradation_point(
+    scenario: Scenario,
+    base: PipelineConfig,
+    trained: TrainedModels,
+    policy: str,
+    crash: float,
+    loss: float,
+) -> DegradationPoint:
+    """One (policy, fault intensity) cell of the crash/loss sweeps."""
+    model = FaultModel(crash_rate=crash, mean_outage_frames=8,
+                       loss_prob=loss)
+    cfg = PipelineConfig(
+        **{**base.__dict__, "policy": policy,
+           "faults": None if model.is_null else model}
+    )
+    result = run_policy(scenario, policy, cfg, trained)
+    return DegradationPoint(
+        policy=policy,
+        crash_rate=crash,
+        loss_rate=loss,
+        recall=result.object_recall(),
+        naive_recall=result.object_recall(count_lost_as_missed=True),
+        coverage_loss=result.coverage_loss(),
+        latency_ms=result.mean_slowest_latency(),
+    )
+
+
+def failover_point(
+    scenario: Scenario,
+    base: PipelineConfig,
+    trained: TrainedModels,
+    policy: str,
+    heartbeat: int,
+    outage_spec: str,
+) -> FailoverPoint:
+    """One scheduler-outage run of the failover sweeps."""
+    cfg = PipelineConfig(
+        **{**base.__dict__, "policy": policy, "faults": outage_spec,
+           "failover_heartbeat_frames": heartbeat}
+    )
+    result = run_policy(scenario, policy, cfg, trained)
+
+    def counter_sum(name: str) -> int:
+        return int(sum(
+            m["value"] for m in result.metrics
+            if m["kind"] == "counter" and m["name"] == name
+        ))
+
+    recovery = next(
+        (m for m in result.metrics
+         if m["kind"] == "histogram"
+         and m["name"] == "failover_recovery_ms"),
+        None,
+    )
+    return FailoverPoint(
+        policy=policy,
+        heartbeat_frames=heartbeat,
+        recall=result.object_recall(),
+        takeovers=counter_sum("failover_takeovers_total"),
+        skipped_key_frames=counter_sum("skipped_key_frames_total"),
+        scheduler_down_frames=counter_sum("scheduler_down_frames_total"),
+        mean_recovery_ms=(
+            0.0 if recovery is None else float(recovery["mean"])
+        ),
+    )
+
+
 def fault_tolerance_study(
     scenario_name: str = "S1",
     crash_rates: Tuple[float, ...] = (0.0, 0.01, 0.03),
@@ -100,83 +181,34 @@ def fault_tolerance_study(
     config: Optional[PipelineConfig] = None,
     trained: Optional[TrainedModels] = None,
     seed: int = 0,
+    scheduler_policies: Tuple[str, ...] = ("balb", "sp"),
+    heartbeats: Tuple[int, ...] = (2, 5, 10),
 ) -> FaultToleranceStudy:
     """Run the two fault sweeps with shared trained models."""
     scenario = get_scenario(scenario_name, seed=seed)
-    base = config or PipelineConfig(
-        policy="balb", horizon=5, n_horizons=10, warmup_s=30.0,
-        train_duration_s=90.0, seed=seed,
-    )
+    base = config or default_fault_config(seed)
     if trained is None:
         trained = train_models(scenario, base)
 
-    def point(policy: str, crash: float, loss: float) -> DegradationPoint:
-        model = FaultModel(crash_rate=crash, mean_outage_frames=8,
-                           loss_prob=loss)
-        cfg = PipelineConfig(
-            **{**base.__dict__, "policy": policy,
-               "faults": None if model.is_null else model}
-        )
-        result = run_policy(scenario, policy, cfg, trained)
-        return DegradationPoint(
-            policy=policy,
-            crash_rate=crash,
-            loss_rate=loss,
-            recall=result.object_recall(),
-            naive_recall=result.object_recall(count_lost_as_missed=True),
-            coverage_loss=result.coverage_loss(),
-            latency_ms=result.mean_slowest_latency(),
-        )
-
-    def failover_point(
-        policy: str, heartbeat: int, outage_spec: str
-    ) -> FailoverPoint:
-        cfg = PipelineConfig(
-            **{**base.__dict__, "policy": policy, "faults": outage_spec,
-               "failover_heartbeat_frames": heartbeat}
-        )
-        result = run_policy(scenario, policy, cfg, trained)
-
-        def counter_sum(name: str) -> int:
-            return int(sum(
-                m["value"] for m in result.metrics
-                if m["kind"] == "counter" and m["name"] == name
-            ))
-
-        recovery = next(
-            (m for m in result.metrics
-             if m["kind"] == "histogram"
-             and m["name"] == "failover_recovery_ms"),
-            None,
-        )
-        return FailoverPoint(
-            policy=policy,
-            heartbeat_frames=heartbeat,
-            recall=result.object_recall(),
-            takeovers=counter_sum("failover_takeovers_total"),
-            skipped_key_frames=counter_sum("skipped_key_frames_total"),
-            scheduler_down_frames=counter_sum("scheduler_down_frames_total"),
-            mean_recovery_ms=(
-                0.0 if recovery is None else float(recovery["mean"])
-            ),
-        )
-
-    # One mid-run outage long enough to span several horizons.
-    outage = f"sched_crash:at={2 * base.horizon + 2},for={3 * base.horizon}"
+    outage = outage_spec_for(base)
     scheduler_sweep = tuple(
-        failover_point(policy, base.horizon, outage)
-        for policy in ("balb", "sp")
+        failover_point(scenario, base, trained, policy, base.horizon, outage)
+        for policy in scheduler_policies
     )
     heartbeat_sweep = tuple(
-        failover_point("balb", hb, outage) for hb in (2, 5, 10)
+        failover_point(scenario, base, trained, "balb", hb, outage)
+        for hb in heartbeats
     )
 
     crash_sweep = tuple(
-        point(policy, crash, 0.0)
+        degradation_point(scenario, base, trained, policy, crash, 0.0)
         for policy in policies
         for crash in crash_rates
     )
-    loss_sweep = tuple(point("balb", 0.0, loss) for loss in loss_rates)
+    loss_sweep = tuple(
+        degradation_point(scenario, base, trained, "balb", 0.0, loss)
+        for loss in loss_rates
+    )
     return FaultToleranceStudy(
         scenario=scenario_name,
         crash_sweep=crash_sweep,
@@ -188,7 +220,14 @@ def fault_tolerance_study(
 
 def run_fault_tolerance(seed: int = 0) -> str:
     """The FAULTS experiment as a text report."""
-    study = fault_tolerance_study(seed=seed)
+    return format_fault_tolerance(fault_tolerance_study(seed=seed))
+
+
+def format_fault_tolerance(
+    study: FaultToleranceStudy,
+    drop_policies: Tuple[str, ...] = ("balb", "sp", "balb-ind"),
+) -> str:
+    """Render a study as the FAULTS report section."""
     crash_table = format_table(
         ["policy", "crash rate", "recall", "naive recall", "coverage loss",
          "slowest-cam ms"],
@@ -233,7 +272,7 @@ def run_fault_tolerance(seed: int = 0) -> str:
     )
     drops = ", ".join(
         f"{policy}={study.worst_recall_drop(policy):+.3f}"
-        for policy in ("balb", "sp", "balb-ind")
+        for policy in drop_policies
     )
     return "\n\n".join(
         [crash_table, loss_table, scheduler_table, heartbeat_table,

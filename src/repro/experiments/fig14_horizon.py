@@ -30,48 +30,82 @@ class HorizonRow:
     slowest_camera_ms: float
 
 
+def horizon_point(
+    scenario_name: str,
+    horizon: int,
+    frames_per_point: int,
+    trained: Optional[TrainedModels],
+    seed: int,
+    train_duration_s: float = 120.0,
+    warmup_s: float = 30.0,
+) -> HorizonRow:
+    """Run BALB at one horizon length and report the Figure 14 row."""
+    scenario = get_scenario(scenario_name, seed=seed)
+    if trained is None:
+        trained = train_models(
+            scenario,
+            PipelineConfig(
+                policy="balb", train_duration_s=train_duration_s,
+                warmup_s=warmup_s, seed=seed,
+            ),
+        )
+    config = PipelineConfig(
+        policy="balb",
+        horizon=horizon,
+        n_horizons=max(4, frames_per_point // horizon),
+        train_duration_s=train_duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+    )
+    result = run_policy(scenario, "balb", config, trained)
+    return HorizonRow(
+        horizon=horizon,
+        recall=result.object_recall(),
+        slowest_camera_ms=result.mean_slowest_latency(),
+    )
+
+
 def sweep_horizons(
     scenario_name: str = "S1",
     horizons: Tuple[int, ...] = DEFAULT_HORIZONS,
     frames_per_point: int = 300,
     seed: int = 0,
     trained: Optional[TrainedModels] = None,
+    train_duration_s: float = 120.0,
+    warmup_s: float = 30.0,
 ) -> List[HorizonRow]:
     """Run BALB at each horizon length with shared trained models."""
     scenario = get_scenario(scenario_name, seed=seed)
-    base = PipelineConfig(
-        policy="balb", train_duration_s=120.0, warmup_s=30.0, seed=seed
-    )
     if trained is None:
-        trained = train_models(scenario, base)
-    rows: List[HorizonRow] = []
-    for horizon in horizons:
-        config = PipelineConfig(
-            policy="balb",
-            horizon=horizon,
-            n_horizons=max(4, frames_per_point // horizon),
-            train_duration_s=base.train_duration_s,
-            warmup_s=base.warmup_s,
-            seed=seed,
+        trained = train_models(
+            scenario,
+            PipelineConfig(
+                policy="balb", train_duration_s=train_duration_s,
+                warmup_s=warmup_s, seed=seed,
+            ),
         )
-        result = run_policy(scenario, "balb", config, trained)
-        rows.append(
-            HorizonRow(
-                horizon=horizon,
-                recall=result.object_recall(),
-                slowest_camera_ms=result.mean_slowest_latency(),
-            )
+    return [
+        horizon_point(
+            scenario_name, horizon, frames_per_point, trained, seed,
+            train_duration_s=train_duration_s, warmup_s=warmup_s,
         )
-    return rows
+        for horizon in horizons
+    ]
 
 
 def run_figure14(
     scenario_name: str = "S1",
     horizons: Tuple[int, ...] = DEFAULT_HORIZONS,
     seed: int = 0,
+    frames_per_point: int = 300,
+    train_duration_s: float = 120.0,
+    warmup_s: float = 30.0,
 ) -> str:
     """Regenerate Figure 14 as a text table."""
-    rows = sweep_horizons(scenario_name, horizons, seed=seed)
+    rows = sweep_horizons(
+        scenario_name, horizons, frames_per_point=frames_per_point,
+        seed=seed, train_duration_s=train_duration_s, warmup_s=warmup_s,
+    )
     return format_table(
         ["horizon T", "object recall", "slowest-cam ms"],
         [(r.horizon, r.recall, round(r.slowest_camera_ms, 1)) for r in rows],

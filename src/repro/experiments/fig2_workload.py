@@ -13,6 +13,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.experiments.report import format_table
 from repro.scenarios.aic21 import get_scenario
 from repro.scenarios.builder import Scenario
 
@@ -78,4 +79,24 @@ def workload_trace(
             counts[cam].append(n)
     return WorkloadTrace(
         scenario=scenario.name, sample_times=times, counts=counts
+    )
+
+
+def run_figure2_text(
+    seed: int = 0,
+    duration_s: float = 120.0,
+    warmup_s: float = 30.0,
+) -> str:
+    """Figure 2 as a text table (workload variability summary)."""
+    trace = workload_trace(duration_s=duration_s, warmup_s=warmup_s, seed=seed)
+    means = trace.mean_per_camera()
+    stds = trace.std_per_camera()
+    cvs = trace.coefficient_of_variation()
+    return format_table(
+        ["camera", "mean objects", "std", "coeff. of variation"],
+        [
+            (cam, round(means[cam], 1), round(stds[cam], 1), cvs[cam])
+            for cam in sorted(means)
+        ],
+        title="Figure 2: per-camera workload variability (S1)",
     )

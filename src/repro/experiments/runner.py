@@ -3,76 +3,141 @@
 ``python -m repro.experiments.runner`` regenerates all of the paper's
 figures/tables (plus the ablations) as text and prints them; pass a path
 to also write the report to a file.
+
+The heavy lifting lives in :mod:`repro.experiments.parallel`: each
+section is registered there with a serial body, a parallel job split and
+a deterministic merge. ``run_all(workers=1)`` walks the serial bodies in
+order — the historical bit-exact path — while ``workers > 1`` fans the
+job grids out over a process pool and merges, producing a byte-identical
+report. Either path can run against a content-addressed
+:class:`~repro.cache.ArtifactCache` so repeated reports skip model
+training entirely.
 """
 
 from __future__ import annotations
 
+import contextlib
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
-from repro.experiments.ablations import run_ablations
-from repro.experiments.extensions import run_extensions
-from repro.experiments.fault_tolerance import run_fault_tolerance
-from repro.experiments.fig10_classification import run_figure10
-from repro.experiments.fig11_regression import run_figure11
-from repro.experiments.fig12_recall import run_figure12
-from repro.experiments.fig13_latency import run_figure13
-from repro.experiments.fig14_horizon import run_figure14
-from repro.experiments.fig2_workload import workload_trace
-from repro.experiments.report import format_table
-from repro.experiments.table2_overhead import run_table2
+from repro.cache import ArtifactCache, default_cache_root, use_cache
+from repro.experiments.fig2_workload import run_figure2_text
+from repro.experiments.parallel import (
+    FULL_PROFILE,
+    SECTION_ORDER,
+    SECTIONS,
+    ReportProfile,
+    run_report_sections,
+)
 from repro.obs import MetricsRegistry, format_metrics_table
 
-
-def run_figure2_text(seed: int = 0) -> str:
-    """Figure 2 as a text table (workload variability summary)."""
-    trace = workload_trace(seed=seed)
-    means = trace.mean_per_camera()
-    stds = trace.std_per_camera()
-    cvs = trace.coefficient_of_variation()
-    return format_table(
-        ["camera", "mean objects", "std", "coeff. of variation"],
-        [
-            (cam, round(means[cam], 1), round(stds[cam], 1), cvs[cam])
-            for cam in sorted(means)
-        ],
-        title="Figure 2: per-camera workload variability (S1)",
-    )
+__all__ = ["run_all", "run_figure2_text", "main"]
 
 
-def run_all(seed: int = 0, out_path: Optional[str] = None) -> str:
+def _fmt_elapsed(seconds: float) -> str:
+    """Adaptive wall-clock format: ms below 0.1 s, seconds above."""
+    if seconds < 0.1:
+        return f"{seconds * 1e3:.0f}ms"
+    return f"{seconds:.1f}s"
+
+
+def _resolve_cache(
+    cache: Union[None, str, ArtifactCache],
+    workers: int,
+    registry: MetricsRegistry,
+) -> Optional[ArtifactCache]:
+    if isinstance(cache, ArtifactCache):
+        return cache
+    if isinstance(cache, str):
+        return ArtifactCache(cache, registry=registry)
+    if workers > 1:
+        # Parallel workers rely on the shared cache to dedupe training.
+        return ArtifactCache(default_cache_root(), registry=registry)
+    return None
+
+
+def run_all(
+    seed: int = 0,
+    out_path: Optional[str] = None,
+    *,
+    workers: int = 1,
+    cache: Union[None, str, ArtifactCache] = None,
+    profile: Optional[ReportProfile] = None,
+    sections: Optional[Sequence[str]] = None,
+    timings: bool = True,
+) -> str:
     """Run every experiment; returns (and optionally writes) the report.
+
+    ``workers=1`` executes sections serially in-process (the historical
+    path); ``workers > 1`` fans each section's job grid out over a
+    spawn-context process pool — the merged report is byte-identical.
+    ``cache`` (a root path or an :class:`ArtifactCache`) enables the
+    content-addressed artifact cache; parallel runs always use one so
+    model training is deduplicated across workers. ``sections`` selects
+    a subset of report sections by name; ``timings=False`` omits the
+    nondeterministic wall-clock figures, leaving pure experiment bytes.
 
     Section wall-clock times are collected in a
     :class:`~repro.obs.registry.MetricsRegistry` and appended as a final
     TIMINGS section, so a slow harness shows up in the report itself.
     """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    profile = profile if profile is not None else FULL_PROFILE
+    selected = list(sections) if sections is not None else list(SECTION_ORDER)
+    unknown = [name for name in selected if name not in SECTIONS]
+    if unknown:
+        raise ValueError(f"unknown report sections: {unknown}")
+
     registry = MetricsRegistry()
-    sections: List[str] = []
-    for name, fn in [
-        ("FIG2", lambda: run_figure2_text(seed)),
-        ("FIG10", lambda: run_figure10(seed=seed)),
-        ("FIG11", lambda: run_figure11(seed=seed)),
-        ("FIG12", lambda: run_figure12(seed=seed)),
-        ("FIG13", lambda: run_figure13(seed=seed)),
-        ("FIG14", lambda: run_figure14(seed=seed)),
-        ("TAB2", lambda: run_table2(seed=seed)),
-        ("ABLATIONS", lambda: run_ablations(seed=seed)),
-        ("EXTENSIONS", lambda: run_extensions(seed=seed)),
-        ("FAULTS", lambda: run_fault_tolerance(seed=seed)),
-    ]:
-        start = time.perf_counter()
-        body = fn()
-        elapsed = time.perf_counter() - start
+    cache_obj = _resolve_cache(cache, workers, registry)
+
+    bodies = {}
+    elapsed_by = {}
+    if workers == 1:
+        scope = use_cache(cache_obj) if cache_obj else contextlib.nullcontext()
+        with scope:
+            for name in selected:
+                start = time.perf_counter()
+                bodies[name] = SECTIONS[name].serial(seed, profile)
+                elapsed_by[name] = time.perf_counter() - start
+    else:
+        assert cache_obj is not None
+        merged = run_report_sections(
+            selected, seed, profile=profile, workers=workers,
+            cache_root=cache_obj.root,
+        )
+        bodies = merged.bodies
+        elapsed_by = merged.elapsed_s
+        # Fold worker-side cache traffic into the caller-visible cache
+        # and registry (worker processes have their own instances).
+        cache_obj.hits += merged.cache_hits
+        cache_obj.misses += merged.cache_misses
+        if merged.cache_hits:
+            registry.counter("cache_hits_total").inc(merged.cache_hits)
+        if merged.cache_misses:
+            registry.counter("cache_misses_total").inc(merged.cache_misses)
+        registry.gauge("experiment_wall_s", section="WARMUP").set(
+            merged.warm_elapsed_s
+        )
+
+    report_sections: List[str] = []
+    for name in selected:
+        elapsed = elapsed_by[name]
         registry.gauge("experiment_wall_s", section=name).set(elapsed)
         registry.counter("experiments_total").inc()
-        sections.append(f"== {name} ({elapsed:.1f}s) ==\n{body}")
-    sections.append(
-        "== TIMINGS ==\n"
-        + format_metrics_table(registry, title="harness wall-clock")
-    )
-    report = "\n\n".join(sections)
+        if timings:
+            header = f"== {name} ({_fmt_elapsed(elapsed)}) =="
+        else:
+            header = f"== {name} =="
+        report_sections.append(f"{header}\n{bodies[name]}")
+    if timings:
+        report_sections.append(
+            "== TIMINGS ==\n"
+            + format_metrics_table(registry, title="harness wall-clock")
+        )
+    report = "\n\n".join(report_sections)
     if out_path:
         with open(out_path, "w") as f:
             f.write(report + "\n")

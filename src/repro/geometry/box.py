@@ -11,7 +11,9 @@ following the convention of the paper's detector (YOLO-style corner format).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
+from functools import lru_cache
 import math
 from typing import Iterable, List, Sequence, Tuple
 
@@ -198,11 +200,16 @@ def quantize_size(extent: float, size_set: Sequence[int] = DEFAULT_SIZE_SET) -> 
     """
     if not size_set:
         raise ValueError("size_set must be non-empty")
-    ordered = sorted(size_set)
-    for s in ordered:
-        if extent <= s:
-            return s
-    return ordered[-1]
+    # Called once per region per frame with the same handful of size
+    # sets; memoize the sort and binary-search instead of a linear scan.
+    ordered = _ordered_sizes(tuple(size_set))
+    idx = bisect_left(ordered, extent)
+    return ordered[idx] if idx < len(ordered) else ordered[-1]
+
+
+@lru_cache(maxsize=None)
+def _ordered_sizes(size_set: Tuple[int, ...]) -> Tuple[int, ...]:
+    return tuple(sorted(size_set))
 
 
 def quantized_region(

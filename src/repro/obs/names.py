@@ -63,6 +63,10 @@ METRIC_NAMES = frozenset(
         "assignment_fallbacks_total",
         "assignment_staleness_horizons",
         "bytes_dropped_total",
+        "cache_corrupt_total",
+        "cache_hits_total",
+        "cache_misses_total",
+        "cache_puts_total",
         "camera_down_frames_total",
         "coverage_lost_object_frames_total",
         "experiment_wall_s",

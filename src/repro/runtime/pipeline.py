@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.association.pairwise import PairwiseAssociator
 from repro.association.training import collect_association_dataset
+from repro.cache import ArtifactCache, get_active_cache
 from repro.cameras.occlusion import OcclusionModel, visible_fractions
 from repro.cameras.rig import CameraRig
 from repro.checkpoint import RunCheckpoint, save_checkpoint
@@ -205,10 +206,54 @@ class _RunState:
     failover: Optional[FailoverManager]
 
 
+def trained_models_key(
+    cache: ArtifactCache,
+    scenario: Scenario,
+    config: PipelineConfig,
+    need_association: bool = True,
+) -> str:
+    """Cache key of the :func:`train_models` artifact for these inputs.
+
+    Only the config fields the offline stage actually reads participate,
+    so runs that differ in policy/horizon/faults share one artifact.
+    """
+    return cache.key_for(
+        kind="trained-models",
+        scenario=scenario,
+        seed=config.seed,
+        warmup_s=config.warmup_s,
+        train_duration_s=config.train_duration_s,
+        need_association=need_association,
+    )
+
+
 def train_models(
     scenario: Scenario, config: PipelineConfig, need_association: bool = True
 ) -> TrainedModels:
-    """Offline stage: fit association models and profile devices."""
+    """Offline stage: fit association models and profile devices.
+
+    When an artifact cache is active (:func:`repro.cache.use_cache`) the
+    fitted models are loaded from / stored into it content-addressed, so
+    repeated harness runs over the same (scenario, seed, training knobs)
+    fit each artifact exactly once. Training is deterministic and the
+    pickle round-trip is exact, so a cached artifact is interchangeable
+    with a fresh fit.
+    """
+    cache = get_active_cache()
+    if cache is None:
+        return _train_models(scenario, config, need_association)
+    key = trained_models_key(cache, scenario, config, need_association)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    trained = _train_models(scenario, config, need_association)
+    cache.put(key, trained)
+    return trained
+
+
+def _train_models(
+    scenario: Scenario, config: PipelineConfig, need_association: bool
+) -> TrainedModels:
     device_map = scenario.device_map()
     profiles: Dict[int, DeviceProfile] = {}
     for cam in scenario.cameras:

@@ -96,3 +96,67 @@ class TestPairwiseAssociator:
         ds.pair(0, 1)  # created but never populated
         assoc = PairwiseAssociator().fit(ds)
         assert not assoc.predict_visible(0, 1, BBox.from_xywh(0, 0, 10, 10))
+
+
+class TestBatchEquivalence:
+    """The vectorized batch APIs must agree with the per-box loops."""
+
+    def probes(self, n=64, seed=7):
+        rng = np.random.default_rng(seed)
+        return [
+            BBox.from_xywh(
+                rng.uniform(0, 1000), rng.uniform(100, 600), 50, 35
+            )
+            for _ in range(n)
+        ]
+
+    def test_predict_visible_batch_matches_loop(self):
+        assoc = PairwiseAssociator().fit(synthetic_dataset())
+        model = assoc.model(0, 1)
+        probes = self.probes()
+        batch = model.predict_visible_batch(probes)
+        loop = [model.predict_visible(b) for b in probes]
+        assert batch.dtype == bool
+        assert list(batch) == loop
+
+    def test_predict_boxes_matches_loop(self):
+        assoc = PairwiseAssociator().fit(synthetic_dataset())
+        model = assoc.model(0, 1)
+        probes = self.probes()
+        batch = model.predict_boxes(probes)
+        loop = [model.predict_box(b) for b in probes]
+        assert len(batch) == len(loop)
+        for got, want in zip(batch, loop):
+            if want is None:
+                # predict_box gates on visibility; predict_boxes does not,
+                # so it may still return a regressed box here.
+                continue
+            assert got is not None
+            assert got.as_tuple() == pytest.approx(want.as_tuple())
+
+    def test_predict_visible_many_matches_loop(self):
+        assoc = PairwiseAssociator().fit(synthetic_dataset())
+        probes = self.probes()
+        batch = assoc.predict_visible_many(0, 1, probes)
+        loop = [assoc.predict_visible(0, 1, b) for b in probes]
+        assert list(batch) == loop
+
+    def test_predict_visible_many_unknown_pair_all_false(self):
+        assoc = PairwiseAssociator().fit(synthetic_dataset())
+        out = assoc.predict_visible_many(5, 6, self.probes(8))
+        assert out.dtype == bool and not out.any()
+
+    def test_batch_apis_on_constant_model(self):
+        ds = AssociationDataset()
+        pair = ds.pair(0, 1)
+        for i in range(20):
+            pair.add(BBox.from_xywh(i * 10, 100, 30, 20), None)
+        model = PairwiseAssociator().fit(ds).model(0, 1)
+        probes = self.probes(5)
+        assert not model.predict_visible_batch(probes).any()
+        assert model.predict_boxes(probes) == [None] * 5
+
+    def test_batch_apis_on_empty_input(self):
+        model = PairwiseAssociator().fit(synthetic_dataset()).model(0, 1)
+        assert list(model.predict_visible_batch([])) == []
+        assert model.predict_boxes([]) == []

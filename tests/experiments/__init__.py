@@ -1,0 +1,1 @@
+"""Tests for the experiment harness (runner, parallel fan-out, bench)."""

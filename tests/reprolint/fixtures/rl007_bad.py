@@ -1,0 +1,18 @@
+"""Fixture: process fan-out outside the harness. Every marked line trips RL007."""
+
+import multiprocessing  # line 3
+import multiprocessing.pool  # line 4
+import concurrent.futures
+import os
+
+from multiprocessing import get_context  # line 8
+from concurrent.futures import ProcessPoolExecutor  # line 9
+
+
+def rogue_pool(jobs):
+    with ProcessPoolExecutor(max_workers=4):  # import already flagged
+        pass
+    with concurrent.futures.ProcessPoolExecutor():  # line 15: attribute use
+        pass
+    pid = os.fork()  # line 17
+    return pid

@@ -1,0 +1,14 @@
+"""Fixture: thread pools and the harness API are fine — no RL007 findings."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.experiments.parallel import run_jobs
+
+
+def harness_fanout(jobs, workers):
+    return run_jobs(jobs, workers)
+
+
+def thread_pool(fns):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return [f.result() for f in [pool.submit(fn) for fn in fns]]

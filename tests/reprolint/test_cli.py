@@ -83,7 +83,7 @@ class TestListRules:
         out = capsys.readouterr().out
         for rule in ALL_RULES:
             assert rule.code in out
-        assert len(ALL_RULES) == 6
+        assert len(ALL_RULES) == 7
 
 
 class TestReproLintSubcommand:

@@ -34,6 +34,7 @@ IN_SCOPE = {
     "RL004": "src/repro/virtual_fixture.py",
     "RL005": "src/repro/virtual_fixture.py",
     "RL006": "src/repro/virtual_fixture.py",
+    "RL007": "src/repro/virtual_fixture.py",
 }
 
 RULE_CODES = [rule.code for rule in ALL_RULES]
@@ -183,3 +184,32 @@ class TestRL006:
         # seen=set() and extra=defaultdict(list) are two findings on one line
         assert lines.count(line_of(source, "call_default")) == 2
         assert len(findings) == 6
+
+
+class TestRL007:
+    def test_each_process_fanout_flagged(self):
+        source, findings = lint_fixture("rl007_bad.py", "RL007")
+        lines = {f.line for f in findings}
+        for needle in (
+            "import multiprocessing  #",
+            "import multiprocessing.pool",
+            "from multiprocessing import get_context",
+            "from concurrent.futures import ProcessPoolExecutor",
+            "concurrent.futures.ProcessPoolExecutor()",
+            "os.fork()",
+        ):
+            assert line_of(source, needle) in lines, needle
+
+    def test_threads_and_harness_api_pass(self):
+        _, findings = lint_fixture("rl007_ok.py", "RL007")
+        assert findings == []
+
+    def test_parallel_harness_module_is_exempt(self):
+        source = read_fixture("rl007_bad.py")
+        findings = lint_source(
+            source,
+            "src/repro/experiments/parallel.py",
+            CONFIG,
+            rules=[rule_by_code("RL007")],
+        )
+        assert findings == []

@@ -1,0 +1,199 @@
+"""Content-addressed artifact cache: integrity, keys, concurrency.
+
+The cache (ISSUE 5) is safety-critical for the report harness — a wrong
+hit would silently substitute one scenario's trained models for
+another's. These tests pin down:
+
+* round-trips (``put`` then ``get`` returns an equal value, hit/miss
+  counters move as documented);
+* key construction (every key part matters, ordering of parts does not);
+* corruption handling (flipped payload bytes, truncation and garbage
+  files are detected and reported as *misses*, never bad values);
+* concurrent writers (two processes racing on one key leave exactly one
+  valid entry and no temp-file litter — the atomic-rename protocol).
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.cache import (
+    MAGIC,
+    ArtifactCache,
+    default_cache_root,
+    get_active_cache,
+    use_cache,
+)
+from repro.obs import MetricsRegistry
+
+
+def metric_value(registry, name):
+    for m in registry.export():
+        if m["kind"] == "counter" and m["name"] == name:
+            return m["value"]
+    return 0.0
+
+
+class TestRoundTrip:
+    def test_put_then_get_returns_equal_value(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = cache.key_for(kind="test", seed=3)
+        payload = {"a": [1, 2, 3], "b": (4.5, "six")}
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert (cache.hits, cache.misses, cache.puts) == (1, 0, 1)
+
+    def test_absent_key_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        assert cache.get(cache.key_for(kind="nope")) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_counters_reach_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ArtifactCache(str(tmp_path), registry=registry)
+        key = cache.key_for(kind="test")
+        cache.get(key)
+        cache.put(key, "v")
+        cache.get(key)
+        assert metric_value(registry, "cache_misses_total") == 1.0
+        assert metric_value(registry, "cache_hits_total") == 1.0
+        assert metric_value(registry, "cache_puts_total") == 1.0
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        for i in range(3):
+            cache.put(cache.key_for(i=i), i)
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.total_bytes > 0
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+        # The shard directories were removed too.
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestKeys:
+    def test_every_part_changes_the_key(self):
+        cache = ArtifactCache(default_cache_root())
+        base = cache.key_for(kind="trained-models", scenario="S1", seed=0)
+        assert base != cache.key_for(kind="trained-models", scenario="S2", seed=0)
+        assert base != cache.key_for(kind="trained-models", scenario="S1", seed=1)
+        assert base != cache.key_for(kind="other", scenario="S1", seed=0)
+
+    def test_part_order_is_irrelevant(self):
+        cache = ArtifactCache(default_cache_root())
+        assert cache.key_for(a=1, b=2) == cache.key_for(b=2, a=1)
+
+    def test_key_is_hex_sha256(self):
+        cache = ArtifactCache(default_cache_root())
+        key = cache.key_for(x=1)
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+
+class TestCorruption:
+    def _entry_path(self, cache):
+        paths = list(cache.entry_paths())
+        assert len(paths) == 1
+        return paths[0]
+
+    @pytest.mark.parametrize("mutation", ["flip", "truncate", "garbage", "magic"])
+    def test_corrupt_entry_is_a_miss(self, tmp_path, mutation):
+        registry = MetricsRegistry()
+        cache = ArtifactCache(str(tmp_path), registry=registry)
+        key = cache.key_for(kind="test")
+        cache.put(key, list(range(100)))
+        path = self._entry_path(cache)
+        blob = bytearray(open(path, "rb").read())
+        if mutation == "flip":
+            blob[-1] ^= 0xFF
+        elif mutation == "truncate":
+            blob = blob[: len(blob) // 2]
+        elif mutation == "garbage":
+            blob = bytearray(b"not a cache entry at all")
+        else:  # magic
+            blob[0] ^= 0xFF
+        with open(path, "wb") as f:
+            f.write(bytes(blob))
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert cache.misses == 1
+        assert metric_value(registry, "cache_corrupt_total") == 1.0
+
+    def test_wrong_digest_payload_is_rejected(self, tmp_path):
+        # A well-formed entry whose payload does not match its digest.
+        cache = ArtifactCache(str(tmp_path))
+        key = cache.key_for(kind="test")
+        cache.put(key, "original")
+        path = self._entry_path(cache)
+        with open(path, "rb") as f:
+            magic = f.read(len(MAGIC))
+            digest = f.read(65)
+        with open(path, "wb") as f:
+            f.write(magic + digest + pickle.dumps("tampered"))
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+
+class TestActivation:
+    def test_no_ambient_cache_by_default(self):
+        assert get_active_cache() is None
+
+    def test_use_cache_scopes_activation(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        with use_cache(cache):
+            assert get_active_cache() is cache
+            inner = ArtifactCache(str(tmp_path))
+            with use_cache(inner):
+                assert get_active_cache() is inner
+            assert get_active_cache() is cache
+        assert get_active_cache() is None
+
+
+_WRITER = """
+import sys
+from repro.cache import ArtifactCache
+
+root, tag = sys.argv[1], sys.argv[2]
+cache = ArtifactCache(root)
+key = cache.key_for(kind="race")
+for _ in range(200):
+    cache.put(key, {"tag": tag, "blob": list(range(2000))})
+value = cache.get(key)
+assert value is not None and value["tag"] in ("a", "b")
+"""
+
+
+class TestConcurrency:
+    def test_racing_writers_leave_one_valid_entry(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER, str(tmp_path), tag],
+                env=env,
+                stderr=subprocess.PIPE,
+            )
+            for tag in ("a", "b")
+        ]
+        for proc in procs:
+            _, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr.decode()
+
+        cache = ArtifactCache(str(tmp_path))
+        paths = list(cache.entry_paths())
+        assert len(paths) == 1
+        value = cache.get(cache.key_for(kind="race"))
+        assert value is not None and value["tag"] in ("a", "b")
+        # No temp-file litter from either writer.
+        leftovers = [
+            name
+            for _, _, files in os.walk(tmp_path)
+            for name in files
+            if ".tmp." in name
+        ]
+        assert leftovers == []

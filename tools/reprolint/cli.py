@@ -23,7 +23,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m tools.reprolint",
         description=(
             "AST-based determinism & invariant checker for this repo "
-            "(rules RL001-RL006; see docs/static-analysis.md)"
+            "(rules RL001-RL007; see docs/static-analysis.md)"
         ),
     )
     parser.add_argument(

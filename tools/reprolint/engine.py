@@ -77,6 +77,8 @@ class Config:
         "src/repro/obs/trace.py",
         "src/repro/runtime/pipeline.py",
         "src/repro/experiments/runner.py",
+        "src/repro/experiments/parallel.py",
+        "src/repro/bench.py",
     )
 
     #: RL003 — modules whose dataclasses must all be ``frozen=True``.
@@ -99,6 +101,13 @@ class Config:
 
     #: RL006 — no mutable default arguments.
     rl006_scope: Tuple[str, ...] = ("src/repro", "tests")
+
+    #: RL007 — process-level parallelism is confined to the harness.
+    rl007_scope: Tuple[str, ...] = ("src/repro",)
+    #: The one module allowed to spawn worker processes.
+    rl007_allow: Tuple[str, ...] = (
+        "src/repro/experiments/parallel.py",
+    )
 
     #: Rule codes demoted to ``warning`` severity (never fail the run).
     demote_to_warning: FrozenSet[str] = frozenset()

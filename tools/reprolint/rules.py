@@ -441,6 +441,94 @@ class NoMutableDefaults(Rule):
         return False
 
 
+class ConfinedProcessParallelism(Rule):
+    """RL007: worker processes are spawned only by the parallel harness."""
+
+    code = "RL007"
+    summary = (
+        "ProcessPoolExecutor / multiprocessing / os.fork are confined to "
+        "repro.experiments.parallel"
+    )
+    rationale = (
+        "Process fan-out multiplies every determinism hazard: forked "
+        "children inherit RNG state and open file handles, and ad-hoc "
+        "pools bypass the harness's spawn context, ordered merging and "
+        "per-worker cache/registry isolation that make the parallel "
+        "report byte-identical to the serial one. All process-level "
+        "parallelism must go through the one audited module."
+    )
+
+    def applies_to(self, ctx: Context) -> bool:
+        return (
+            in_scope(ctx.path, ctx.config.rl007_scope)
+            and ctx.path not in ctx.config.rl007_allow
+        )
+
+    def check(self, tree: ast.AST, ctx: Context) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "multiprocessing" or alias.name.startswith(
+                        "multiprocessing."
+                    ):
+                        yield self.finding(
+                            node,
+                            ctx,
+                            "import of 'multiprocessing' outside the "
+                            "parallel harness; route process fan-out "
+                            "through repro.experiments.parallel",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "multiprocessing" or module.startswith(
+                    "multiprocessing."
+                ):
+                    yield self.finding(
+                        node,
+                        ctx,
+                        "import from 'multiprocessing' outside the "
+                        "parallel harness; route process fan-out "
+                        "through repro.experiments.parallel",
+                    )
+                elif module == "concurrent.futures" and any(
+                    alias.name == "ProcessPoolExecutor"
+                    for alias in node.names
+                ):
+                    yield self.finding(
+                        node,
+                        ctx,
+                        "ProcessPoolExecutor outside the parallel "
+                        "harness; route process fan-out through "
+                        "repro.experiments.parallel",
+                    )
+            elif isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                if (
+                    chain is not None
+                    and len(chain) > 1
+                    and chain[-1] == "ProcessPoolExecutor"
+                ):
+                    yield self.finding(
+                        node,
+                        ctx,
+                        "ProcessPoolExecutor outside the parallel "
+                        "harness; route process fan-out through "
+                        "repro.experiments.parallel",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain is not None and chain[-2:] in (
+                    ("os", "fork"),
+                    ("os", "forkpty"),
+                ):
+                    yield self.finding(
+                        node,
+                        ctx,
+                        "os.fork() outside the parallel harness; forked "
+                        "children inherit RNG and handle state",
+                    )
+
+
 #: Every rule, in code order. The CLI, docs and tests iterate this.
 ALL_RULES: Tuple[Rule, ...] = (
     NoGlobalStateRNG(),
@@ -449,6 +537,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     NoUnseededDefaultRng(),
     RegisteredObsNames(),
     NoMutableDefaults(),
+    ConfinedProcessParallelism(),
 )
 
 
