@@ -19,15 +19,18 @@ from typing import List, Optional
 
 from repro.experiments.report import format_table
 from repro.faults import CHAOS_PRESETS, validate_fault_spec
+from repro.faults.spec import spec_carries_ingest_bursts
 from repro.obs import (
     format_metrics_table,
     format_span_summary,
     read_spans_jsonl,
     write_spans_jsonl,
 )
+from repro.runtime.ingest import INGEST_POLICIES
 from repro.runtime.metrics import speedup_vs
 from repro.runtime.pipeline import (
     POLICIES,
+    RUNTIMES,
     PipelineConfig,
     run_policy,
     train_models,
@@ -58,6 +61,23 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         choices=sorted(CHAOS_PRESETS),
                         help="named chaos preset of stochastic faults, "
                              "compiled deterministically from --seed")
+    parser.add_argument("--runtime", default="sync", choices=RUNTIMES,
+                        help="frame-loop implementation; 'event' adds the "
+                             "bounded ingest edge (byte-identical to 'sync' "
+                             "without ingest_burst faults)")
+    parser.add_argument("--ingest-capacity", type=int, default=4,
+                        help="per-camera ingest queue capacity "
+                             "(event runtime)")
+    parser.add_argument("--ingest-policy", default="drop-oldest",
+                        choices=INGEST_POLICIES,
+                        help="backpressure policy when a burst overflows "
+                             "the ingest queue (event runtime)")
+    parser.add_argument("--serve-subscribers", type=int, default=0,
+                        help="simulated live-state subscribers on the "
+                             "serving edge (0 disables it)")
+    parser.add_argument("--serve-every", type=int, default=1,
+                        help="snapshot publication cadence in frames "
+                             "(bounds subscriber staleness)")
 
 
 def _faults_from(args: argparse.Namespace) -> Optional[str]:
@@ -78,22 +98,59 @@ def _faults_from(args: argparse.Namespace) -> Optional[str]:
 def _config_from(
     args: argparse.Namespace, policy: str, trace: bool = False
 ) -> PipelineConfig:
-    return PipelineConfig(
-        policy=policy,
-        horizon=args.horizon,
-        n_horizons=args.horizons,
-        warmup_s=30.0,
-        train_duration_s=args.train_duration,
-        seed=args.seed,
-        occlusion=args.occlusion,
-        redundancy=args.redundancy,
-        gpu_jitter=getattr(args, "gpu_jitter", 0.02),
-        trace=trace,
-        faults=_faults_from(args),
-        checkpoint_path=getattr(args, "checkpoint", None),
-        checkpoint_every=getattr(args, "checkpoint_every", 0) or 0,
-        stop_after_frames=getattr(args, "stop_after", None),
-    )
+    faults = _faults_from(args)
+    runtime = getattr(args, "runtime", "sync")
+    if runtime != "event" and spec_carries_ingest_bursts(faults):
+        raise SystemExit(
+            "error: ingest_burst faults need --runtime event (the sync "
+            "loop has no ingest edge to absorb a burst)"
+        )
+    try:
+        return PipelineConfig(
+            policy=policy,
+            horizon=args.horizon,
+            n_horizons=args.horizons,
+            warmup_s=30.0,
+            train_duration_s=args.train_duration,
+            seed=args.seed,
+            occlusion=args.occlusion,
+            redundancy=args.redundancy,
+            gpu_jitter=getattr(args, "gpu_jitter", 0.02),
+            trace=trace,
+            faults=faults,
+            checkpoint_path=getattr(args, "checkpoint", None),
+            checkpoint_every=getattr(args, "checkpoint_every", 0) or 0,
+            stop_after_frames=getattr(args, "stop_after", None),
+            runtime=runtime,
+            ingest_capacity=getattr(args, "ingest_capacity", 4),
+            ingest_policy=getattr(args, "ingest_policy", "drop-oldest"),
+            serve_subscribers=getattr(args, "serve_subscribers", 0),
+            serve_every=getattr(args, "serve_every", 1),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def _serving_summary_table(result) -> str:
+    """The serving-edge table printed when --serve-subscribers is set."""
+    def metric(name: str, kind: str = "counter") -> int:
+        return int(sum(
+            m["value"] for m in result.metrics
+            if m["kind"] == kind and m["name"] == name
+        ))
+
+    requests = metric("serving_requests_total")
+    hits = metric("serving_cache_hits_total")
+    rows = [
+        ("snapshots published", metric("serving_snapshots_total")),
+        ("subscriber requests", requests),
+        ("cache hits", hits),
+        ("cache misses", metric("serving_cache_misses_total")),
+        ("hit rate", round(hits / requests, 4) if requests else 0.0),
+        ("max staleness frames",
+         metric("serving_staleness_frames", "gauge")),
+    ]
+    return format_table(["metric", "value"], rows, title="serving summary")
 
 
 def _fault_summary_table(result, title: str = "fault summary") -> str:
@@ -113,6 +170,17 @@ def _fault_summary_table(result, title: str = "fault summary") -> str:
         ("assignment fallbacks", counter_sum("assignment_fallbacks_total")),
         ("messages dropped", counter_sum("messages_dropped_total")),
     ]
+    if counter_sum("ingest_offered_total"):
+        rows += [
+            ("ingest frames offered", counter_sum("ingest_offered_total")),
+            ("ingest frames served", counter_sum("ingest_served_total")),
+            ("ingest frames dropped", counter_sum("ingest_dropped_total")),
+            ("ingest frames coalesced",
+             counter_sum("ingest_coalesced_total")),
+            ("ingest stalls", counter_sum("ingest_stalled_frames_total")),
+            ("ingest degraded key frames",
+             counter_sum("ingest_degraded_frames_total")),
+        ]
     if counter_sum("scheduler_down_frames_total"):
         recovery = next(
             (m for m in result.metrics
@@ -137,10 +205,14 @@ def _fault_summary_table(result, title: str = "fault summary") -> str:
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one policy on one scenario and print its metrics."""
     if args.resume:
-        if args.faults or args.chaos or args.trace or args.checkpoint:
+        if (
+            args.faults or args.chaos or args.trace or args.checkpoint
+            or args.runtime == "event"
+        ):
             raise SystemExit(
                 "error: --resume restores the checkpointed run; it cannot "
-                "be combined with --faults/--chaos/--trace/--checkpoint"
+                "be combined with --faults/--chaos/--trace/--checkpoint/"
+                "--runtime event"
             )
         from repro.checkpoint import CheckpointError, load_checkpoint
         from repro.runtime.pipeline import Pipeline
@@ -182,6 +254,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     if config.faults is not None:
         print(_fault_summary_table(result))
+    if config.serve_subscribers:
+        print(_serving_summary_table(result))
     per_cam = result.per_camera_mean_latency()
     print(
         format_table(

@@ -61,6 +61,12 @@ from repro.experiments.fig14_horizon import (
     sweep_horizons,
 )
 from repro.experiments.fig2_workload import WorkloadTrace, workload_trace
+from repro.experiments.ingest import (
+    IngestPoint,
+    IngestStudy,
+    ingest_study,
+    run_ingest,
+)
 from repro.experiments.report import format_table
 from repro.experiments.runner import run_all
 from repro.experiments.table2_overhead import (
@@ -123,4 +129,8 @@ __all__ = [
     "FailoverPoint",
     "fault_tolerance_study",
     "run_fault_tolerance",
+    "IngestPoint",
+    "IngestStudy",
+    "ingest_study",
+    "run_ingest",
 ]

@@ -1,0 +1,179 @@
+"""INGEST: burst-backpressure study on the event runtime.
+
+Sweeps the three ingest backpressure policies against scripted ingest
+bursts of increasing harshness on one scenario, measuring what each
+policy trades away: ``drop-oldest`` sheds frames (recall dips during the
+window), ``degrade-to-distributed`` protects key frames but sits
+overflowing cameras out of the central stage, ``coalesce-to-key-frame``
+drops nothing and instead pays forced central resynchronizations.
+
+Every run uses ``runtime='event'``; the study also asserts the identity
+contract — with the burst spec removed, the event runtime's RunResult is
+byte-identical to the sync runtime's — so the sweep cannot silently
+drift away from the baseline it claims to perturb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.experiments.report import format_table
+from repro.runtime.ingest import INGEST_POLICIES
+from repro.runtime.pipeline import (
+    PipelineConfig,
+    TrainedModels,
+    run_policy,
+    train_models,
+)
+from repro.scenarios.aic21 import get_scenario
+from repro.scenarios.builder import Scenario
+from repro.scenarios.bursts import burst_sweep_specs
+
+
+@dataclass(frozen=True)
+class IngestPoint:
+    """One (ingest policy, burst spec) cell of the study."""
+
+    ingest_policy: str
+    burst: str
+    recall: float
+    offered: int
+    served: int
+    dropped: int
+    coalesced: int
+    stalls: int
+    degraded: int
+    key_frames: int
+
+
+@dataclass(frozen=True)
+class IngestStudy:
+    """All cells of the INGEST experiment."""
+
+    scenario: str
+    identity_holds: bool  # event == sync with bursts disabled
+    sweep: Tuple[IngestPoint, ...]
+
+    def points_for(self, ingest_policy: str) -> Tuple[IngestPoint, ...]:
+        return tuple(
+            p for p in self.sweep if p.ingest_policy == ingest_policy
+        )
+
+
+def default_ingest_config(seed: int = 0) -> PipelineConfig:
+    """The base run config the INGEST sweep shares."""
+    return PipelineConfig(
+        policy="balb", horizon=5, n_horizons=10, warmup_s=30.0,
+        train_duration_s=90.0, seed=seed,
+    )
+
+
+def _counter_sum(result, name: str) -> int:
+    return int(sum(
+        m["value"] for m in result.metrics
+        if m["kind"] == "counter" and m["name"] == name
+    ))
+
+
+def ingest_point(
+    scenario: Scenario,
+    base: PipelineConfig,
+    trained: TrainedModels,
+    ingest_policy: str,
+    burst: str,
+    capacity: int = 2,
+) -> IngestPoint:
+    """One (ingest policy, burst spec) cell on the event runtime."""
+    cfg = PipelineConfig(
+        **{**base.__dict__, "runtime": "event", "faults": burst,
+           "ingest_policy": ingest_policy, "ingest_capacity": capacity}
+    )
+    result = run_policy(scenario, cfg.policy, cfg, trained)
+    return IngestPoint(
+        ingest_policy=ingest_policy,
+        burst=burst,
+        recall=result.object_recall(),
+        offered=_counter_sum(result, "ingest_offered_total"),
+        served=_counter_sum(result, "ingest_served_total"),
+        dropped=_counter_sum(result, "ingest_dropped_total"),
+        coalesced=_counter_sum(result, "ingest_coalesced_total"),
+        stalls=_counter_sum(result, "ingest_stalled_frames_total"),
+        degraded=_counter_sum(result, "ingest_degraded_frames_total"),
+        key_frames=_counter_sum(result, "key_frames_total"),
+    )
+
+
+def identity_check(
+    scenario: Scenario, base: PipelineConfig, trained: TrainedModels
+) -> bool:
+    """Does the event runtime reproduce the sync runtime bit-for-bit?"""
+    sync = run_policy(
+        scenario, base.policy,
+        PipelineConfig(**{**base.__dict__, "runtime": "sync"}), trained,
+    )
+    event = run_policy(
+        scenario, base.policy,
+        PipelineConfig(**{**base.__dict__, "runtime": "event"}), trained,
+    )
+
+    def stable(result):
+        # frame_wall_ms is host time, excluded from the identity contract.
+        return [m for m in result.metrics if m["name"] != "frame_wall_ms"]
+
+    return sync.frames == event.frames and stable(sync) == stable(event)
+
+
+def ingest_study(
+    scenario_name: str = "S1",
+    ingest_policies: Tuple[str, ...] = INGEST_POLICIES,
+    bursts: Optional[Tuple[str, ...]] = None,
+    capacity: int = 2,
+    config: Optional[PipelineConfig] = None,
+    trained: Optional[TrainedModels] = None,
+    seed: int = 0,
+) -> IngestStudy:
+    """Run the backpressure sweep with shared trained models."""
+    scenario = get_scenario(scenario_name, seed=seed)
+    base = config or default_ingest_config(seed)
+    if trained is None:
+        trained = train_models(scenario, base)
+    if bursts is None:
+        bursts = burst_sweep_specs(
+            base.horizon, base.horizon * base.n_horizons
+        )
+    sweep = tuple(
+        ingest_point(scenario, base, trained, policy, burst, capacity)
+        for policy in ingest_policies
+        for burst in bursts
+    )
+    return IngestStudy(
+        scenario=scenario_name,
+        identity_holds=identity_check(scenario, base, trained),
+        sweep=sweep,
+    )
+
+
+def run_ingest(seed: int = 0) -> str:
+    """The INGEST experiment as a text report."""
+    return format_ingest(ingest_study(seed=seed))
+
+
+def format_ingest(study: IngestStudy) -> str:
+    """Render a study as the INGEST report section."""
+    table = format_table(
+        ["ingest policy", "burst", "recall", "served", "dropped",
+         "coalesced", "stalls", "degraded keys", "key frames"],
+        [
+            (p.ingest_policy, p.burst, round(p.recall, 3), p.served,
+             p.dropped, p.coalesced, p.stalls, p.degraded, p.key_frames)
+            for p in study.sweep
+        ],
+        title=f"INGEST ({study.scenario}): backpressure policies under "
+              "ingest bursts (event runtime)",
+    )
+    identity = (
+        "sync/event identity with bursts disabled: "
+        + ("holds (byte-identical)" if study.identity_holds else "VIOLATED")
+    )
+    return "\n\n".join([table, identity])

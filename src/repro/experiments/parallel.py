@@ -56,6 +56,13 @@ from repro.experiments.fault_tolerance import (
     outage_spec_for,
 )
 from repro.experiments.fig2_workload import run_figure2_text
+from repro.experiments.ingest import (
+    IngestStudy,
+    format_ingest,
+    identity_check,
+    ingest_point,
+    ingest_study,
+)
 from repro.experiments.fig10_classification import (
     ClassificationRow,
     evaluate_classifiers,
@@ -81,6 +88,7 @@ from repro.experiments.table2_overhead import (
 from repro.obs import MetricsRegistry
 from repro.runtime.pipeline import PipelineConfig, run_policy, train_models
 from repro.scenarios.aic21 import get_scenario
+from repro.scenarios.bursts import burst_sweep_specs
 
 # ----------------------------------------------------------------------
 # Report profiles
@@ -123,6 +131,15 @@ class ReportProfile:
     faults_policies: Tuple[str, ...] = ("balb", "sp", "balb-ind")
     faults_scheduler_policies: Tuple[str, ...] = ("balb", "sp")
     faults_heartbeats: Tuple[int, ...] = (2, 5, 10)
+    # INGEST backpressure sweep (event runtime).
+    ingest_scenario: str = "S1"
+    ingest_horizon: int = 5
+    ingest_n_horizons: int = 10
+    ingest_train_duration_s: float = 90.0
+    ingest_capacity: int = 2
+    ingest_policies: Tuple[str, ...] = (
+        "drop-oldest", "degrade-to-distributed", "coalesce-to-key-frame"
+    )
     # EXTENSIONS studies.
     ext_occ_scenario: str = "S3"
     ext_occ_n_horizons: int = 25
@@ -153,6 +170,14 @@ class ReportProfile:
             policy="balb", horizon=self.faults_horizon,
             n_horizons=self.faults_n_horizons, warmup_s=self.warmup_s,
             train_duration_s=self.faults_train_duration_s, seed=seed,
+        )
+
+    def ingest_config(self, seed: int) -> PipelineConfig:
+        """The base config the INGEST sweep shares."""
+        return PipelineConfig(
+            policy="balb", horizon=self.ingest_horizon,
+            n_horizons=self.ingest_n_horizons, warmup_s=self.warmup_s,
+            train_duration_s=self.ingest_train_duration_s, seed=seed,
         )
 
     def occ_config(self, seed: int) -> PipelineConfig:
@@ -203,6 +228,11 @@ QUICK_PROFILE = ReportProfile(
     ext_sync_n_horizons=2,
     ext_sync_lags=(0, 2),
     ext_trials=5,
+    ingest_scenario="S2",
+    ingest_horizon=4,
+    ingest_n_horizons=3,
+    ingest_train_duration_s=12.0,
+    ingest_policies=("drop-oldest", "coalesce-to-key-frame"),
 )
 """A minutes-not-hours profile for smoke tests and CI."""
 
@@ -376,6 +406,24 @@ def _fault_failover_cell(
     return failover_point(
         scenario, base, trained, policy, heartbeat, outage_spec_for(base)
     )
+
+
+def _ingest_cell(
+    scenario_name: str,
+    base: PipelineConfig,
+    ingest_policy: str,
+    burst: str,
+    capacity: int,
+):
+    scenario = get_scenario(scenario_name, seed=base.seed)
+    trained = train_models(scenario, base)
+    return ingest_point(scenario, base, trained, ingest_policy, burst, capacity)
+
+
+def _ingest_identity_cell(scenario_name: str, base: PipelineConfig) -> bool:
+    scenario = get_scenario(scenario_name, seed=base.seed)
+    trained = train_models(scenario, base)
+    return identity_check(scenario, base, trained)
 
 
 def _ext_occ_cell(
@@ -837,6 +885,63 @@ def _faults_merge(
     return format_fault_tolerance(study, drop_policies=profile.faults_policies)
 
 
+# -- INGEST -------------------------------------------------------------
+
+
+def _ingest_train_keys(profile: ReportProfile) -> Tuple[TrainKey, ...]:
+    return ((
+        profile.ingest_scenario, profile.warmup_s,
+        profile.ingest_train_duration_s,
+    ),)
+
+
+def _ingest_bursts(profile: ReportProfile) -> Tuple[str, ...]:
+    base = profile.ingest_config(0)
+    return burst_sweep_specs(base.horizon, base.horizon * base.n_horizons)
+
+
+def _ingest_serial(seed: int, profile: ReportProfile) -> str:
+    study = ingest_study(
+        scenario_name=profile.ingest_scenario,
+        ingest_policies=profile.ingest_policies,
+        bursts=_ingest_bursts(profile),
+        capacity=profile.ingest_capacity,
+        config=profile.ingest_config(seed),
+        seed=seed,
+    )
+    return format_ingest(study)
+
+
+def _ingest_jobs(seed: int, profile: ReportProfile) -> List[Job]:
+    base = profile.ingest_config(seed)
+    name = profile.ingest_scenario
+    jobs = [
+        Job("INGEST", ("identity",), _ingest_identity_cell, (name, base))
+    ]
+    jobs.extend(
+        Job("INGEST", ("cell", policy, burst), _ingest_cell,
+            (name, base, policy, burst, profile.ingest_capacity))
+        for policy in profile.ingest_policies
+        for burst in _ingest_bursts(profile)
+    )
+    return jobs
+
+
+def _ingest_merge(
+    results: Dict[Any, Any], seed: int, profile: ReportProfile
+) -> str:
+    study = IngestStudy(
+        scenario=profile.ingest_scenario,
+        identity_holds=results[("identity",)],
+        sweep=tuple(
+            results[("cell", policy, burst)]
+            for policy in profile.ingest_policies
+            for burst in _ingest_bursts(profile)
+        ),
+    )
+    return format_ingest(study)
+
+
 SECTIONS: Dict[str, Section] = {
     sec.name: sec
     for sec in (
@@ -857,12 +962,14 @@ SECTIONS: Dict[str, Section] = {
                 _extensions_merge, _extensions_train_keys),
         Section("FAULTS", _faults_serial, _faults_jobs, _faults_merge,
                 _faults_train_keys),
+        Section("INGEST", _ingest_serial, _ingest_jobs, _ingest_merge,
+                _ingest_train_keys),
     )
 }
 
 SECTION_ORDER: Tuple[str, ...] = (
     "FIG2", "FIG10", "FIG11", "FIG12", "FIG13", "FIG14", "TAB2",
-    "ABLATIONS", "EXTENSIONS", "FAULTS",
+    "ABLATIONS", "EXTENSIONS", "FAULTS", "INGEST",
 )
 
 

@@ -45,16 +45,19 @@ class FaultModel:
     mean_slowdown_frames: float = 20.0
     scheduler_crash_rate: float = 0.0
     mean_scheduler_outage_frames: float = 12.0
+    burst_rate: float = 0.0
+    mean_burst_frames: float = 5.0
 
     def __post_init__(self) -> None:
         for name in ("crash_rate", "partition_rate", "delay_spike_rate",
-                     "slowdown_rate", "loss_prob", "scheduler_crash_rate"):
+                     "slowdown_rate", "loss_prob", "scheduler_crash_rate",
+                     "burst_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability in [0, 1]")
         for name in ("mean_outage_frames", "mean_partition_frames",
                      "mean_delay_frames", "mean_slowdown_frames",
-                     "mean_scheduler_outage_frames"):
+                     "mean_scheduler_outage_frames", "mean_burst_frames"):
             if getattr(self, name) < 1.0:
                 raise ValueError(f"{name} must be >= 1 frame")
         if self.delay_ms < 0:
@@ -72,6 +75,7 @@ class FaultModel:
             and self.delay_spike_rate == 0.0
             and self.slowdown_rate == 0.0
             and self.scheduler_crash_rate == 0.0
+            and self.burst_rate == 0.0
         )
 
     # ------------------------------------------------------------------
@@ -108,6 +112,10 @@ class FaultModel:
              self.mean_delay_frames, self.delay_ms),
             (FaultKind.GPU_SLOWDOWN, self.slowdown_rate,
              self.mean_slowdown_frames, self.slowdown_factor),
+            # Drawn last per camera so burst-free models compile to
+            # exactly the schedules they did before the kind existed.
+            (FaultKind.INGEST_BURST, self.burst_rate,
+             self.mean_burst_frames, 0.0),
         )
         for cam in sorted(camera_ids):
             for kind, rate, mean_frames, magnitude in processes:

@@ -26,6 +26,7 @@ class FaultKind(enum.Enum):
     GPU_SLOWDOWN = "gpu_slowdown"  # thermal throttling: latency multiplier
     SCHEDULER_CRASH = "scheduler_crash"  # central node stops scheduling
     SCHEDULER_REJOIN = "scheduler_rejoin"  # central node comes back (instant)
+    INGEST_BURST = "ingest_burst"  # frame arrivals stall, then bunch up
 
 
 #: Kinds that require a concrete camera id (link faults may be fleet-wide).
@@ -106,12 +107,14 @@ class FrameFaults:
     link_faults: Dict[int, LinkFault]  # camera -> loss/delay (absent = clean)
     started: Tuple[FaultEvent, ...]  # events whose window opens this frame
     scheduler_down: bool = False  # central node unavailable this frame
+    bursting: FrozenSet[int] = frozenset()  # cameras in an ingest burst
 
     @property
     def any_active(self) -> bool:
         return bool(
             self.down or self.partitioned or self.gpu_factor
             or self.link_faults or self.started or self.scheduler_down
+            or self.bursting
         )
 
 
@@ -161,6 +164,37 @@ class FaultSchedule:
     def has_scheduler_faults(self) -> bool:
         """Does any event target the central node?"""
         return any(e.kind in _SCHEDULER_KINDS for e in self.events)
+
+    @property
+    def has_ingest_bursts(self) -> bool:
+        """Does any event stall frame ingest (event runtime only)?"""
+        return any(
+            e.kind is FaultKind.INGEST_BURST for e in self.events
+        )
+
+    def ingest_bursting(self, frame: int, camera_id: int) -> bool:
+        """Is ``camera_id``'s frame ingest stalled by a burst at ``frame``?"""
+        return any(
+            e.kind is FaultKind.INGEST_BURST
+            and e.active_at(frame)
+            and e.applies_to(camera_id)
+            for e in self.events
+        )
+
+    def burst_release_frame(
+        self, frame: int, camera_id: int, n_frames: int
+    ) -> Optional[int]:
+        """First frame at/after ``frame`` where ingest flows again.
+
+        A frame produced inside a burst window is held back and released
+        (bunched with the rest of the window's frames) at the returned
+        frame. ``None`` means the burst extends past the end of the run:
+        the frame never arrives.
+        """
+        release = frame
+        while release < n_frames and self.ingest_bursting(release, camera_id):
+            release += 1
+        return release if release < n_frames else None
 
     def scheduler_down(self, frame: int) -> bool:
         """Is the central scheduler node crashed at ``frame``?
@@ -248,4 +282,7 @@ class FaultSchedule:
             link_faults=link,
             started=self.started_at(frame),
             scheduler_down=self.scheduler_down(frame),
+            bursting=frozenset(
+                cam for cam in cams if self.ingest_bursting(frame, cam)
+            ),
         )

@@ -10,6 +10,8 @@ Scripted events are semicolon-separated ``kind:key=value,...`` clauses::
     gpu:cam=0,x=3,at=5,for=25       # camera 0's GPU runs 3x slower
     sched_crash:at=12,for=15        # central scheduler dead for 15 frames
     sched_crash:at=12;sched_rejoin:at=30   # open-ended crash + explicit rejoin
+    burst:cam=1,at=10,for=6         # camera 1's ingest stalls, then bunches
+    burst:at=20,for=4               # fleet-wide ingest burst (event runtime)
 
 ``at`` defaults to frame 0 and ``for`` to the rest of the run. A
 ``rand:`` clause instead builds a stochastic
@@ -58,6 +60,9 @@ CHAOS_PRESETS: Dict[str, FaultModel] = {
         scheduler_crash_rate=0.01, mean_scheduler_outage_frames=15.0,
         loss_prob=0.05,
     ),
+    "ingest": FaultModel(
+        burst_rate=0.03, mean_burst_frames=5.0,
+    ),
 }
 
 _EVENT_KINDS = {
@@ -68,6 +73,7 @@ _EVENT_KINDS = {
     "gpu": FaultKind.GPU_SLOWDOWN,
     "sched_crash": FaultKind.SCHEDULER_CRASH,
     "sched_rejoin": FaultKind.SCHEDULER_REJOIN,
+    "burst": FaultKind.INGEST_BURST,
 }
 
 #: ``rand:`` clause keys -> FaultModel fields.
@@ -85,6 +91,8 @@ _RAND_KEYS = {
     "gpu_frames": "mean_slowdown_frames",
     "sched": "scheduler_crash_rate",
     "sched_frames": "mean_scheduler_outage_frames",
+    "burst": "burst_rate",
+    "burst_frames": "mean_burst_frames",
 }
 
 
@@ -220,6 +228,30 @@ def parse_fault_spec(spec: str) -> Union[FaultSchedule, FaultModel]:
 def validate_fault_spec(spec: str) -> None:
     """Raise ``ValueError`` if ``spec`` is not parseable (CLI fail-fast)."""
     parse_fault_spec(spec)
+
+
+def spec_carries_ingest_bursts(faults: FaultInput) -> bool:
+    """Can this fault input ever stall ingest?
+
+    Ingest bursts only have meaning under the event runtime, so the CLI
+    and pipeline use this to fail fast when ``--runtime sync`` is paired
+    with a burst-carrying spec, schedule, model, or chaos preset.
+    """
+    if faults is None:
+        return False
+    if isinstance(faults, str):
+        text = faults.strip()
+        if not text:
+            return False
+        if text in CHAOS_PRESETS:
+            faults = CHAOS_PRESETS[text]
+        else:
+            faults = parse_fault_spec(text)
+    if isinstance(faults, FaultModel):
+        return faults.burst_rate > 0.0
+    if isinstance(faults, FaultSchedule):
+        return faults.has_ingest_bursts
+    return False
 
 
 def resolve_faults(

@@ -9,6 +9,7 @@ priorities and the cell masks used by the distributed stage.
 from __future__ import annotations
 
 from dataclasses import dataclass
+import json
 from typing import Dict, Tuple
 
 from repro.geometry.box import BBox
@@ -73,6 +74,49 @@ class Heartbeat:
     def payload_bytes(self) -> int:
         """Serialized size: two ids plus a small envelope."""
         return 16 + 2 * 4
+
+
+@dataclass(frozen=True)
+class SnapshotMessage:
+    """Live-state snapshot served to read-side subscribers.
+
+    The serving edge publishes one per cadence tick and caches the
+    encoding; every subscriber of the same version receives the same
+    bytes. ``version`` increments per publication, so a subscriber can
+    cheaply detect staleness.
+    """
+
+    version: int
+    frame_index: int
+    is_key_frame: bool
+    n_visible: int
+    n_detected: int
+
+    def __post_init__(self) -> None:
+        if self.version < 0:
+            raise ValueError("version must be non-negative")
+        if self.frame_index < 0:
+            raise ValueError("frame_index must be non-negative")
+        if self.n_visible < 0 or self.n_detected < 0:
+            raise ValueError("object counts must be non-negative")
+
+    def encode(self) -> bytes:
+        """Canonical wire encoding (deterministic: sorted, compact)."""
+        return json.dumps(
+            {
+                "version": self.version,
+                "frame_index": self.frame_index,
+                "is_key_frame": self.is_key_frame,
+                "n_visible": self.n_visible,
+                "n_detected": self.n_detected,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("ascii")
+
+    def payload_bytes(self) -> int:
+        """Serialized size of the snapshot in bytes."""
+        return len(self.encode())
 
 
 @dataclass(frozen=True)

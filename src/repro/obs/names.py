@@ -37,6 +37,10 @@ SPAN_NAMES = frozenset(
         "failover.replicate",
         "frame",
         "gpu.execute",
+        "ingest.coalesce",
+        "ingest.degrade",
+        "ingest.drop",
+        "ingest.stall",
         "gpu.full_frame",
         "net.retry",
         "net.round_trip",
@@ -54,6 +58,7 @@ SPAN_PREFIXES = frozenset(
     {
         "fault.",
         "failover.",
+        "ingest.",
     }
 )
 
@@ -81,11 +86,25 @@ METRIC_NAMES = frozenset(
         "frame_wall_ms",
         "frames_total",
         "inference_ms",
+        "ingest_admitted_total",
+        "ingest_coalesced_total",
+        "ingest_degraded_frames_total",
+        "ingest_dropped_total",
+        "ingest_offered_total",
+        "ingest_queue_peak_depth",
+        "ingest_served_total",
+        "ingest_staleness_frames",
+        "ingest_stalled_frames_total",
         "key_frames_total",
         "message_retries_total",
         "messages_dropped_total",
         "regular_frames_total",
         "scheduler_down_frames_total",
+        "serving_cache_hits_total",
+        "serving_cache_misses_total",
+        "serving_requests_total",
+        "serving_snapshots_total",
+        "serving_staleness_frames",
         "skipped_key_frames_total",
         "slices_total",
     }

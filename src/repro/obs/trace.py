@@ -19,7 +19,50 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The injectable-clock protocol: anything with ``now() -> float``.
+
+    Satisfied by :class:`WallClock` (host time) and by the event
+    kernel's :class:`~repro.runtime.events.SimulatedClock` (simulated
+    time), so consumers never care which timebase they are on.
+    """
+
+    def now(self) -> float: ...
+
+
+class WallClock:
+    """The host's monotonic clock, behind the injectable-clock seam.
+
+    Everything in the runtime that measures *host* time (span durations,
+    per-frame wall time) reads it through a clock object rather than
+    calling :func:`time.perf_counter` directly, so tests and the
+    simulated-time event kernel can substitute a deterministic clock.
+    This module is the only runtime home of the wall clock — it is on the
+    reprolint RL002 allowlist precisely because host measurement is
+    excluded from the determinism guarantee.
+    """
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        """Monotonic seconds; only differences are meaningful."""
+        return time.perf_counter()
+
+
+#: The shared wall clock instance injected by default.
+WALL_CLOCK = WallClock()
 
 
 @dataclass

@@ -14,9 +14,8 @@ Policies: ``full``, ``balb``, ``balb-cen``, ``balb-ind``, ``sp``.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from dataclasses import dataclass
-import time
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,9 +33,16 @@ from repro.faults.spec import resolve_faults
 from repro.net.heartbeat import LeaseConfig
 from repro.net.link import DuplexChannel, RetryPolicy
 from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import Tracer, get_tracer, use_tracer
+from repro.obs.trace import WALL_CLOCK, Clock, Tracer, get_tracer, use_tracer
 from repro.runtime.camera_node import CameraNode
+from repro.runtime.events import EventQueue
 from repro.runtime.failover import FailoverManager
+from repro.runtime.ingest import (
+    INGEST_POLICIES,
+    BoundedFrameQueue,
+    FrameCapsule,
+    make_ingest_policy,
+)
 from repro.runtime.metrics import FrameRecord, RunResult
 from repro.runtime.overhead import OverheadModel
 from repro.runtime.policies import (
@@ -49,9 +55,19 @@ from repro.runtime.policies import (
 from repro.runtime.scheduler_node import CentralScheduler
 from repro.runtime.synchronization import SkewModel, WorldHistory
 from repro.scenarios.builder import Scenario
+from repro.serving.edge import ServingEdge
 
 POLICIES = ("full", "balb", "balb-cen", "balb-ind", "sp")
 _CENTRALIZED = ("balb", "balb-cen", "sp")
+
+#: Frame-loop implementations: the classic synchronous per-frame loop,
+#: and the deterministic event kernel with a bounded ingest edge.
+RUNTIMES = ("sync", "event")
+
+#: Event priorities: frame arrivals land in the ingest queues strictly
+#: before the dispatch that may consume them at the same simulated time.
+_EV_ARRIVAL = 0
+_EV_DISPATCH = 1
 
 
 def _split_coverage(objects, down, coverage_fn) -> Tuple[frozenset, frozenset]:
@@ -118,6 +134,19 @@ class PipelineConfig:
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 0
     stop_after_frames: Optional[int] = None
+    #: Frame-loop implementation. ``sync`` is the classic per-frame loop;
+    #: ``event`` drives the same per-frame processing from a deterministic
+    #: event kernel with per-camera bounded ingest queues. With no
+    #: ingest_burst faults the two are byte-identical.
+    runtime: str = "sync"
+    #: Ingest edge (event runtime only): per-camera queue capacity and the
+    #: backpressure policy applied when a burst overflows it.
+    ingest_capacity: int = 4
+    ingest_policy: str = "drop-oldest"
+    #: Read-side serving edge: number of simulated live-state subscribers
+    #: (0 = edge disabled) and the snapshot publication cadence in frames.
+    serve_subscribers: int = 0
+    serve_every: int = 1
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -153,6 +182,31 @@ class PipelineConfig:
         ):
             raise ValueError(
                 "checkpoint_every/stop_after_frames need checkpoint_path"
+            )
+        if self.runtime not in RUNTIMES:
+            raise ValueError(
+                f"unknown runtime {self.runtime!r}; options: {RUNTIMES}"
+            )
+        if self.ingest_capacity < 1:
+            raise ValueError("ingest_capacity must be >= 1")
+        if self.ingest_policy not in INGEST_POLICIES:
+            raise ValueError(
+                f"unknown ingest policy {self.ingest_policy!r}; "
+                f"options: {INGEST_POLICIES}"
+            )
+        if self.serve_subscribers < 0:
+            raise ValueError("serve_subscribers must be non-negative")
+        if self.serve_every < 1:
+            raise ValueError("serve_every must be >= 1")
+        if self.checkpoint_path is not None and self.runtime == "event":
+            raise ValueError(
+                "the event runtime does not checkpoint; use runtime='sync' "
+                "for checkpoint/resume runs"
+            )
+        if self.checkpoint_path is not None and self.serve_subscribers > 0:
+            raise ValueError(
+                "the serving edge does not checkpoint; disable "
+                "serve_subscribers for checkpoint/resume runs"
             )
 
     def retry_policy(self) -> RetryPolicy:
@@ -204,6 +258,37 @@ class _RunState:
     history: Optional[WorldHistory]
     camera_lags: Dict[int, int]
     failover: Optional[FailoverManager]
+
+
+@dataclass
+class _FrameIngest:
+    """The ingest edge's view of one dispatched frame (event runtime).
+
+    Built by draining the per-camera bounded queues at a dispatch tick.
+    ``stalled`` cameras had nothing eligible to serve (their frame is
+    held back by a burst); ``degraded`` cameras overflowed under the
+    degrade policy and sit out their next central-stage participation;
+    ``forced_key`` requests an early key frame because a coalesced
+    backlog needs a central resynchronization. ``applied_degrades`` is
+    written back by the frame processor so the event loop knows which
+    queues to take out of degraded mode.
+    """
+
+    stalled: frozenset
+    degraded: frozenset
+    forced_key: bool
+    stale_drops: Dict[int, int]
+    folded: Dict[int, int]
+    staleness: Dict[int, int]
+    applied_degrades: set = field(default_factory=set)
+
+    @property
+    def any_active(self) -> bool:
+        """False exactly when ingest was a transparent pass-through."""
+        return bool(
+            self.stalled or self.degraded or self.forced_key
+            or self.stale_drops or self.folded or self.staleness
+        )
 
 
 def trained_models_key(
@@ -300,6 +385,7 @@ class Pipeline:
         scenario: Scenario,
         config: Optional[PipelineConfig] = None,
         trained: Optional[TrainedModels] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.scenario = scenario
         self.config = config or PipelineConfig()
@@ -312,6 +398,16 @@ class Pipeline:
                 f"policy {self.config.policy!r} needs trained association models"
             )
         self.overheads = OverheadModel()
+        # Wall-clock observations (frame_wall_ms) go through an injectable
+        # clock so tests can pin them and the event runtime could swap in
+        # simulated time without touching the frame processor.
+        self.clock: Clock = WALL_CLOCK if clock is None else clock
+        self.serving: Optional[ServingEdge] = None
+        if self.config.serve_subscribers > 0:
+            self.serving = ServingEdge(
+                subscribers=self.config.serve_subscribers,
+                publish_every=self.config.serve_every,
+            )
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -334,7 +430,10 @@ class Pipeline:
         registry = MetricsRegistry()
         with activation:
             state = self._init_state(registry)
-            result = self._frame_loop(state, tracer)
+            if config.runtime == "event":
+                result = self._event_loop(state, tracer)
+            else:
+                result = self._frame_loop(state, tracer)
         if config.trace:
             result.spans = tracer.records
         result.metrics = registry.export()
@@ -391,6 +490,16 @@ class Pipeline:
         faults: Optional[FaultSchedule] = resolve_faults(
             config.faults, camera_ids, total_frames, config.seed + 31_337
         )
+        if (
+            faults is not None
+            and faults.has_ingest_bursts
+            and config.runtime != "event"
+        ):
+            raise ValueError(
+                "ingest_burst faults need the event runtime "
+                "(runtime='event'): the sync loop has no ingest edge to "
+                "absorb a burst"
+            )
         stale_horizons: Dict[int, int] = {cam: 0 for cam in camera_ids}
 
         occlusion = OcclusionModel() if config.occlusion else None
@@ -468,7 +577,260 @@ class Pipeline:
         mid-run is just pickling ``state`` between two frames.
         """
         config = self.config
-        scenario = self.scenario
+        interrupted = False
+        run_span = tracer.span(
+            "run",
+            policy=config.policy,
+            scenario=self.scenario.name,
+            horizon=config.horizon,
+        )
+        with run_span:
+            for frame_idx in range(state.next_frame, state.total_frames):
+                self._process_frame(state, tracer, frame_idx)
+                # Between two frames the run is crash-consistent: snapshot
+                # the state if the checkpoint cadence (or a simulated
+                # interruption) says so.
+                if config.checkpoint_path is not None:
+                    done = state.next_frame
+                    if (
+                        config.stop_after_frames is not None
+                        and done == config.stop_after_frames
+                        and done < state.total_frames
+                    ):
+                        self._save_state(state)
+                        interrupted = True
+                        break
+                    if (
+                        config.checkpoint_every > 0
+                        and done % config.checkpoint_every == 0
+                    ):
+                        self._save_state(state)
+        if interrupted:
+            # The post-run accounting must run exactly once per run, at
+            # completion — the resumed continuation will do it.
+            return state.result
+        self._finalize(state)
+        return state.result
+
+    def _event_loop(self, state: _RunState, tracer) -> RunResult:
+        """Advance the run on a deterministic event kernel.
+
+        Frame arrivals (priority ``_EV_ARRIVAL``) flow into per-camera
+        :class:`BoundedFrameQueue`s; frame dispatches (priority
+        ``_EV_DISPATCH``) drain them and feed the exact same per-frame
+        processing as the sync loop. ``ingest_burst`` faults defer
+        arrivals to the end of their window, so a burst bunches frames
+        and overflows the queues, exercising the configured backpressure
+        policy. Without bursts every frame arrives exactly at its
+        dispatch tick, queues never exceed one capsule, and the run is
+        byte-identical to ``runtime='sync'``.
+        """
+        config = self.config
+        faults = state.faults
+        dt = state.dt
+        total_frames = state.total_frames
+        bursty = faults is not None and faults.has_ingest_bursts
+        kernel = EventQueue()
+        queues: Dict[int, BoundedFrameQueue] = {
+            cam: BoundedFrameQueue(
+                cam,
+                config.ingest_capacity,
+                make_ingest_policy(config.ingest_policy),
+            )
+            for cam in state.camera_ids
+        }
+
+        def make_arrival(
+            queue: BoundedFrameQueue, capsule: FrameCapsule
+        ) -> Callable[[], None]:
+            def arrive() -> None:
+                queue.offer(capsule)
+
+            return arrive
+
+        # Plan every arrival up front: deterministic, and burst windows
+        # simply relocate arrival times. Frames inside a burst window are
+        # released — bunched — at the first burst-free frame; a window
+        # reaching the end of the run swallows its frames entirely.
+        for frame_idx in range(state.next_frame, total_frames):
+            for cam in state.camera_ids:
+                release = frame_idx
+                if bursty and faults.ingest_bursting(frame_idx, cam):
+                    released = faults.burst_release_frame(
+                        frame_idx, cam, total_frames
+                    )
+                    if released is None:
+                        queues[cam].count_lost_upstream()
+                        continue
+                    release = released
+                capsule = FrameCapsule(
+                    camera_id=cam,
+                    frame_index=frame_idx,
+                    arrival_s=release * dt,
+                    is_key=(
+                        config.policy == "full"
+                        or frame_idx % config.horizon == 0
+                    ),
+                )
+                kernel.schedule_at(
+                    release * dt,
+                    make_arrival(queues[cam], capsule),
+                    priority=_EV_ARRIVAL,
+                )
+
+        def dispatch(frame_idx: int) -> None:
+            ingest: Optional[_FrameIngest] = None
+            if bursty:
+                ingest = self._drain_ingest(queues, frame_idx)
+            else:
+                # Transparent pass-through: every queue holds exactly the
+                # frame that just arrived. Draining keeps the ledgers
+                # honest without perturbing the processed frame.
+                for cam in state.camera_ids:
+                    queues[cam].poll_upto(frame_idx)
+            self._process_frame(state, tracer, frame_idx, ingest)
+            if ingest is not None:
+                for cam in ingest.applied_degrades:
+                    queues[cam].clear_degraded()
+
+        for frame_idx in range(state.next_frame, total_frames):
+            kernel.schedule_at(
+                frame_idx * dt,
+                (lambda f=frame_idx: dispatch(f)),
+                priority=_EV_DISPATCH,
+            )
+
+        run_span = tracer.span(
+            "run",
+            policy=config.policy,
+            scenario=self.scenario.name,
+            horizon=config.horizon,
+        )
+        with run_span:
+            kernel.run_until_idle()
+        for cam in state.camera_ids:
+            queues[cam].check_conservation()
+        if bursty:
+            self._export_ingest_counters(state.registry, queues)
+        self._finalize(state)
+        return state.result
+
+    def _drain_ingest(
+        self, queues: Dict[int, BoundedFrameQueue], frame_idx: int
+    ) -> _FrameIngest:
+        """Drain every camera's queue for one dispatch tick."""
+        stalled = set()
+        degraded = set()
+        forced_key = False
+        stale_drops: Dict[int, int] = {}
+        folded: Dict[int, int] = {}
+        staleness: Dict[int, int] = {}
+        for cam_id in sorted(queues):
+            queue = queues[cam_id]
+            outcome = queue.poll_upto(frame_idx)
+            if outcome is None:
+                stalled.add(cam_id)
+                continue
+            if outcome.stale_dropped:
+                stale_drops[cam_id] = outcome.stale_dropped
+            if outcome.folded:
+                folded[cam_id] = outcome.folded
+            if outcome.staleness_frames:
+                staleness[cam_id] = outcome.staleness_frames
+            forced_key = forced_key or outcome.forced_key
+            if queue.degraded:
+                degraded.add(cam_id)
+        return _FrameIngest(
+            stalled=frozenset(stalled),
+            degraded=frozenset(degraded),
+            forced_key=forced_key,
+            stale_drops=stale_drops,
+            folded=folded,
+            staleness=staleness,
+        )
+
+    def _record_ingest(
+        self, tracer, registry: MetricsRegistry, ingest: _FrameIngest
+    ) -> None:
+        """Surface one frame's non-trivial ingest events: spans, counters."""
+        for cam_id in sorted(ingest.stalled):
+            with tracer.span("ingest.stall", camera=cam_id):
+                pass
+            registry.counter(
+                "ingest_stalled_frames_total", camera=cam_id
+            ).inc()
+        for cam_id in sorted(ingest.stale_drops):
+            with tracer.span(
+                "ingest.drop", camera=cam_id,
+                frames=ingest.stale_drops[cam_id],
+            ):
+                pass
+        for cam_id in sorted(ingest.folded):
+            with tracer.span(
+                "ingest.coalesce", camera=cam_id,
+                frames=ingest.folded[cam_id],
+            ):
+                pass
+        for cam_id in sorted(ingest.staleness):
+            registry.gauge(
+                "ingest_staleness_frames", camera=cam_id
+            ).set(ingest.staleness[cam_id])
+
+    def _export_ingest_counters(
+        self, registry: MetricsRegistry, queues: Dict[int, BoundedFrameQueue]
+    ) -> None:
+        """Publish each queue's conservation ledger at end of run."""
+        for cam_id in sorted(queues):
+            queue = queues[cam_id]
+            registry.counter(
+                "ingest_offered_total", camera=cam_id
+            ).inc(queue.offered)
+            registry.counter(
+                "ingest_admitted_total", camera=cam_id
+            ).inc(queue.admitted)
+            registry.counter(
+                "ingest_served_total", camera=cam_id
+            ).inc(queue.served)
+            registry.counter(
+                "ingest_dropped_total", camera=cam_id
+            ).inc(queue.dropped)
+            registry.counter(
+                "ingest_coalesced_total", camera=cam_id
+            ).inc(queue.coalesced)
+            registry.gauge(
+                "ingest_queue_peak_depth", camera=cam_id
+            ).set(queue.peak_occupancy)
+
+    def _finalize(self, state: _RunState) -> None:
+        """Post-run accounting, exactly once per completed run."""
+        registry = state.registry
+        if state.faults is not None and state.scheduler is not None:
+            for cam_id, channel in state.scheduler.channels.items():
+                if channel.messages_dropped:
+                    registry.counter(
+                        "messages_dropped_total", camera=cam_id
+                    ).inc(channel.messages_dropped)
+                    registry.counter(
+                        "bytes_dropped_total", camera=cam_id
+                    ).inc(channel.bytes_dropped)
+        if self.serving is not None:
+            self.serving.export_metrics(registry)
+
+    def _process_frame(
+        self,
+        state: _RunState,
+        tracer,
+        frame_idx: int,
+        ingest: Optional[_FrameIngest] = None,
+    ) -> None:
+        """Process one frame and fold the results back into ``state``.
+
+        The single frame-processing path shared by both runtimes;
+        ``ingest`` (event runtime only) carries the ingest edge's view of
+        the frame. A trivial ingest view — or ``None`` — leaves every
+        span, counter and RNG draw identical to the sync runtime.
+        """
+        config = self.config
         dt = state.dt
         world = state.world
         rig = state.rig
@@ -485,341 +847,331 @@ class Pipeline:
         history = state.history
         camera_lags = state.camera_lags
         failover = state.failover
-        total_frames = state.total_frames
         central_amortized = state.central_amortized
         prev_down = state.prev_down
-        interrupted = False
 
-        run_span = tracer.span(
-            "run",
-            policy=config.policy,
-            scenario=scenario.name,
-            horizon=config.horizon,
+        in_horizon = frame_idx % config.horizon
+        frame_faults: Optional[FrameFaults] = (
+            faults.at(frame_idx, camera_ids)
+            if faults is not None
+            else None
         )
-        with run_span:
-            for frame_idx in range(state.next_frame, total_frames):
-                in_horizon = frame_idx % config.horizon
-                frame_faults: Optional[FrameFaults] = (
-                    faults.at(frame_idx, camera_ids)
-                    if faults is not None
-                    else None
-                )
-                down = (
-                    frame_faults.down
-                    if frame_faults is not None
-                    else frozenset()
-                )
-                forced_key = False
-                if faults is not None:
-                    # Camera crash/rejoin triggers an early key frame: the
-                    # central stage re-runs BALB on the surviving set so the
-                    # dead camera's shared objects are re-adopted (or the
-                    # rejoined camera is folded back in) immediately.
-                    membership_changed = down != prev_down
-                    prev_down = down
-                    forced_key = (
-                        scheduler is not None
-                        and membership_changed
-                        and config.policy != "full"
-                        and in_horizon != 0
-                    )
-                # Scheduler failover: advance the heartbeat/lease protocol
-                # one frame. A leadership change forces a key frame (the
-                # new leader re-runs the central stage from its replica);
-                # while nobody leads, key frames are suppressed and the
-                # fleet runs distributed-only on last-known masks.
-                transition = None
-                central_ok = True
-                if failover is not None:
-                    live = [c for c in camera_ids if c not in down]
-                    transition = failover.step(
-                        frame_idx,
-                        frame_faults is not None
-                        and frame_faults.scheduler_down,
-                        live,
-                    )
-                    central_ok = failover.central_available
-                    if transition is not None:
-                        forced_key = forced_key or in_horizon != 0
-                is_key = config.policy == "full" or (
-                    (in_horizon == 0 or forced_key) and central_ok
-                )
-                if (
-                    failover is not None
-                    and not central_ok
-                    and (in_horizon == 0 or forced_key)
-                ):
-                    # A scheduled (or forced) key frame lands in the
-                    # outage window: skip it, everyone's decision goes
-                    # one horizon staler.
-                    registry.counter("skipped_key_frames_total").inc()
-                    for cam_id in camera_ids:
-                        if cam_id not in down:
-                            stale_horizons[cam_id] += 1
-                            registry.gauge(
-                                "assignment_staleness_horizons",
-                                camera=cam_id,
-                            ).set(stale_horizons[cam_id])
-                frame_start = time.perf_counter()
+        down = (
+            frame_faults.down
+            if frame_faults is not None
+            else frozenset()
+        )
+        # Cameras whose frame is stuck behind a burst process nothing this
+        # tick, but they are *not* down: they still heartbeat and their
+        # crash/rejoin membership is untouched.
+        stalled = ingest.stalled if ingest is not None else frozenset()
+        effective_down = down | stalled if stalled else down
+        forced_key = False
+        if faults is not None:
+            # Camera crash/rejoin triggers an early key frame: the
+            # central stage re-runs BALB on the surviving set so the
+            # dead camera's shared objects are re-adopted (or the
+            # rejoined camera is folded back in) immediately.
+            membership_changed = down != prev_down
+            prev_down = down
+            forced_key = (
+                scheduler is not None
+                and membership_changed
+                and config.policy != "full"
+                and in_horizon != 0
+            )
+        # Scheduler failover: advance the heartbeat/lease protocol
+        # one frame. A leadership change forces a key frame (the
+        # new leader re-runs the central stage from its replica);
+        # while nobody leads, key frames are suppressed and the
+        # fleet runs distributed-only on last-known masks.
+        transition = None
+        central_ok = True
+        if failover is not None:
+            live = [c for c in camera_ids if c not in down]
+            transition = failover.step(
+                frame_idx,
+                frame_faults is not None
+                and frame_faults.scheduler_down,
+                live,
+            )
+            central_ok = failover.central_available
+            if transition is not None:
+                forced_key = forced_key or in_horizon != 0
+        if (
+            ingest is not None
+            and ingest.forced_key
+            and scheduler is not None
+            and config.policy != "full"
+            and in_horizon != 0
+        ):
+            # A coalesced backlog wants a central resynchronization.
+            forced_key = True
+        is_key = config.policy == "full" or (
+            (in_horizon == 0 or forced_key) and central_ok
+        )
+        if (
+            failover is not None
+            and not central_ok
+            and (in_horizon == 0 or forced_key)
+        ):
+            # A scheduled (or forced) key frame lands in the
+            # outage window: skip it, everyone's decision goes
+            # one horizon staler.
+            registry.counter("skipped_key_frames_total").inc()
+            for cam_id in camera_ids:
+                if cam_id not in down:
+                    stale_horizons[cam_id] += 1
+                    registry.gauge(
+                        "assignment_staleness_horizons",
+                        camera=cam_id,
+                    ).set(stale_horizons[cam_id])
+        frame_start = self.clock.now()
 
-                frame_tags = {"frame": frame_idx, "key": is_key}
-                if faults is not None:
-                    frame_tags["forced"] = forced_key
-                with tracer.span("frame", **frame_tags):
-                    if frame_faults is not None:
-                        self._apply_frame_faults(
-                            tracer, registry, frame_faults, nodes, forced_key
-                        )
-                    if transition is not None:
-                        self._record_transition(tracer, registry, transition)
-                    with tracer.span("sim.advance"):
-                        world.step(dt)
-                        objects = world.objects
-                        if history is not None:
-                            history.push(objects)
-                        lagged_objects = {
-                            cam_id: (
-                                history.view(lag)
-                                if history is not None
-                                else objects
-                            )
-                            for cam_id, lag in camera_lags.items()
+        frame_tags = {"frame": frame_idx, "key": is_key}
+        if faults is not None:
+            frame_tags["forced"] = forced_key
+        with tracer.span("frame", **frame_tags):
+            if frame_faults is not None:
+                self._apply_frame_faults(
+                    tracer, registry, frame_faults, nodes, forced_key
+                )
+            if transition is not None:
+                self._record_transition(tracer, registry, transition)
+            if ingest is not None and ingest.any_active:
+                self._record_ingest(tracer, registry, ingest)
+            with tracer.span("sim.advance"):
+                world.step(dt)
+                objects = world.objects
+                if history is not None:
+                    history.push(objects)
+                lagged_objects = {
+                    cam_id: (
+                        history.view(lag)
+                        if history is not None
+                        else objects
+                    )
+                    for cam_id, lag in camera_lags.items()
+                }
+                multipliers: Dict[int, Dict[int, float]] = {}
+                if occlusion is not None:
+                    fractions_by_cam = {
+                        cam.camera_id: visible_fractions(cam, objects)
+                        for cam in rig
+                    }
+                    multipliers = {
+                        cam_id: {
+                            oid: occlusion.miss_multiplier(frac)
+                            for oid, frac in fractions.items()
                         }
-                        multipliers: Dict[int, Dict[int, float]] = {}
-                        if occlusion is not None:
-                            fractions_by_cam = {
-                                cam.camera_id: visible_fractions(cam, objects)
-                                for cam in rig
-                            }
-                            multipliers = {
-                                cam_id: {
-                                    oid: occlusion.miss_multiplier(frac)
-                                    for oid, frac in fractions.items()
-                                }
-                                for cam_id, fractions in fractions_by_cam.items()
-                            }
-                            visible_gt, coverage_lost = _split_coverage(
-                                objects,
-                                down,
-                                lambda o: [
-                                    c
-                                    for c in fractions_by_cam
-                                    if occlusion.effectively_visible(
-                                        fractions_by_cam[c].get(
-                                            o.object_id, 0.0
+                        for cam_id, fractions in fractions_by_cam.items()
+                    }
+                    visible_gt, coverage_lost = _split_coverage(
+                        objects,
+                        effective_down,
+                        lambda o: [
+                            c
+                            for c in fractions_by_cam
+                            if occlusion.effectively_visible(
+                                fractions_by_cam[c].get(
+                                    o.object_id, 0.0
+                                )
+                            )
+                        ],
+                    )
+                else:
+                    visible_gt, coverage_lost = _split_coverage(
+                        objects, effective_down, rig.coverage_set
+                    )
+
+            inference: Dict[int, float] = {}
+            detected: set = set()
+            overheads: Dict[str, float] = {}
+            n_slices: Dict[int, int] = {}
+            if transition is not None:
+                # Restore/sync/claim-broadcast time of the
+                # leadership change, modeled through the link and
+                # overhead models, lands on this frame.
+                overheads["failover"] = transition.cost_ms
+
+            if is_key:
+                reports = {}
+                tracking = []
+                with tracer.span("central_stage"):
+                    for cam_id, node in nodes.items():
+                        if cam_id in effective_down:
+                            continue
+                        with tracer.span(
+                            "camera.key_frame", camera=cam_id
+                        ):
+                            outcome = node.process_key_frame(
+                                lagged_objects[cam_id],
+                                multipliers.get(cam_id),
+                            )
+                        inference[cam_id] = outcome.inference_ms
+                        detected.update(
+                            d.gt_object_id
+                            for d in outcome.detections
+                            if d.gt_object_id >= 0
+                        )
+                        if ingest is not None and cam_id in ingest.degraded:
+                            # Degraded mode: the camera runs the frame
+                            # locally but sits out the central stage to
+                            # catch up; the stale-decision fallback below
+                            # keeps it on its last-known mask.
+                            with tracer.span("ingest.degrade", camera=cam_id):
+                                pass
+                            registry.counter(
+                                "ingest_degraded_frames_total",
+                                camera=cam_id,
+                            ).inc()
+                            ingest.applied_degrades.add(cam_id)
+                            tracking.append(outcome.tracking_ms)
+                            continue
+                        reports[cam_id] = outcome.report
+                        tracking.append(outcome.tracking_ms)
+                    overheads["tracking"] = (
+                        max(tracking) if tracking else 0.0
+                    )
+                    if scheduler is not None and reports:
+                        replicate_to = (
+                            failover.replication_target(
+                                sorted(reports)
+                            )
+                            if failover is not None
+                            else None
+                        )
+                        decision = scheduler.schedule(
+                            reports,
+                            frame_idx,
+                            link_faults=(
+                                frame_faults.link_faults
+                                if frame_faults is not None
+                                else None
+                            ),
+                            retry=retry,
+                            replicate_to=replicate_to,
+                        )
+                        if (
+                            replicate_to is not None
+                            and decision.checkpoint is not None
+                        ):
+                            self._record_replication(
+                                tracer,
+                                registry,
+                                failover,
+                                decision.checkpoint,
+                                replicate_to,
+                                replicate_to in decision.delivered,
+                            )
+                        for cam_id, node in nodes.items():
+                            if cam_id in down:
+                                continue
+                            if cam_id in decision.delivered:
+                                node.apply_schedule(
+                                    decision.assigned.get(cam_id, []),
+                                    decision.shadows.get(cam_id, {}),
+                                )
+                                stale_horizons[cam_id] = 0
+                                if config.policy in ("balb", "balb-cen"):
+                                    policies[cam_id] = (
+                                        self._balb_policy_for(
+                                            scheduler,
+                                            cam_id,
+                                            decision.priority_order,
                                         )
                                     )
-                                ],
+                            else:
+                                # Stale-decision fallback: the camera
+                                # keeps the BALB distributed stage on
+                                # its last-known mask and priority
+                                # order.
+                                stale_horizons[cam_id] += 1
+                                registry.counter(
+                                    "assignment_fallbacks_total",
+                                    camera=cam_id,
+                                ).inc()
+                            if faults is not None:
+                                registry.gauge(
+                                    "assignment_staleness_horizons",
+                                    camera=cam_id,
+                                ).set(stale_horizons[cam_id])
+                        if faults is not None and decision.comm_retries:
+                            registry.counter(
+                                "message_retries_total"
+                            ).inc(decision.comm_retries)
+                        central_amortized = (
+                            decision.central_ms + decision.comm_ms
+                        ) / config.horizon
+                overheads["central"] = central_amortized
+                registry.counter("key_frames_total").inc()
+            else:
+                tracking, distributed, batching = [], [], []
+                with tracer.span("distributed_stage"):
+                    for cam_id, node in nodes.items():
+                        if cam_id in effective_down:
+                            continue
+                        with tracer.span(
+                            "camera.regular_frame", camera=cam_id
+                        ):
+                            outcome = node.process_regular_frame(
+                                lagged_objects[cam_id],
+                                policies[cam_id],
+                                multipliers.get(cam_id),
                             )
-                        else:
-                            visible_gt, coverage_lost = _split_coverage(
-                                objects, down, rig.coverage_set
-                            )
-
-                    inference: Dict[int, float] = {}
-                    detected: set = set()
-                    overheads: Dict[str, float] = {}
-                    n_slices: Dict[int, int] = {}
-                    if transition is not None:
-                        # Restore/sync/claim-broadcast time of the
-                        # leadership change, modeled through the link and
-                        # overhead models, lands on this frame.
-                        overheads["failover"] = transition.cost_ms
-
-                    if is_key:
-                        reports = {}
-                        tracking = []
-                        with tracer.span("central_stage"):
-                            for cam_id, node in nodes.items():
-                                if cam_id in down:
-                                    continue
-                                with tracer.span(
-                                    "camera.key_frame", camera=cam_id
-                                ):
-                                    outcome = node.process_key_frame(
-                                        lagged_objects[cam_id],
-                                        multipliers.get(cam_id),
-                                    )
-                                inference[cam_id] = outcome.inference_ms
-                                detected.update(
-                                    d.gt_object_id
-                                    for d in outcome.detections
-                                    if d.gt_object_id >= 0
-                                )
-                                reports[cam_id] = outcome.report
-                                tracking.append(outcome.tracking_ms)
-                            overheads["tracking"] = (
-                                max(tracking) if tracking else 0.0
-                            )
-                            if scheduler is not None and reports:
-                                replicate_to = (
-                                    failover.replication_target(
-                                        sorted(reports)
-                                    )
-                                    if failover is not None
-                                    else None
-                                )
-                                decision = scheduler.schedule(
-                                    reports,
-                                    frame_idx,
-                                    link_faults=(
-                                        frame_faults.link_faults
-                                        if frame_faults is not None
-                                        else None
-                                    ),
-                                    retry=retry,
-                                    replicate_to=replicate_to,
-                                )
-                                if (
-                                    replicate_to is not None
-                                    and decision.checkpoint is not None
-                                ):
-                                    self._record_replication(
-                                        tracer,
-                                        registry,
-                                        failover,
-                                        decision.checkpoint,
-                                        replicate_to,
-                                        replicate_to in decision.delivered,
-                                    )
-                                for cam_id, node in nodes.items():
-                                    if cam_id in down:
-                                        continue
-                                    if cam_id in decision.delivered:
-                                        node.apply_schedule(
-                                            decision.assigned.get(cam_id, []),
-                                            decision.shadows.get(cam_id, {}),
-                                        )
-                                        stale_horizons[cam_id] = 0
-                                        if config.policy in ("balb", "balb-cen"):
-                                            policies[cam_id] = (
-                                                self._balb_policy_for(
-                                                    scheduler,
-                                                    cam_id,
-                                                    decision.priority_order,
-                                                )
-                                            )
-                                    else:
-                                        # Stale-decision fallback: the camera
-                                        # keeps the BALB distributed stage on
-                                        # its last-known mask and priority
-                                        # order.
-                                        stale_horizons[cam_id] += 1
-                                        registry.counter(
-                                            "assignment_fallbacks_total",
-                                            camera=cam_id,
-                                        ).inc()
-                                    if faults is not None:
-                                        registry.gauge(
-                                            "assignment_staleness_horizons",
-                                            camera=cam_id,
-                                        ).set(stale_horizons[cam_id])
-                                if faults is not None and decision.comm_retries:
-                                    registry.counter(
-                                        "message_retries_total"
-                                    ).inc(decision.comm_retries)
-                                central_amortized = (
-                                    decision.central_ms + decision.comm_ms
-                                ) / config.horizon
-                        overheads["central"] = central_amortized
-                        registry.counter("key_frames_total").inc()
-                    else:
-                        tracking, distributed, batching = [], [], []
-                        with tracer.span("distributed_stage"):
-                            for cam_id, node in nodes.items():
-                                if cam_id in down:
-                                    continue
-                                with tracer.span(
-                                    "camera.regular_frame", camera=cam_id
-                                ):
-                                    outcome = node.process_regular_frame(
-                                        lagged_objects[cam_id],
-                                        policies[cam_id],
-                                        multipliers.get(cam_id),
-                                    )
-                                inference[cam_id] = outcome.inference_ms
-                                detected.update(
-                                    d.gt_object_id
-                                    for d in outcome.detections
-                                    if d.gt_object_id >= 0
-                                )
-                                n_slices[cam_id] = outcome.n_slices
-                                tracking.append(outcome.tracking_ms)
-                                distributed.append(outcome.distributed_ms)
-                                batching.append(outcome.batching_ms)
-                        overheads["tracking"] = (
-                            max(tracking) if tracking else 0.0
+                        inference[cam_id] = outcome.inference_ms
+                        detected.update(
+                            d.gt_object_id
+                            for d in outcome.detections
+                            if d.gt_object_id >= 0
                         )
-                        overheads["distributed"] = (
-                            max(distributed) if distributed else 0.0
-                        )
-                        overheads["batching"] = max(batching) if batching else 0.0
-                        overheads["central"] = central_amortized
-                        registry.counter("regular_frames_total").inc()
-                        registry.counter("slices_total").inc(
-                            sum(n_slices.values())
-                        )
-
-                registry.counter("frames_total").inc()
-                registry.histogram("frame_wall_ms").observe(
-                    (time.perf_counter() - frame_start) * 1e3
+                        n_slices[cam_id] = outcome.n_slices
+                        tracking.append(outcome.tracking_ms)
+                        distributed.append(outcome.distributed_ms)
+                        batching.append(outcome.batching_ms)
+                overheads["tracking"] = (
+                    max(tracking) if tracking else 0.0
                 )
-                for cam_id, ms in inference.items():
-                    registry.histogram("inference_ms", camera=cam_id).observe(
-                        ms
-                    )
-                if faults is not None and coverage_lost:
-                    registry.counter(
-                        "coverage_lost_object_frames_total"
-                    ).inc(len(coverage_lost))
-                result.add(
-                    FrameRecord(
-                        frame_index=frame_idx,
-                        is_key_frame=is_key,
-                        inference_ms=inference,
-                        visible_gt=visible_gt,
-                        detected_gt=frozenset(detected),
-                        overheads_ms=overheads,
-                        n_slices=n_slices,
-                        coverage_lost=coverage_lost,
-                    )
+                overheads["distributed"] = (
+                    max(distributed) if distributed else 0.0
                 )
-                # Between two frames the run is crash-consistent: fold the
-                # loop-local mutations back into the state and snapshot it
-                # if the checkpoint cadence (or a simulated interruption)
-                # says so.
-                state.next_frame = frame_idx + 1
-                state.central_amortized = central_amortized
-                state.prev_down = prev_down
-                if config.checkpoint_path is not None:
-                    done = frame_idx + 1
-                    if (
-                        config.stop_after_frames is not None
-                        and done == config.stop_after_frames
-                        and done < total_frames
-                    ):
-                        self._save_state(state)
-                        interrupted = True
-                        break
-                    if (
-                        config.checkpoint_every > 0
-                        and done % config.checkpoint_every == 0
-                    ):
-                        self._save_state(state)
-        if interrupted:
-            # The post-loop accounting below must run exactly once per
-            # run, at completion — the resumed continuation will do it.
-            return result
-        if faults is not None and scheduler is not None:
-            for cam_id, channel in scheduler.channels.items():
-                if channel.messages_dropped:
-                    registry.counter(
-                        "messages_dropped_total", camera=cam_id
-                    ).inc(channel.messages_dropped)
-                    registry.counter(
-                        "bytes_dropped_total", camera=cam_id
-                    ).inc(channel.bytes_dropped)
-        return result
+                overheads["batching"] = max(batching) if batching else 0.0
+                overheads["central"] = central_amortized
+                registry.counter("regular_frames_total").inc()
+                registry.counter("slices_total").inc(
+                    sum(n_slices.values())
+                )
+
+        registry.counter("frames_total").inc()
+        registry.histogram("frame_wall_ms").observe(
+            (self.clock.now() - frame_start) * 1e3
+        )
+        for cam_id, ms in inference.items():
+            registry.histogram("inference_ms", camera=cam_id).observe(
+                ms
+            )
+        if faults is not None and coverage_lost:
+            registry.counter(
+                "coverage_lost_object_frames_total"
+            ).inc(len(coverage_lost))
+        record = FrameRecord(
+            frame_index=frame_idx,
+            is_key_frame=is_key,
+            inference_ms=inference,
+            visible_gt=visible_gt,
+            detected_gt=frozenset(detected),
+            overheads_ms=overheads,
+            n_slices=n_slices,
+            coverage_lost=coverage_lost,
+        )
+        result.add(record)
+        if self.serving is not None:
+            self.serving.on_frame(record)
+        # Fold the loop-local mutations back into the state: between two
+        # frames the run is crash-consistent.
+        state.next_frame = frame_idx + 1
+        state.central_amortized = central_amortized
+        state.prev_down = prev_down
 
     def _apply_frame_faults(
         self,

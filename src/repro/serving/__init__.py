@@ -1,0 +1,9 @@
+"""Read-side serving edge: cached live-state snapshots for subscribers."""
+
+from repro.serving.edge import ServingEdge, ServingStats, SnapshotCache
+
+__all__ = [
+    "ServingEdge",
+    "ServingStats",
+    "SnapshotCache",
+]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -152,6 +154,87 @@ class TestCheckpointCli:
         with pytest.raises(SystemExit) as exc:
             main(["run", "--resume", ckpt])
         assert "digest mismatch" in str(exc.value)
+
+
+class TestEventRuntimeCli:
+    def test_runtime_flag_defaults_to_sync(self):
+        args = build_parser().parse_args(["run"])
+        assert args.runtime == "sync"
+        assert args.ingest_capacity == 4
+        assert args.ingest_policy == "drop-oldest"
+        assert args.serve_subscribers == 0
+        assert args.serve_every == 1
+
+    def test_unknown_runtime_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--runtime", "threads"])
+
+    def test_unknown_ingest_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--ingest-policy", "teleport"])
+
+    def test_sync_runtime_refuses_burst_faults(self):
+        with pytest.raises(SystemExit) as exc:
+            main(RUN_SMALL + ["--faults", "burst:cam=1,at=5,for=3"])
+        assert "--runtime event" in str(exc.value)
+
+    def test_sync_runtime_refuses_ingest_chaos_preset(self):
+        with pytest.raises(SystemExit) as exc:
+            main(RUN_SMALL + ["--chaos", "ingest"])
+        assert "--runtime event" in str(exc.value)
+
+    def test_event_runtime_matches_sync_stdout(self, capsys):
+        """Acceptance criterion, end to end: identical bytes out."""
+        assert main(RUN_SMALL) == 0
+        sync_out = capsys.readouterr().out
+        assert main(RUN_SMALL + ["--runtime", "event"]) == 0
+        assert capsys.readouterr().out == sync_out
+
+    def test_event_run_prints_ingest_summary_under_bursts(self, capsys):
+        args = RUN_SMALL + [
+            "--runtime", "event",
+            "--chaos", "ingest",
+            "--ingest-capacity", "2",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "fault summary" in out
+        assert "ingest frames offered" in out
+        assert "ingest frames dropped" in out
+        assert "ingest stalls" in out
+
+    def test_burst_free_event_run_prints_no_ingest_rows(self, capsys):
+        assert main(RUN_SMALL + ["--runtime", "event"]) == 0
+        assert "ingest frames offered" not in capsys.readouterr().out
+
+    def test_event_runtime_cannot_checkpoint(self, tmp_path):
+        args = RUN_SMALL + [
+            "--runtime", "event", "--checkpoint", str(tmp_path / "x.ckpt"),
+        ]
+        with pytest.raises(SystemExit) as exc:
+            main(args)
+        assert "checkpoint" in str(exc.value)
+
+    def test_resume_rejects_event_runtime(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--resume", "x.ckpt", "--runtime", "event"])
+        assert "cannot be combined" in str(exc.value)
+
+    def test_serving_subscribers_run(self, capsys):
+        args = RUN_SMALL + [
+            "--runtime", "event", "--serve-subscribers", "100",
+            "--serve-every", "2",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "slowest-cam ms" in out
+        assert "serving summary" in out
+        assert re.search(r"subscriber requests +\d+", out)
+        assert re.search(r"hit rate +[01]\.\d+", out)
+
+    def test_no_serving_summary_without_subscribers(self, capsys):
+        assert main(RUN_SMALL + ["--runtime", "event"]) == 0
+        assert "serving summary" not in capsys.readouterr().out
 
 
 class TestFaultSummaries:

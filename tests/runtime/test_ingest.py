@@ -1,0 +1,213 @@
+"""Property suite for the bounded ingest queue (ISSUE 6).
+
+Hypothesis drives arbitrary interleavings of frame arrivals and
+dispatch polls against every backpressure policy and asserts the
+structural invariants:
+
+* occupancy never exceeds capacity;
+* conservation — ``admitted + rejected == offered`` at all times, and
+  every offered frame ends in exactly one ledger disposition;
+* ``drop-oldest`` evicts strictly in arrival order (always the head);
+* the degrade and coalesce policies never drop a key frame: a key is
+  never evicted, never rejected, and any drained backlog that contained
+  a key surfaces as a key (possibly forced) capsule.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.runtime.ingest import (
+    INGEST_POLICIES,
+    BoundedFrameQueue,
+    CoalesceToKeyFrame,
+    DegradeToDistributed,
+    DropOldest,
+    FrameCapsule,
+    make_ingest_policy,
+)
+
+KEY_SAFE_POLICIES = ("degrade-to-distributed", "coalesce-to-key-frame")
+
+
+def capsule(frame, is_key=False, cam=0):
+    return FrameCapsule(
+        camera_id=cam, frame_index=frame, arrival_s=frame * 0.1, is_key=is_key
+    )
+
+
+@st.composite
+def interleavings(draw):
+    """(capacity, key cadence, op list) — True offers, False polls."""
+    capacity = draw(st.integers(1, 4))
+    cadence = draw(st.integers(1, 5))
+    ops = draw(st.lists(st.booleans(), min_size=1, max_size=60))
+    lags = draw(
+        st.lists(st.integers(0, 3), min_size=len(ops), max_size=len(ops))
+    )
+    return capacity, cadence, ops, lags
+
+
+def drive(policy_name, capacity, cadence, ops, lags):
+    """Replay one interleaving; return the queue plus observed events."""
+    queue = BoundedFrameQueue(0, capacity, make_ingest_policy(policy_name))
+    evicted = []
+    rejected_keys = 0
+    offered_key_frames = set()
+    polls = []  # (eligible key indices drained, served capsule)
+    queued_keys = set()
+    next_frame = 0
+    for op, lag in zip(ops, lags):
+        if op:
+            cap = capsule(next_frame, is_key=next_frame % cadence == 0)
+            next_frame += 1
+            outcome = queue.offer(cap)
+            if cap.is_key:
+                offered_key_frames.add(cap.frame_index)
+                if outcome.admitted:
+                    queued_keys.add(cap.frame_index)
+                else:
+                    rejected_keys += 1
+            evicted.extend(outcome.evicted)
+            for victim in outcome.evicted:
+                queued_keys.discard(victim.frame_index)
+        else:
+            upto = max(0, next_frame - 1 - lag)
+            outcome = queue.poll_upto(upto)
+            if outcome is not None:
+                drained = {k for k in queued_keys if k <= upto}
+                queued_keys -= drained
+                polls.append((drained, outcome.capsule))
+        assert queue.occupancy <= queue.capacity
+        assert queue.peak_occupancy <= queue.capacity
+        assert queue.admitted + queue.rejected == queue.offered
+    return queue, evicted, rejected_keys, offered_key_frames, polls
+
+
+class TestConservation:
+    @pytest.mark.parametrize("policy", INGEST_POLICIES)
+    @settings(max_examples=200, deadline=None)
+    @given(plan=interleavings())
+    def test_every_offered_frame_has_one_disposition(self, policy, plan):
+        queue, *_ = drive(policy, *plan)
+        queue.check_conservation()  # raises on any ledger imbalance
+
+    @pytest.mark.parametrize("policy", INGEST_POLICIES)
+    @settings(max_examples=100, deadline=None)
+    @given(plan=interleavings())
+    def test_drain_preserves_conservation(self, policy, plan):
+        """Conservation also holds after the queue is fully drained."""
+        queue, *_ = drive(policy, *plan)
+        while queue.poll_upto(10**9) is not None:
+            pass
+        assert queue.queued_frames == 0
+        queue.check_conservation()
+        assert (
+            queue.rejected + queue.served + queue.evicted
+            + queue.stale_dropped + queue.coalesced
+        ) == queue.offered
+
+
+class TestDropOldest:
+    @settings(max_examples=200, deadline=None)
+    @given(plan=interleavings())
+    def test_evictions_are_strictly_in_arrival_order(self, plan):
+        _, evicted, *_ = drive("drop-oldest", *plan)
+        indices = [victim.frame_index for victim in evicted]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)  # strict, no repeats
+
+    @settings(max_examples=200, deadline=None)
+    @given(plan=interleavings())
+    def test_never_rejects_at_the_door(self, plan):
+        queue, *_ = drive("drop-oldest", *plan)
+        assert queue.rejected == 0
+
+    def test_evicts_the_head_even_when_it_is_a_key(self):
+        queue = BoundedFrameQueue(0, 1, DropOldest())
+        queue.offer(capsule(0, is_key=True))
+        outcome = queue.offer(capsule(1))
+        assert [v.frame_index for v in outcome.evicted] == [0]
+        assert outcome.evicted[0].is_key
+
+
+class TestKeyFramePreservation:
+    @pytest.mark.parametrize("policy", KEY_SAFE_POLICIES)
+    @settings(max_examples=200, deadline=None)
+    @given(plan=interleavings())
+    def test_key_frames_never_evicted_or_rejected(self, policy, plan):
+        _, evicted, rejected_keys, *_ = drive(policy, *plan)
+        assert rejected_keys == 0
+        assert not any(victim.is_key for victim in evicted)
+
+    @pytest.mark.parametrize("policy", KEY_SAFE_POLICIES)
+    @settings(max_examples=200, deadline=None)
+    @given(plan=interleavings())
+    def test_drained_keys_surface_as_key_capsules(self, policy, plan):
+        """A poll that consumes a queued key must serve a key capsule."""
+        _, _, _, _, polls = drive(policy, *plan)
+        for drained_keys, served in polls:
+            if drained_keys:
+                assert served.is_key
+
+    def test_degrade_evicts_oldest_non_key_and_flags_camera(self):
+        queue = BoundedFrameQueue(0, 3, DegradeToDistributed())
+        queue.offer(capsule(0, is_key=True))
+        queue.offer(capsule(1))
+        queue.offer(capsule(2))
+        outcome = queue.offer(capsule(3))
+        assert [v.frame_index for v in outcome.evicted] == [1]
+        assert queue.degraded
+        queue.clear_degraded()
+        assert not queue.degraded
+
+    def test_coalesce_folds_backlog_and_drops_nothing(self):
+        queue = BoundedFrameQueue(0, 2, CoalesceToKeyFrame())
+        for frame in range(4):
+            queue.offer(capsule(frame))
+        outcome = queue.poll_upto(3)
+        assert outcome is not None
+        assert queue.evicted == 0 and queue.rejected == 0
+        assert queue.stale_dropped == 0
+        # Everything offered is either served or folded into the serve.
+        queue.check_conservation()
+        assert outcome.capsule.is_key  # backlog promoted to a key frame
+
+
+class TestQueueBasics:
+    def test_rejects_capsule_for_wrong_camera(self):
+        queue = BoundedFrameQueue(1, 2, DropOldest())
+        with pytest.raises(ValueError, match="camera 0"):
+            queue.offer(capsule(0, cam=0))
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            BoundedFrameQueue(0, 0, DropOldest())
+
+    def test_poll_on_empty_queue_is_a_stall(self):
+        queue = BoundedFrameQueue(0, 2, DropOldest())
+        assert queue.poll_upto(5) is None
+
+    def test_poll_ignores_frames_from_the_future(self):
+        queue = BoundedFrameQueue(0, 4, DropOldest())
+        queue.offer(capsule(0))
+        queue.offer(capsule(3))
+        outcome = queue.poll_upto(1)
+        assert outcome is not None and outcome.capsule.frame_index == 0
+        assert queue.occupancy == 1  # frame 3 still waiting
+
+    def test_staleness_counts_frames_behind_the_dispatch(self):
+        queue = BoundedFrameQueue(0, 4, DropOldest())
+        queue.offer(capsule(2))
+        outcome = queue.poll_upto(5)
+        assert outcome is not None and outcome.staleness_frames == 3
+
+    def test_lost_upstream_books_as_offered_and_rejected(self):
+        queue = BoundedFrameQueue(0, 2, DropOldest())
+        queue.count_lost_upstream()
+        assert queue.offered == 1 and queue.rejected == 1
+        queue.check_conservation()
+
+    def test_unknown_policy_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown ingest policy"):
+            make_ingest_policy("teleport")
