@@ -181,6 +181,32 @@ def _fault_summary_table(result, title: str = "fault summary") -> str:
             ("ingest degraded key frames",
              counter_sum("ingest_degraded_frames_total")),
         ]
+    wire_dropped = (
+        counter_sum("wire_corrupt_dropped_total")
+        + counter_sum("wire_duplicates_dropped_total")
+        + counter_sum("wire_reordered_total")
+    )
+    if counter_sum("link_giveups_total") or wire_dropped:
+        rows += [
+            ("link give-ups", counter_sum("link_giveups_total")),
+            ("messages corrupted",
+             counter_sum("messages_corrupted_total")),
+            ("wire corrupt dropped",
+             counter_sum("wire_corrupt_dropped_total")),
+            ("wire duplicates dropped",
+             counter_sum("wire_duplicates_dropped_total")),
+            ("wire reordered held",
+             counter_sum("wire_reordered_total")),
+        ]
+    if counter_sum("failover_split_takeovers_total"):
+        rows += [
+            ("split takeovers",
+             counter_sum("failover_split_takeovers_total")),
+            ("partition reunites",
+             counter_sum("failover_reunites_total")),
+            ("stale epochs fenced",
+             counter_sum("failover_fenced_total")),
+        ]
     if counter_sum("scheduler_down_frames_total"):
         recovery = next(
             (m for m in result.metrics
@@ -502,6 +528,33 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return reprolint_main(argv)
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Run the chaos-soak invariant harness (see ``repro.experiments.soak``).
+
+    Exit code 1 when any episode violates a control-plane invariant;
+    the report then includes the shrunk, replayable fault schedule.
+    """
+    # Imported lazily: pulls in the full pipeline.
+    from repro.experiments.soak import format_soak_report, run_soak
+
+    try:
+        result = run_soak(
+            episodes=args.episodes,
+            seed=args.seed,
+            fencing=not args.no_fencing,
+            preset=args.preset,
+            scenario_name=args.scenario,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    report = format_soak_report(result)
+    print(report, end="")
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report)
+    return 0 if result.ok else 1
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     """List the available scenario deployments."""
     rows = []
@@ -648,6 +701,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when median exceeds baseline by this ratio (default 2.0)",
     )
     bench_parser.set_defaults(func=cmd_bench)
+
+    soak_parser = sub.add_parser(
+        "soak",
+        help="chaos-soak the control plane under the invariant monitor",
+    )
+    soak_parser.add_argument(
+        "--episodes", type=int, default=20,
+        help="seeded chaos episodes to run (default 20)",
+    )
+    soak_parser.add_argument("--seed", type=int, default=0)
+    soak_parser.add_argument(
+        "--preset", default="wire", choices=sorted(CHAOS_PRESETS),
+        help="chaos preset each episode compiles its faults from",
+    )
+    soak_parser.add_argument("--scenario", default="S1", help="S1, S2 or S3")
+    soak_parser.add_argument(
+        "--no-fencing", action="store_true",
+        help="run the legacy, fencing-off protocol (demonstrates the "
+             "split-brain violation and the shrunk repro schedule)",
+    )
+    soak_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the soak report to PATH (byte-deterministic "
+             "for a given seed; CI diffs two runs)",
+    )
+    soak_parser.set_defaults(func=cmd_soak)
 
     scen_parser = sub.add_parser("scenarios", help="list scenarios")
     scen_parser.set_defaults(func=cmd_scenarios)

@@ -47,17 +47,29 @@ class FaultModel:
     mean_scheduler_outage_frames: float = 12.0
     burst_rate: float = 0.0
     mean_burst_frames: float = 5.0
+    #: Byzantine wire faults: steady per-message probabilities applied
+    #: to every channel for the whole run, like ``loss_prob``.
+    corrupt_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    reorder_prob: float = 0.0
+    #: Scheduler partition: per-frame onset probability of a cut that
+    #: severs a random camera subset from the primary for a geometric
+    #: window (then heals, forcing the split-brain reunite path).
+    scheduler_partition_rate: float = 0.0
+    mean_scheduler_partition_frames: float = 8.0
 
     def __post_init__(self) -> None:
         for name in ("crash_rate", "partition_rate", "delay_spike_rate",
                      "slowdown_rate", "loss_prob", "scheduler_crash_rate",
-                     "burst_rate"):
+                     "burst_rate", "corrupt_prob", "duplicate_prob",
+                     "reorder_prob", "scheduler_partition_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability in [0, 1]")
         for name in ("mean_outage_frames", "mean_partition_frames",
                      "mean_delay_frames", "mean_slowdown_frames",
-                     "mean_scheduler_outage_frames", "mean_burst_frames"):
+                     "mean_scheduler_outage_frames", "mean_burst_frames",
+                     "mean_scheduler_partition_frames"):
             if getattr(self, name) < 1.0:
                 raise ValueError(f"{name} must be >= 1 frame")
         if self.delay_ms < 0:
@@ -76,6 +88,10 @@ class FaultModel:
             and self.slowdown_rate == 0.0
             and self.scheduler_crash_rate == 0.0
             and self.burst_rate == 0.0
+            and self.corrupt_prob == 0.0
+            and self.duplicate_prob == 0.0
+            and self.reorder_prob == 0.0
+            and self.scheduler_partition_rate == 0.0
         )
 
     # ------------------------------------------------------------------
@@ -93,16 +109,25 @@ class FaultModel:
             raise ValueError("n_frames must be >= 1")
         rng = np.random.default_rng(seed)
         events: List[FaultEvent] = []
-        if self.loss_prob > 0.0:
-            events.append(
-                FaultEvent(
-                    kind=FaultKind.LINK_LOSS,
-                    start_frame=0,
-                    duration=n_frames,
-                    camera_id=None,
-                    magnitude=self.loss_prob,
+        # Steady fleet-wide events consume no RNG, so appending new
+        # kinds here never perturbs the drawn processes below.
+        steady = (
+            (FaultKind.LINK_LOSS, self.loss_prob),
+            (FaultKind.MSG_CORRUPT, self.corrupt_prob),
+            (FaultKind.MSG_DUPLICATE, self.duplicate_prob),
+            (FaultKind.MSG_REORDER, self.reorder_prob),
+        )
+        for kind, prob in steady:
+            if prob > 0.0:
+                events.append(
+                    FaultEvent(
+                        kind=kind,
+                        start_frame=0,
+                        duration=n_frames,
+                        camera_id=None,
+                        magnitude=prob,
+                    )
                 )
-            )
         processes = (
             (FaultKind.CAMERA_CRASH, self.crash_rate,
              self.mean_outage_frames, 0.0),
@@ -156,6 +181,36 @@ class FaultModel:
                             duration=duration,
                         )
                     )
+                    frame += duration
+                else:
+                    frame += 1
+        # The scheduler-partition process draws *after* the crash
+        # process for the same reason: models without partitions compile
+        # byte-identically to the pre-partition schedules. Each onset
+        # cuts a random nonempty camera subset from the primary for one
+        # geometric window, then heals — the split-brain stressor.
+        if self.scheduler_partition_rate > 0.0:
+            cams = sorted(camera_ids)
+            frame = 0
+            while frame < n_frames:
+                if rng.random() < self.scheduler_partition_rate:
+                    duration = int(
+                        rng.geometric(
+                            1.0 / self.mean_scheduler_partition_frames
+                        )
+                    )
+                    duration = max(1, min(duration, n_frames - frame))
+                    k = int(rng.integers(1, len(cams) + 1))
+                    chosen = rng.choice(len(cams), size=k, replace=False)
+                    for idx in sorted(int(i) for i in chosen):
+                        events.append(
+                            FaultEvent(
+                                kind=FaultKind.SCHEDULER_PARTITION,
+                                start_frame=frame,
+                                duration=duration,
+                                camera_id=cams[idx],
+                            )
+                        )
                     frame += duration
                 else:
                     frame += 1

@@ -27,6 +27,10 @@ class FaultKind(enum.Enum):
     SCHEDULER_CRASH = "scheduler_crash"  # central node stops scheduling
     SCHEDULER_REJOIN = "scheduler_rejoin"  # central node comes back (instant)
     INGEST_BURST = "ingest_burst"  # frame arrivals stall, then bunch up
+    SCHEDULER_PARTITION = "scheduler_partition"  # cameras cut off from primary
+    MSG_CORRUPT = "msg_corrupt"  # in-flight bit damage (checksum rejects)
+    MSG_DUPLICATE = "msg_duplicate"  # wire delivers a second copy
+    MSG_REORDER = "msg_reorder"  # wire delivers out of order
 
 
 #: Kinds that require a concrete camera id (link faults may be fleet-wide).
@@ -35,6 +39,10 @@ _CAMERA_REQUIRED = (FaultKind.CAMERA_CRASH, FaultKind.PARTITION,
 
 #: Kinds affecting the central node itself: never bound to a camera.
 _SCHEDULER_KINDS = (FaultKind.SCHEDULER_CRASH, FaultKind.SCHEDULER_REJOIN)
+
+#: Byzantine wire faults: per-message probabilities, like LINK_LOSS.
+_WIRE_KINDS = (FaultKind.MSG_CORRUPT, FaultKind.MSG_DUPLICATE,
+               FaultKind.MSG_REORDER)
 
 
 @dataclass(frozen=True)
@@ -72,6 +80,10 @@ class FaultEvent:
             )
         if self.kind is FaultKind.LINK_LOSS and not 0.0 <= self.magnitude <= 1.0:
             raise ValueError("link_loss magnitude is a probability in [0, 1]")
+        if self.kind in _WIRE_KINDS and not 0.0 <= self.magnitude <= 1.0:
+            raise ValueError(
+                f"{self.kind.value} magnitude is a probability in [0, 1]"
+            )
         if self.kind is FaultKind.LINK_DELAY and self.magnitude < 0:
             raise ValueError("link_delay magnitude (ms) must be non-negative")
         if self.kind is FaultKind.GPU_SLOWDOWN and self.magnitude <= 0:
@@ -108,13 +120,18 @@ class FrameFaults:
     started: Tuple[FaultEvent, ...]  # events whose window opens this frame
     scheduler_down: bool = False  # central node unavailable this frame
     bursting: FrozenSet[int] = frozenset()  # cameras in an ingest burst
+    #: Cameras the *primary scheduler* cannot reach this frame. Unlike
+    #: ``partitioned`` (camera cut off from everyone), these cameras can
+    #: still talk to a standby on their side of the cut — the substrate
+    #: of the split-brain scenario.
+    sched_partitioned: FrozenSet[int] = frozenset()
 
     @property
     def any_active(self) -> bool:
         return bool(
             self.down or self.partitioned or self.gpu_factor
             or self.link_faults or self.started or self.scheduler_down
-            or self.bursting
+            or self.bursting or self.sched_partitioned
         )
 
 
@@ -160,10 +177,53 @@ class FaultSchedule:
             and e.camera_id is not None
         )
 
+    def scheduler_partitioned_cameras(
+        self, frame: int, camera_ids: Sequence[int]
+    ) -> FrozenSet[int]:
+        """Cameras the primary scheduler cannot reach at ``frame``.
+
+        A ``SCHEDULER_PARTITION`` event with ``camera_id=None`` cuts the
+        whole fleet; a camera-scoped one cuts that camera. The cut side
+        can still reach a standby among themselves, so this is the
+        split-brain substrate rather than plain unreachability.
+        """
+        cut = set()
+        for e in self.events:
+            if e.kind is not FaultKind.SCHEDULER_PARTITION:
+                continue
+            if not e.active_at(frame):
+                continue
+            if e.camera_id is None:
+                cut.update(camera_ids)
+            else:
+                cut.add(e.camera_id)
+        return frozenset(cut) & frozenset(camera_ids)
+
     @property
     def has_scheduler_faults(self) -> bool:
-        """Does any event target the central node?"""
-        return any(e.kind in _SCHEDULER_KINDS for e in self.events)
+        """Can any event change who holds central-scheduling duty?
+
+        Covers crash/rejoin of the central node *and* scheduler
+        partitions — a cut camera subset may elect its own leader, so
+        partitions arm the failover machinery too.
+        """
+        return any(
+            e.kind in _SCHEDULER_KINDS
+            or e.kind is FaultKind.SCHEDULER_PARTITION
+            for e in self.events
+        )
+
+    @property
+    def has_scheduler_partitions(self) -> bool:
+        """Does any event cut cameras off from the primary scheduler?"""
+        return any(
+            e.kind is FaultKind.SCHEDULER_PARTITION for e in self.events
+        )
+
+    @property
+    def has_wire_faults(self) -> bool:
+        """Does any event corrupt, duplicate or reorder messages?"""
+        return any(e.kind in _WIRE_KINDS for e in self.events)
 
     @property
     def has_ingest_bursts(self) -> bool:
@@ -234,10 +294,23 @@ class FaultSchedule:
 
     def loss_prob(self, frame: int, camera_id: int) -> float:
         """Combined link-loss probability: ``1 - prod(1 - p_i)``."""
+        return self._combined_prob(FaultKind.LINK_LOSS, frame, camera_id)
+
+    def wire_prob(
+        self, kind: FaultKind, frame: int, camera_id: int
+    ) -> float:
+        """Combined per-message probability of one Byzantine wire kind."""
+        if kind not in _WIRE_KINDS:
+            raise ValueError(f"{kind.value} is not a wire fault kind")
+        return self._combined_prob(kind, frame, camera_id)
+
+    def _combined_prob(
+        self, kind: FaultKind, frame: int, camera_id: int
+    ) -> float:
         survive = 1.0
         for e in self.events:
             if (
-                e.kind is FaultKind.LINK_LOSS
+                e.kind is kind
                 and e.active_at(frame)
                 and e.applies_to(camera_id)
             ):
@@ -272,8 +345,18 @@ class FaultSchedule:
             # A partitioned camera is unreachable: total loss both ways.
             loss = 1.0 if cam in partitioned else self.loss_prob(frame, cam)
             delay = self.extra_delay_ms(frame, cam)
-            if loss > 0.0 or delay > 0.0:
-                link[cam] = LinkFault(loss_prob=loss, extra_delay_ms=delay)
+            corrupt = self.wire_prob(FaultKind.MSG_CORRUPT, frame, cam)
+            duplicate = self.wire_prob(FaultKind.MSG_DUPLICATE, frame, cam)
+            reorder = self.wire_prob(FaultKind.MSG_REORDER, frame, cam)
+            if loss > 0.0 or delay > 0.0 or corrupt > 0.0 \
+                    or duplicate > 0.0 or reorder > 0.0:
+                link[cam] = LinkFault(
+                    loss_prob=loss,
+                    extra_delay_ms=delay,
+                    corrupt_prob=corrupt,
+                    duplicate_prob=duplicate,
+                    reorder_prob=reorder,
+                )
         return FrameFaults(
             frame=frame,
             down=self.down_cameras(frame) & frozenset(cams),
@@ -284,5 +367,8 @@ class FaultSchedule:
             scheduler_down=self.scheduler_down(frame),
             bursting=frozenset(
                 cam for cam in cams if self.ingest_bursting(frame, cam)
+            ),
+            sched_partitioned=self.scheduler_partitioned_cameras(
+                frame, cams
             ),
         )

@@ -12,6 +12,11 @@ Scripted events are semicolon-separated ``kind:key=value,...`` clauses::
     sched_crash:at=12;sched_rejoin:at=30   # open-ended crash + explicit rejoin
     burst:cam=1,at=10,for=6         # camera 1's ingest stalls, then bunches
     burst:at=20,for=4               # fleet-wide ingest burst (event runtime)
+    sched_partition:cam=2,at=10,for=8  # camera 2 cut off from the primary
+    sched_partition:at=10,for=8     # whole fleet cut from the primary
+    corrupt:p=0.05                  # 5% of messages damaged in flight
+    dup:p=0.05,cam=1,at=5,for=20    # scoped duplicate delivery on camera 1
+    reorder:p=0.03                  # 3% of messages delivered out of order
 
 ``at`` defaults to frame 0 and ``for`` to the rest of the run. A
 ``rand:`` clause instead builds a stochastic
@@ -63,6 +68,13 @@ CHAOS_PRESETS: Dict[str, FaultModel] = {
     "ingest": FaultModel(
         burst_rate=0.03, mean_burst_frames=5.0,
     ),
+    "wire": FaultModel(
+        loss_prob=0.05,
+        corrupt_prob=0.04, duplicate_prob=0.04, reorder_prob=0.03,
+        scheduler_partition_rate=0.01,
+        mean_scheduler_partition_frames=8.0,
+        scheduler_crash_rate=0.004, mean_scheduler_outage_frames=10.0,
+    ),
 }
 
 _EVENT_KINDS = {
@@ -74,7 +86,14 @@ _EVENT_KINDS = {
     "sched_crash": FaultKind.SCHEDULER_CRASH,
     "sched_rejoin": FaultKind.SCHEDULER_REJOIN,
     "burst": FaultKind.INGEST_BURST,
+    "sched_partition": FaultKind.SCHEDULER_PARTITION,
+    "corrupt": FaultKind.MSG_CORRUPT,
+    "dup": FaultKind.MSG_DUPLICATE,
+    "reorder": FaultKind.MSG_REORDER,
 }
+
+#: Wire clauses whose magnitude is a required ``p=<prob>``.
+_WIRE_CLAUSES = ("corrupt", "dup", "reorder")
 
 #: ``rand:`` clause keys -> FaultModel fields.
 _RAND_KEYS = {
@@ -93,6 +112,11 @@ _RAND_KEYS = {
     "sched_frames": "mean_scheduler_outage_frames",
     "burst": "burst_rate",
     "burst_frames": "mean_burst_frames",
+    "corrupt": "corrupt_prob",
+    "dup": "duplicate_prob",
+    "reorder": "reorder_prob",
+    "sched_partition": "scheduler_partition_rate",
+    "sched_partition_frames": "mean_scheduler_partition_frames",
 }
 
 
@@ -148,13 +172,29 @@ def _parse_event(name: str, kv: Dict[str, str], clause: str) -> FaultEvent:
                 "and takes no for="
             )
     camera = _int_field(kv, "cam", clause)
-    start = _int_field(kv, "at", clause) or 0
+    start = _int_field(kv, "at", clause)
     duration = _int_field(kv, "for", clause)
+    # Range checks with the clause in the message, so the CLI surfaces
+    # the same clean one-line error as unknown keys (a negative for=
+    # used to silently produce a nonsense schedule).
+    if camera is not None and camera < 0:
+        raise ValueError(
+            f"fault clause {clause!r}: cam= must be non-negative"
+        )
+    if start is not None and start < 0:
+        raise ValueError(
+            f"fault clause {clause!r}: at= must be non-negative"
+        )
+    if duration is not None and duration < 1:
+        raise ValueError(
+            f"fault clause {clause!r}: for= must be >= 1 frame"
+        )
+    start = start or 0
     magnitude = 0.0
-    if kind is FaultKind.LINK_LOSS:
+    if kind is FaultKind.LINK_LOSS or name in _WIRE_CLAUSES:
         p = _float_field(kv, "p", clause)
         if p is None:
-            raise ValueError(f"fault clause {clause!r}: loss needs p=<prob>")
+            raise ValueError(f"fault clause {clause!r}: {name} needs p=<prob>")
         magnitude = p
     elif kind is FaultKind.LINK_DELAY:
         ms = _float_field(kv, "ms", clause)

@@ -1,5 +1,6 @@
 """Network substrate: links, reliability modeling and protocol messages."""
 
+from repro.net.envelope import Admission, ChannelGuard, Envelope
 from repro.net.heartbeat import HeartbeatMonitor, LeaseConfig
 from repro.net.link import (
     DEFAULT_RETRY,
@@ -20,6 +21,9 @@ from repro.net.messages import (
 )
 
 __all__ = [
+    "Admission",
+    "ChannelGuard",
+    "Envelope",
     "Heartbeat",
     "HeartbeatMonitor",
     "LeaseConfig",

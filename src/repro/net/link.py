@@ -72,20 +72,39 @@ DEFAULT_RETRY = RetryPolicy()
 
 @dataclass(frozen=True)
 class LinkFault:
-    """Fault state of one channel at one instant."""
+    """Fault state of one channel at one instant.
+
+    Beyond loss and delay, the Byzantine wire faults: ``corrupt_prob``
+    damages an attempt in flight (the receiver's checksum rejects it, so
+    it costs a retry like a loss), ``duplicate_prob`` delivers a second
+    copy of the message (the receiver guard must dedupe it), and
+    ``reorder_prob`` delivers the message out of order (the receiver
+    guard holds it in the reorder window instead of applying it).
+    """
 
     loss_prob: float = 0.0
     extra_delay_ms: float = 0.0
+    corrupt_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    reorder_prob: float = 0.0
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.loss_prob <= 1.0:
-            raise ValueError("loss_prob must be in [0, 1]")
+        for name in ("loss_prob", "corrupt_prob", "duplicate_prob",
+                     "reorder_prob"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
         if self.extra_delay_ms < 0:
             raise ValueError("extra_delay_ms must be non-negative")
 
     @property
     def is_clean(self) -> bool:
-        return self.loss_prob == 0.0 and self.extra_delay_ms == 0.0
+        return (
+            self.loss_prob == 0.0
+            and self.extra_delay_ms == 0.0
+            and self.corrupt_prob == 0.0
+            and self.duplicate_prob == 0.0
+            and self.reorder_prob == 0.0
+        )
 
 
 @dataclass(frozen=True)
@@ -95,6 +114,13 @@ class TransferOutcome:
     delivered: bool
     elapsed_ms: float
     attempts: int
+    #: Attempts discarded by the receiver's checksum (wire corruption);
+    #: they count toward ``dropped`` like losses, in their own counter.
+    corrupt_attempts: int = 0
+    #: The wire delivered a second copy of the final message.
+    duplicated: bool = False
+    #: The wire delivered the final message out of order.
+    reordered: bool = False
 
     @property
     def dropped(self) -> int:
@@ -124,6 +150,12 @@ class Link:
         self.messages_sent = 0
         self.bytes_dropped = 0
         self.messages_dropped = 0
+        self.bytes_corrupted = 0
+        self.messages_corrupted = 0
+        #: Transfers that exhausted every retry (hard failures), kept
+        #: separate from per-attempt drops so recovered-after-retry and
+        #: gave-up-entirely are distinguishable in the fault summary.
+        self.giveups = 0
 
     def transfer_ms(self, payload_bytes: int) -> float:
         """Latency to move ``payload_bytes`` across the link, in ms."""
@@ -146,6 +178,13 @@ class Link:
         self.bytes_dropped += payload_bytes
         self.messages_dropped += 1
 
+    def record_corrupt(self, payload_bytes: int) -> None:
+        """Account one message the receiver's checksum rejected."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        self.bytes_corrupted += payload_bytes
+        self.messages_corrupted += 1
+
     def reliable_transfer(
         self,
         payload_bytes: int,
@@ -153,25 +192,55 @@ class Link:
         policy: RetryPolicy,
         rng: np.random.Generator,
     ) -> TransferOutcome:
-        """Send with loss injection, timeout and bounded retry.
+        """Send with fault injection, timeout and bounded retry.
 
-        Each attempt is lost with ``fault.loss_prob`` (drawn from
-        ``rng``); a lost attempt costs ``policy.penalty_ms`` and is
-        recorded as dropped. A delivered attempt costs the normal
-        transfer latency plus ``fault.extra_delay_ms``.
+        Each attempt is lost with ``fault.loss_prob`` and corrupted in
+        flight with ``fault.corrupt_prob`` (drawn from ``rng`` in that
+        fixed order, and only when the probability is nonzero — so a
+        fault mix without a given kind consumes exactly the draws it did
+        before the kind existed). A lost or corrupted attempt costs
+        ``policy.penalty_ms`` — the receiver's checksum rejects a
+        corrupt message, so the sender times out the same way. A
+        delivered attempt costs the normal transfer latency plus
+        ``fault.extra_delay_ms``, and may additionally be flagged
+        duplicated / reordered for the receiver guard to handle.
+        Exhausting every attempt books one ``giveups``.
         """
         elapsed = 0.0
+        corrupt_attempts = 0
         for attempt in range(policy.max_attempts):
             if fault.loss_prob > 0.0 and rng.random() < fault.loss_prob:
                 self.record_drop(payload_bytes)
                 elapsed += policy.penalty_ms(attempt)
                 continue
+            if fault.corrupt_prob > 0.0 and rng.random() < fault.corrupt_prob:
+                self.record_corrupt(payload_bytes)
+                corrupt_attempts += 1
+                elapsed += policy.penalty_ms(attempt)
+                continue
             elapsed += self.transfer_ms(payload_bytes) + fault.extra_delay_ms
-            return TransferOutcome(
-                delivered=True, elapsed_ms=elapsed, attempts=attempt + 1
+            duplicated = (
+                fault.duplicate_prob > 0.0
+                and rng.random() < fault.duplicate_prob
             )
+            reordered = (
+                fault.reorder_prob > 0.0
+                and rng.random() < fault.reorder_prob
+            )
+            return TransferOutcome(
+                delivered=True,
+                elapsed_ms=elapsed,
+                attempts=attempt + 1,
+                corrupt_attempts=corrupt_attempts,
+                duplicated=duplicated,
+                reordered=reordered,
+            )
+        self.giveups += 1
         return TransferOutcome(
-            delivered=False, elapsed_ms=elapsed, attempts=policy.max_attempts
+            delivered=False,
+            elapsed_ms=elapsed,
+            attempts=policy.max_attempts,
+            corrupt_attempts=corrupt_attempts,
         )
 
 
@@ -243,6 +312,14 @@ class DuplexChannel:
     @property
     def bytes_dropped(self) -> int:
         return self.up.bytes_dropped + self.down.bytes_dropped
+
+    @property
+    def messages_corrupted(self) -> int:
+        return self.up.messages_corrupted + self.down.messages_corrupted
+
+    @property
+    def giveups(self) -> int:
+        return self.up.giveups + self.down.giveups
 
 
 def _derive_rng(rng: np.random.Generator) -> np.random.Generator:

@@ -50,6 +50,10 @@ SPAN_NAMES = frozenset(
         "scheduler.schedule",
         "scheduler.solve",
         "sim.advance",
+        "wire.corrupt",
+        "wire.duplicate",
+        "wire.fenced",
+        "wire.reorder",
     }
 )
 
@@ -59,6 +63,7 @@ SPAN_PREFIXES = frozenset(
         "fault.",
         "failover.",
         "ingest.",
+        "wire.",
     }
 )
 
@@ -76,9 +81,12 @@ METRIC_NAMES = frozenset(
         "coverage_lost_object_frames_total",
         "experiment_wall_s",
         "experiments_total",
+        "failover_fenced_total",
         "failover_handbacks_total",
         "failover_recovery_ms",
         "failover_replications_total",
+        "failover_reunites_total",
+        "failover_split_takeovers_total",
         "failover_stale_replicas_total",
         "failover_takeovers_total",
         "fault_events_total",
@@ -96,7 +104,9 @@ METRIC_NAMES = frozenset(
         "ingest_staleness_frames",
         "ingest_stalled_frames_total",
         "key_frames_total",
+        "link_giveups_total",
         "message_retries_total",
+        "messages_corrupted_total",
         "messages_dropped_total",
         "regular_frames_total",
         "scheduler_down_frames_total",
@@ -107,5 +117,8 @@ METRIC_NAMES = frozenset(
         "serving_staleness_frames",
         "skipped_key_frames_total",
         "slices_total",
+        "wire_corrupt_dropped_total",
+        "wire_duplicates_dropped_total",
+        "wire_reordered_total",
     }
 )

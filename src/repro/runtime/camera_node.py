@@ -22,6 +22,7 @@ from repro.devices.latency import LatencyModel
 from repro.devices.profiler import DeviceProfile
 from repro.geometry.box import BBox, quantize_size
 from repro.ml.hungarian import hungarian
+from repro.net.envelope import ChannelGuard
 from repro.obs.trace import get_tracer
 from repro.runtime.overhead import OverheadModel
 from repro.runtime.policies import RegularFramePolicy, TrackView
@@ -103,6 +104,11 @@ class CameraNode:
         self.frame_dt = frame_dt
         self.tracks: Dict[int, NodeTrack] = {}
         self._next_tid = camera.camera_id * 1_000_000
+        #: Receiver guard for the assignment downlink: drops corrupted
+        #: messages, dedupes duplicated deliveries and fences assignments
+        #: from a deposed scheduler epoch (see repro.net.envelope). Pure
+        #: state — a clean channel admits everything unchanged.
+        self.guard = ChannelGuard()
 
     # ------------------------------------------------------------------
     # Key frame

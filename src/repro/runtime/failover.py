@@ -22,12 +22,27 @@ protocol of :mod:`repro.net.heartbeat`:
 
 The standby order is deterministic — descending device capacity, camera
 id as tie-break — so two same-seed runs elect the same leaders.
+
+**Epoch fencing.** Every leadership change increments a monotonically
+increasing *epoch*; assignments are sealed with the issuing authority's
+epoch and cameras fence (drop) anything from an older epoch (see
+:mod:`repro.net.envelope`). This is what makes *partitions* safe: a
+``scheduler_partition`` fault cuts a camera subset off from the primary,
+and once the cut side's lease expires its best standby claims leadership
+over that side — two acting schedulers at once, each over its own
+reachable set, but at *different* epochs. When the cut heals, the
+primary's first fleet-wide broadcast still carries its old epoch (claim
+propagation takes one frame), the cut side fences it, and on the next
+frame the primary reunites the fleet at an epoch above the standby's.
+With ``fencing=False`` (the legacy protocol) epochs stay at 0, both
+sides act with the same authority, and the invariant monitor catches the
+split-brain — the regression the fenced protocol exists to prevent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.net.heartbeat import HeartbeatMonitor, LeaseConfig
 from repro.net.link import DuplexChannel
@@ -45,15 +60,26 @@ class FailoverTransition:
     ``recovery_ms`` is the time from the scheduler crash until central
     scheduling is restored (detection latency plus takeover cost); it is
     ``None`` for a handback from a standby that was already leading,
-    where central duty never lapsed.
+    where central duty never lapsed. ``epoch`` is the term the new
+    leader acts under (0 everywhere when fencing is off).
     """
 
-    kind: str  # "takeover" | "handback"
+    kind: str  # "takeover" | "handback" | "split_takeover" | "reunite"
     frame: int
     leader_id: int  # new leader: camera id, or PRIMARY
     cost_ms: float
     recovery_ms: Optional[float] = None
     replica_frame: Optional[int] = None  # checkpoint the leader restored
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class Authority:
+    """One acting scheduler this frame: who, under which epoch, over whom."""
+
+    leader_id: int  # camera id, or PRIMARY
+    epoch: int
+    reach: FrozenSet[int]  # cameras this authority can exchange with
 
 
 class FailoverManager:
@@ -67,6 +93,7 @@ class FailoverManager:
         frame_dt_s: float = 0.1,
         channels: Optional[Dict[int, DuplexChannel]] = None,
         overheads: Optional[OverheadModel] = None,
+        fencing: bool = True,
     ) -> None:
         if frame_dt_s <= 0:
             raise ValueError("frame_dt_s must be positive")
@@ -85,6 +112,19 @@ class FailoverManager:
         self.replica: Optional[SchedulerCheckpoint] = None
         self.replications = 0
         self.stale_replications = 0
+        #: Epoch fencing: the current acting-leader term. With
+        #: ``fencing=False`` (legacy protocol) every transition keeps
+        #: epoch 0 — the split-brain-prone behaviour under partitions.
+        self.fencing = fencing
+        self.epoch = 0
+        self._max_epoch = 0
+        #: Partition (split-brain) state: the leader the cut side
+        #: elected, its epoch, and its lease monitor.
+        self.cut_leader: Optional[int] = None
+        self.cut_epoch = 0
+        self.cut_monitor: Optional[HeartbeatMonitor] = None
+        self.cut_start_frame: Optional[int] = None
+        self._heal_pending = False
 
     # ------------------------------------------------------------------
     @property
@@ -134,10 +174,13 @@ class FailoverManager:
         if self.primary_alive:
             # Crash instant: the lease is considered granted through this
             # frame, so detection lands on the next heartbeat boundary.
+            # A crash supersedes any ongoing partition: the fleet-wide
+            # election below owns leadership from here.
             self.primary_alive = False
             self.crash_frame = frame
             self.monitor = HeartbeatMonitor(self.lease)
             self.monitor.last_renewal_frame = frame
+            self._clear_partition()
             return None
         if self.leader_camera is not None:
             if self.leader_camera in set(live):
@@ -149,6 +192,146 @@ class FailoverManager:
         if self.monitor.lease_expired:
             return self._takeover(frame, live, redetection=True)
         return None
+
+    # ------------------------------------------------------------------
+    def step_partition(
+        self, frame: int, cut: Sequence[int], live: Sequence[int]
+    ) -> Optional[FailoverTransition]:
+        """Advance the partition (split-brain) machinery one frame.
+
+        ``cut`` is the set of live cameras the primary cannot reach this
+        frame (from ``FrameFaults.sched_partitioned``). While the cut
+        side contains a standby candidate and its lease on the primary
+        expires, that candidate claims leadership *over the cut side
+        only* (``split_takeover``). When the cut heals, the reunite is
+        two-phase: on the heal frame the primary's fleet-wide broadcast
+        still carries its pre-split epoch — the cut side fences it — and
+        on the next frame the primary reclaims the whole fleet at a
+        fresh epoch (``reunite``). Call after :meth:`step`; a crashed
+        primary makes partitions moot.
+        """
+        if not self.primary_alive:
+            return None
+        live_set = frozenset(live)
+        cut_set = frozenset(cut) & live_set
+        if self.cut_leader is None:
+            if not cut_set:
+                self.cut_monitor = None
+                self.cut_start_frame = None
+                return None
+            candidate = next(
+                (c for c in self.standby_order if c in cut_set), None
+            )
+            if candidate is None:
+                return None
+            if self.cut_monitor is None:
+                # Cut instant: mirror the crash path — the lease is
+                # granted through this frame, detection lands on the
+                # next heartbeat boundary.
+                self.cut_monitor = HeartbeatMonitor(self.lease)
+                self.cut_monitor.last_renewal_frame = frame
+                self.cut_start_frame = frame
+                return None
+            self.cut_monitor.observe(frame, False)
+            if not self.cut_monitor.lease_expired:
+                return None
+            self.cut_leader = candidate
+            self.cut_epoch = self._bump()
+            cost = self._takeover_cost_ms(candidate, sorted(cut_set))
+            recovery = cost
+            if self.cut_start_frame is not None:
+                recovery += (
+                    (frame - self.cut_start_frame) * self.frame_dt_s * 1e3
+                )
+            return FailoverTransition(
+                kind="split_takeover",
+                frame=frame,
+                leader_id=candidate,
+                cost_ms=cost,
+                recovery_ms=recovery,
+                replica_frame=(
+                    None if self.replica is None
+                    else self.replica.frame_index
+                ),
+                epoch=self.cut_epoch,
+            )
+        if self.cut_leader in cut_set:
+            return None  # split still in effect, both sides steady
+        if not self._heal_pending:
+            # Heal frame: the standby stands down on hearing the primary
+            # again, but the primary's own claim — sealed before it saw
+            # the standby's higher epoch — goes out under the old epoch
+            # and the cut side fences it. The reunite lands next frame.
+            self._heal_pending = True
+            return None
+        standby = self.cut_leader
+        cost = 0.0
+        if self.replica is not None:
+            channel = self.channels.get(standby)
+            if channel is not None:
+                cost = channel.up.transfer_ms(self.replica.payload_bytes())
+        self._clear_partition()
+        self.epoch = self._bump()
+        return FailoverTransition(
+            kind="reunite",
+            frame=frame,
+            leader_id=PRIMARY,
+            cost_ms=cost,
+            recovery_ms=None,
+            replica_frame=(
+                None if self.replica is None else self.replica.frame_index
+            ),
+            epoch=self.epoch,
+        )
+
+    def authorities(
+        self, live: Sequence[int], cut: Sequence[int]
+    ) -> Tuple[Authority, ...]:
+        """The acting schedulers this frame, each over its reachable set.
+
+        At most two: the primary over the cameras it can reach, and —
+        during a split — the cut side's elected standby over the cut.
+        Cut cameras with no elected leader yet are in nobody's reach
+        (they fall back to stale decisions). A camera-led fleet (after a
+        full scheduler crash) is a single authority over every live
+        camera.
+        """
+        live_set = frozenset(live)
+        if not self.primary_alive:
+            if self.leader_camera is None:
+                return ()
+            return (
+                Authority(self.leader_camera, self.epoch, live_set),
+            )
+        cut_set = frozenset(cut) & live_set
+        if self.cut_leader is not None and self.cut_leader in cut_set:
+            return (
+                Authority(PRIMARY, self.epoch, live_set - cut_set),
+                Authority(self.cut_leader, self.cut_epoch, cut_set),
+            )
+        # Healed (including the fencing frame, when the primary still
+        # broadcasts its pre-split epoch) or leaderless cut side.
+        return (Authority(PRIMARY, self.epoch, live_set - cut_set),)
+
+    @property
+    def reclaim_pending(self) -> bool:
+        """True on the heal frame: the primary re-broadcasts fleet-wide
+        right away — still under its pre-split epoch, so the cut side
+        fences the claim and the reunite lands next frame."""
+        return self._heal_pending
+
+    def _bump(self) -> int:
+        """The next epoch — frozen at the current one when fencing is off."""
+        if not self.fencing:
+            return self.epoch
+        self._max_epoch += 1
+        return self._max_epoch
+
+    def _clear_partition(self) -> None:
+        self.cut_leader = None
+        self.cut_monitor = None
+        self.cut_start_frame = None
+        self._heal_pending = False
 
     # ------------------------------------------------------------------
     def _takeover(
@@ -163,6 +346,7 @@ class FailoverManager:
             self.leader_camera = None
             return None
         self.leader_camera = standby
+        self.epoch = self._bump()
         cost = self._takeover_cost_ms(standby, live)
         recovery = cost
         if redetection and self.crash_frame is not None:
@@ -176,6 +360,7 @@ class FailoverManager:
             replica_frame=(
                 None if self.replica is None else self.replica.frame_index
             ),
+            epoch=self.epoch,
         )
 
     def _takeover_cost_ms(self, standby: int, live: Sequence[int]) -> float:
@@ -219,6 +404,7 @@ class FailoverManager:
         self.crash_frame = None
         self.monitor = HeartbeatMonitor(self.lease)
         self.monitor.last_renewal_frame = frame
+        self.epoch = self._bump()
         return FailoverTransition(
             kind="handback",
             frame=frame,
@@ -228,4 +414,5 @@ class FailoverManager:
             replica_frame=(
                 None if self.replica is None else self.replica.frame_index
             ),
+            epoch=self.epoch,
         )

@@ -1,0 +1,143 @@
+"""Always-on runtime invariant monitor for the control plane.
+
+The partition-tolerant control plane rests on a handful of safety
+properties that no amount of fault injection may break. The
+:class:`InvariantMonitor` checks them on every frame of every run —
+it is pure bookkeeping (no spans, no metrics, no RNG), so keeping it
+on changes nothing about a run until something is actually wrong:
+
+* **R1 — one acting scheduler per epoch.** At any frame, at most one
+  authority may issue assignments in a given epoch. Two *concurrent*
+  issuers sharing an epoch is the split-brain signature (the legacy,
+  fencing-off protocol exhibits it under a scheduler partition; the
+  epoch-fenced protocol cannot — every leadership change bumps the
+  epoch, so concurrent authorities always differ).
+* **R2 — monotonic applied epochs.** A camera never applies an
+  assignment from an epoch below the newest one it has applied; the
+  receiver guards fence stale epochs, so a violation means a fence was
+  bypassed.
+* **R3 — at-most-once dispatch.** A camera applies at most one
+  assignment per frame; a duplicated wire delivery that slips past the
+  guards would double-apply.
+* **R4 — ledger conservation.** ``visible_gt`` and ``coverage_lost``
+  partition the observable objects (never overlap), and the frame index
+  only moves forward.
+
+A violation raises :class:`InvariantViolation` immediately (fail fast:
+the frame that broke the invariant is the one to debug) with the tail
+of the active span trace inlined, or — in ``mode="record"``, which the
+soak harness's shrinking loop uses — appends to :attr:`violations` and
+keeps going.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.obs.trace import get_tracer
+
+#: How many trailing span records a violation message inlines.
+_EXCERPT_SPANS = 15
+
+
+class InvariantViolation(RuntimeError):
+    """A control-plane safety property was broken mid-run."""
+
+
+class InvariantMonitor:
+    """Per-run safety checker; pure picklable state.
+
+    ``mode`` is ``"raise"`` (default: fail fast on the offending frame)
+    or ``"record"`` (collect violation messages in :attr:`violations`,
+    for harnesses that must observe a run to completion).
+    """
+
+    def __init__(self, mode: str = "raise") -> None:
+        if mode not in ("raise", "record"):
+            raise ValueError(f"unknown invariant mode {mode!r}")
+        self.mode = mode
+        self.violations: List[str] = []
+        #: R1: epoch -> the leader that issued in it, this frame.
+        self._issuers_now: Dict[int, int] = {}
+        #: R2: camera -> newest epoch it has applied.
+        self._applied_epoch: Dict[int, int] = {}
+        #: R3: (camera, frame) assignments applied on the current frame.
+        self._applied_now: Set[Tuple[int, int]] = set()
+        self._frame = -1
+
+    # ------------------------------------------------------------------
+    def observe_issue(self, frame: int, epoch: int, leader_id: int) -> None:
+        """An authority issued assignments at ``epoch`` this frame (R1)."""
+        self._roll(frame)
+        owner = self._issuers_now.setdefault(epoch, leader_id)
+        if owner != leader_id:
+            self._fail(
+                f"R1 split-brain at frame {frame}: leader {leader_id} "
+                f"issued assignments in epoch {epoch} concurrently with "
+                f"leader {owner} — two acting schedulers share one epoch"
+            )
+
+    def observe_applied(self, frame: int, camera_id: int, epoch: int) -> None:
+        """Camera ``camera_id`` applied an assignment (R2, R3)."""
+        newest = self._applied_epoch.get(camera_id, 0)
+        if epoch < newest:
+            self._fail(
+                f"R2 stale epoch applied at frame {frame}: camera "
+                f"{camera_id} applied epoch {epoch} after epoch {newest} "
+                f"— a fenced message got through"
+            )
+        else:
+            self._applied_epoch[camera_id] = epoch
+        self._roll(frame)
+        key = (camera_id, frame)
+        if key in self._applied_now:
+            self._fail(
+                f"R3 duplicate dispatch at frame {frame}: camera "
+                f"{camera_id} applied two assignments in one frame"
+            )
+        self._applied_now.add(key)
+
+    def observe_frame(
+        self, frame: int, visible_gt: frozenset, coverage_lost: frozenset
+    ) -> None:
+        """End-of-frame ledger check (R4)."""
+        overlap = visible_gt & coverage_lost
+        if overlap:
+            self._fail(
+                f"R4 ledger overlap at frame {frame}: objects "
+                f"{sorted(overlap)} counted both visible and "
+                f"coverage-lost"
+            )
+        if frame < self._frame:
+            self._fail(
+                f"R4 frame ledger moved backwards: processed frame "
+                f"{frame} after frame {self._frame}"
+            )
+        self._roll(frame)
+
+    # ------------------------------------------------------------------
+    def _roll(self, frame: int) -> None:
+        """Advance the current-frame window for the R3 dispatch set."""
+        if frame > self._frame:
+            self._frame = frame
+            self._applied_now.clear()
+            self._issuers_now.clear()
+
+    def _fail(self, message: str) -> None:
+        if self.mode == "record":
+            self.violations.append(message)
+            return
+        raise InvariantViolation(message + self._excerpt())
+
+    def _excerpt(self) -> str:
+        """The tail of the active span trace, for the violation report."""
+        records = get_tracer().records
+        if not records:
+            return ""
+        lines = []
+        for span in records[-_EXCERPT_SPANS:]:
+            tags = " ".join(
+                f"{k}={v}" for k, v in sorted(span.tags.items())
+            )
+            lines.append(f"  {span.name}" + (f" [{tags}]" if tags else ""))
+        return "\nlast spans:\n" + "\n".join(lines)

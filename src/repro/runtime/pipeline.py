@@ -30,13 +30,15 @@ from repro.devices.profiler import DeviceProfile, profile_device
 from repro.devices.profiles import latency_model_for
 from repro.faults.schedule import FaultSchedule, FrameFaults
 from repro.faults.spec import resolve_faults
+from repro.net.envelope import DROP_STALE_EPOCH, Envelope
 from repro.net.heartbeat import LeaseConfig
 from repro.net.link import DuplexChannel, RetryPolicy
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import WALL_CLOCK, Clock, Tracer, get_tracer, use_tracer
 from repro.runtime.camera_node import CameraNode
 from repro.runtime.events import EventQueue
-from repro.runtime.failover import FailoverManager
+from repro.runtime.failover import PRIMARY, Authority, FailoverManager
+from repro.runtime.invariants import InvariantMonitor
 from repro.runtime.ingest import (
     INGEST_POLICIES,
     BoundedFrameQueue,
@@ -52,7 +54,7 @@ from repro.runtime.policies import (
     RegularFramePolicy,
     StaticPartitioningPolicy,
 )
-from repro.runtime.scheduler_node import CentralScheduler
+from repro.runtime.scheduler_node import CentralScheduler, ScheduleDecision
 from repro.runtime.synchronization import SkewModel, WorldHistory
 from repro.scenarios.builder import Scenario
 from repro.serving.edge import ServingEdge
@@ -125,6 +127,16 @@ class PipelineConfig:
     #: product, in frames.
     failover_heartbeat_frames: int = 5
     failover_lease_misses: int = 1
+    #: Epoch fencing: every leadership change bumps the scheduling epoch
+    #: and receivers drop assignments from older epochs. ``False``
+    #: selects the legacy protocol (everything stays at epoch 0), which
+    #: is split-brain-prone under scheduler partitions — kept for the
+    #: regression harness that proves the invariant monitor catches it.
+    epoch_fencing: bool = True
+    #: Always-on control-plane invariant monitor (repro.runtime.invariants):
+    #: pure bookkeeping that raises InvariantViolation the moment a safety
+    #: property breaks. Disable only to observe a violating run to its end.
+    check_invariants: bool = True
     #: Crash-consistent checkpointing: with ``checkpoint_path`` set the
     #: run snapshots its full state there every ``checkpoint_every``
     #: frames (0 = only on interruption), and ``stop_after_frames``
@@ -258,6 +270,7 @@ class _RunState:
     history: Optional[WorldHistory]
     camera_lags: Dict[int, int]
     failover: Optional[FailoverManager]
+    invariants: Optional[InvariantMonitor]
 
 
 @dataclass
@@ -532,6 +545,7 @@ class Pipeline:
                 frame_dt_s=dt,
                 channels=scheduler.channels,
                 overheads=scheduler.overheads,
+                fencing=config.epoch_fencing,
             )
 
         return _RunState(
@@ -555,6 +569,9 @@ class Pipeline:
             history=history,
             camera_lags=camera_lags,
             failover=failover,
+            invariants=(
+                InvariantMonitor() if config.check_invariants else None
+            ),
         )
 
     def _save_state(self, state: _RunState) -> None:
@@ -813,6 +830,36 @@ class Pipeline:
                     registry.counter(
                         "bytes_dropped_total", camera=cam_id
                     ).inc(channel.bytes_dropped)
+                if channel.messages_corrupted:
+                    registry.counter(
+                        "messages_corrupted_total", camera=cam_id
+                    ).inc(channel.messages_corrupted)
+                if channel.giveups:
+                    registry.counter(
+                        "link_giveups_total", camera=cam_id
+                    ).inc(channel.giveups)
+            # Receiver-guard verdicts, both directions: the camera-side
+            # assignment guards and the scheduler-side report guards.
+            for cam_id in sorted(state.nodes):
+                guards = [state.nodes[cam_id].guard]
+                report_guard = state.scheduler.report_guards.get(cam_id)
+                if report_guard is not None:
+                    guards.append(report_guard)
+                corrupt = sum(g.corrupt for g in guards)
+                duplicates = sum(g.duplicates for g in guards)
+                reordered = sum(g.reordered for g in guards)
+                if corrupt:
+                    registry.counter(
+                        "wire_corrupt_dropped_total", camera=cam_id
+                    ).inc(corrupt)
+                if duplicates:
+                    registry.counter(
+                        "wire_duplicates_dropped_total", camera=cam_id
+                    ).inc(duplicates)
+                if reordered:
+                    registry.counter(
+                        "wire_reordered_total", camera=cam_id
+                    ).inc(reordered)
         if self.serving is not None:
             self.serving.export_metrics(registry)
 
@@ -886,7 +933,9 @@ class Pipeline:
         # while nobody leads, key frames are suppressed and the
         # fleet runs distributed-only on last-known masks.
         transition = None
+        partition_transition = None
         central_ok = True
+        authorities: Optional[Tuple[Authority, ...]] = None
         if failover is not None:
             live = [c for c in camera_ids if c not in down]
             transition = failover.step(
@@ -898,6 +947,25 @@ class Pipeline:
             central_ok = failover.central_available
             if transition is not None:
                 forced_key = forced_key or in_horizon != 0
+            if faults is not None and faults.has_scheduler_partitions:
+                # Scheduler partition: the cut side may elect its own
+                # leader (split-brain unless epochs fence it). The
+                # per-authority scheduling below replaces the single
+                # schedule() call only on this code path — runs without
+                # partition faults keep the pre-partition behaviour.
+                cut = sorted(
+                    frame_faults.sched_partitioned & frozenset(live)
+                    if frame_faults is not None
+                    else frozenset()
+                )
+                partition_transition = failover.step_partition(
+                    frame_idx, cut, live
+                )
+                if partition_transition is not None or (
+                    failover.reclaim_pending
+                ):
+                    forced_key = forced_key or in_horizon != 0
+                authorities = failover.authorities(live, cut)
         if (
             ingest is not None
             and ingest.forced_key
@@ -938,6 +1006,10 @@ class Pipeline:
                 )
             if transition is not None:
                 self._record_transition(tracer, registry, transition)
+            if partition_transition is not None:
+                self._record_transition(
+                    tracer, registry, partition_transition
+                )
             if ingest is not None and ingest.any_active:
                 self._record_ingest(tracer, registry, ingest)
             with tracer.span("sim.advance"):
@@ -988,11 +1060,15 @@ class Pipeline:
             detected: set = set()
             overheads: Dict[str, float] = {}
             n_slices: Dict[int, int] = {}
-            if transition is not None:
+            if transition is not None or partition_transition is not None:
                 # Restore/sync/claim-broadcast time of the
                 # leadership change, modeled through the link and
                 # overhead models, lands on this frame.
-                overheads["failover"] = transition.cost_ms
+                overheads["failover"] = sum(
+                    t.cost_ms
+                    for t in (transition, partition_transition)
+                    if t is not None
+                )
 
             if is_key:
                 reports = {}
@@ -1034,51 +1110,169 @@ class Pipeline:
                         max(tracking) if tracking else 0.0
                     )
                     if scheduler is not None and reports:
-                        replicate_to = (
-                            failover.replication_target(
-                                sorted(reports)
-                            )
-                            if failover is not None
+                        link_faults = (
+                            frame_faults.link_faults
+                            if frame_faults is not None
                             else None
                         )
-                        decision = scheduler.schedule(
-                            reports,
-                            frame_idx,
-                            link_faults=(
-                                frame_faults.link_faults
-                                if frame_faults is not None
-                                else None
-                            ),
-                            retry=retry,
-                            replicate_to=replicate_to,
+                        wire_active = faults is not None and (
+                            faults.has_wire_faults
+                            or faults.has_scheduler_partitions
                         )
-                        if (
-                            replicate_to is not None
-                            and decision.checkpoint is not None
-                        ):
-                            self._record_replication(
-                                tracer,
-                                registry,
-                                failover,
-                                decision.checkpoint,
-                                replicate_to,
-                                replicate_to in decision.delivered,
+                        #: camera -> (decision, issuing epoch)
+                        assignments: Dict[
+                            int, Tuple[ScheduleDecision, int]
+                        ] = {}
+                        total_retries = 0
+                        if authorities is None:
+                            replicate_to = (
+                                failover.replication_target(
+                                    sorted(reports)
+                                )
+                                if failover is not None
+                                else None
+                            )
+                            decision = scheduler.schedule(
+                                reports,
+                                frame_idx,
+                                link_faults=link_faults,
+                                retry=retry,
+                                replicate_to=replicate_to,
+                            )
+                            if (
+                                replicate_to is not None
+                                and decision.checkpoint is not None
+                            ):
+                                self._record_replication(
+                                    tracer,
+                                    registry,
+                                    failover,
+                                    decision.checkpoint,
+                                    replicate_to,
+                                    replicate_to in decision.delivered,
+                                )
+                            issue_epoch = (
+                                failover.epoch
+                                if failover is not None
+                                else 0
+                            )
+                            if state.invariants is not None:
+                                state.invariants.observe_issue(
+                                    frame_idx,
+                                    issue_epoch,
+                                    failover.leader_id
+                                    if failover is not None
+                                    else PRIMARY,
+                                )
+                            for cam_id in nodes:
+                                assignments[cam_id] = (
+                                    decision, issue_epoch
+                                )
+                            total_retries = decision.comm_retries
+                            central_amortized = (
+                                decision.central_ms + decision.comm_ms
+                            ) / config.horizon
+                        else:
+                            # Split scheduling: each acting authority
+                            # runs the central stage over its own
+                            # reachable side of the cut, at its own
+                            # epoch. Costs overlap in time (the sides
+                            # are concurrent), so the amortized charge
+                            # is the slower side's.
+                            central_peak = 0.0
+                            for authority in authorities:
+                                auth_reports = {
+                                    c: reports[c]
+                                    for c in sorted(authority.reach)
+                                    if c in reports
+                                }
+                                if not auth_reports:
+                                    continue
+                                replicate_to = (
+                                    failover.replication_target(
+                                        sorted(auth_reports)
+                                    )
+                                    if authority.leader_id == PRIMARY
+                                    else None
+                                )
+                                decision = scheduler.schedule(
+                                    auth_reports,
+                                    frame_idx,
+                                    link_faults=link_faults,
+                                    retry=retry,
+                                    replicate_to=replicate_to,
+                                )
+                                if (
+                                    replicate_to is not None
+                                    and decision.checkpoint is not None
+                                ):
+                                    self._record_replication(
+                                        tracer,
+                                        registry,
+                                        failover,
+                                        decision.checkpoint,
+                                        replicate_to,
+                                        replicate_to
+                                        in decision.delivered,
+                                    )
+                                if state.invariants is not None:
+                                    state.invariants.observe_issue(
+                                        frame_idx,
+                                        authority.epoch,
+                                        authority.leader_id,
+                                    )
+                                for cam_id in sorted(authority.reach):
+                                    assignments[cam_id] = (
+                                        decision, authority.epoch
+                                    )
+                                total_retries += decision.comm_retries
+                                central_peak = max(
+                                    central_peak,
+                                    decision.central_ms
+                                    + decision.comm_ms,
+                                )
+                            central_amortized = (
+                                central_peak / config.horizon
                             )
                         for cam_id, node in nodes.items():
                             if cam_id in down:
                                 continue
-                            if cam_id in decision.delivered:
-                                node.apply_schedule(
-                                    decision.assigned.get(cam_id, []),
-                                    decision.shadows.get(cam_id, {}),
+                            entry = assignments.get(cam_id)
+                            delivered_ok = (
+                                entry is not None
+                                and cam_id in entry[0].delivered
+                            )
+                            if delivered_ok and wire_active:
+                                # Hardened wire protocol: the download
+                                # passes the camera's receiver guard
+                                # (checksum, dedupe, epoch fence)
+                                # before it may be applied.
+                                delivered_ok = self._admit_assignment(
+                                    tracer,
+                                    registry,
+                                    node,
+                                    cam_id,
+                                    frame_idx,
+                                    entry[1],
+                                    entry[0],
                                 )
+                            if delivered_ok:
+                                decision_c, epoch_c = entry
+                                node.apply_schedule(
+                                    decision_c.assigned.get(cam_id, []),
+                                    decision_c.shadows.get(cam_id, {}),
+                                )
+                                if state.invariants is not None:
+                                    state.invariants.observe_applied(
+                                        frame_idx, cam_id, epoch_c
+                                    )
                                 stale_horizons[cam_id] = 0
                                 if config.policy in ("balb", "balb-cen"):
                                     policies[cam_id] = (
                                         self._balb_policy_for(
                                             scheduler,
                                             cam_id,
-                                            decision.priority_order,
+                                            decision_c.priority_order,
                                         )
                                     )
                             else:
@@ -1096,13 +1290,10 @@ class Pipeline:
                                     "assignment_staleness_horizons",
                                     camera=cam_id,
                                 ).set(stale_horizons[cam_id])
-                        if faults is not None and decision.comm_retries:
+                        if faults is not None and total_retries:
                             registry.counter(
                                 "message_retries_total"
-                            ).inc(decision.comm_retries)
-                        central_amortized = (
-                            decision.central_ms + decision.comm_ms
-                        ) / config.horizon
+                            ).inc(total_retries)
                 overheads["central"] = central_amortized
                 registry.counter("key_frames_total").inc()
             else:
@@ -1164,6 +1355,10 @@ class Pipeline:
             n_slices=n_slices,
             coverage_lost=coverage_lost,
         )
+        if state.invariants is not None:
+            state.invariants.observe_frame(
+                frame_idx, visible_gt, coverage_lost
+            )
         result.add(record)
         if self.serving is not None:
             self.serving.on_frame(record)
@@ -1217,13 +1412,17 @@ class Pipeline:
                 if transition.replica_frame is None
                 else transition.replica_frame
             ),
+            epoch=transition.epoch,
         ):
             pass
-        registry.counter(
-            "failover_takeovers_total"
-            if transition.kind == "takeover"
-            else "failover_handbacks_total"
-        ).inc()
+        if transition.kind == "takeover":
+            registry.counter("failover_takeovers_total").inc()
+        elif transition.kind == "handback":
+            registry.counter("failover_handbacks_total").inc()
+        elif transition.kind == "split_takeover":
+            registry.counter("failover_split_takeovers_total").inc()
+        else:
+            registry.counter("failover_reunites_total").inc()
         if transition.recovery_ms is not None:
             registry.histogram("failover_recovery_ms").observe(
                 transition.recovery_ms
@@ -1252,6 +1451,64 @@ class Pipeline:
             if delivered
             else "failover_stale_replicas_total"
         ).inc()
+
+    def _admit_assignment(
+        self,
+        tracer,
+        registry,
+        node: CameraNode,
+        cam_id: int,
+        frame_idx: int,
+        epoch: int,
+        decision: ScheduleDecision,
+    ) -> bool:
+        """One delivered assignment download, through the receiver guard.
+
+        The download is sealed into an :class:`Envelope` (channel
+        ``assign:<cam>``, seq = frame index, the issuing authority's
+        epoch) and replayed against the camera's :class:`ChannelGuard`
+        together with its wire-level fault record: corrupted attempts
+        bounce off the checksum, a duplicated final copy is deduped, a
+        reordered delivery is held (the decision it carries is already
+        superseded), and a stale-epoch claim from a deposed scheduler is
+        fenced. Returns whether the assignment may be applied.
+        """
+        outcome = decision.down_outcomes.get(cam_id)
+        env = Envelope.seal(
+            f"assign:{cam_id}",
+            frame_idx,
+            epoch,
+            ",".join(
+                str(t) for t in decision.assigned.get(cam_id, ())
+            ),
+        )
+        guard = node.guard
+        if outcome is not None:
+            for _ in range(outcome.corrupt_attempts):
+                guard.admit(env.corrupted())
+                with tracer.span("wire.corrupt", camera=cam_id):
+                    pass
+            if outcome.reordered:
+                guard.hold_reordered(env)
+                with tracer.span("wire.reorder", camera=cam_id):
+                    pass
+                return False
+        admission = guard.admit(env)
+        if outcome is not None and outcome.duplicated:
+            guard.admit(env)
+            with tracer.span("wire.duplicate", camera=cam_id):
+                pass
+        if admission.accepted:
+            return True
+        if admission.reason == DROP_STALE_EPOCH:
+            with tracer.span(
+                "wire.fenced", camera=cam_id, epoch=epoch
+            ):
+                pass
+            registry.counter(
+                "failover_fenced_total", camera=cam_id
+            ).inc()
+        return False
 
     # ------------------------------------------------------------------
     def _build_nodes(self, rig: CameraRig, dt: float) -> Dict[int, CameraNode]:

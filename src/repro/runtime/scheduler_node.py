@@ -25,6 +25,7 @@ from repro.core.problem import MVSInstance, SchedObject
 from repro.core.redundancy import balb_redundant
 from repro.devices.profiler import DeviceProfile
 from repro.geometry.box import BBox, quantize_size
+from repro.net.envelope import ChannelGuard, Envelope
 from repro.net.link import (
     DEFAULT_RETRY,
     DuplexChannel,
@@ -65,6 +66,9 @@ class ScheduleDecision:
     #: Failover replica piggybacked on one camera's assignment download
     #: (None unless the scheduler was asked to replicate this round).
     checkpoint: Optional[SchedulerCheckpoint] = None
+    #: Per-camera download outcome for faulted channels: the wire-level
+    #: duplicate/reorder/corruption record the receiver guard consumes.
+    down_outcomes: Dict[int, TransferOutcome] = field(default_factory=dict)
 
 
 class CentralScheduler:
@@ -102,6 +106,9 @@ class CentralScheduler:
         self.masks: Dict[int, CameraMask] = build_camera_masks(
             frame_sizes, associator, typical_box_sizes, mask_grid
         )
+        #: Receiver guards for the report uplinks: dedupe duplicated
+        #: uploads and reject corrupted ones (one per camera, lazily).
+        self.report_guards: Dict[int, ChannelGuard] = {}
         #: Processing power per camera (1 / full-frame time), the SP weight.
         self.capacities: Dict[int, float] = {
             cam: 1.0 / profile.t_full for cam, profile in profiles.items()
@@ -161,7 +168,9 @@ class CentralScheduler:
                         report.payload_bytes(), fault, retry
                     )
                     up_outcomes[cam] = outcome
-                    if outcome.delivered:
+                    if outcome.delivered and self._admit_report(
+                        cam, report, outcome
+                    ):
                         delivered_reports[cam] = reports[cam]
             with tracer.span("scheduler.associate") as assoc_span:
                 observations = {
@@ -229,9 +238,11 @@ class CentralScheduler:
                 )
                 extra_down[replicate_to] = checkpoint.payload_bytes()
             with tracer.span("scheduler.comm"):
-                comm_ms, delivered, retries = self._communication_ms(
-                    reports, assigned, priority, frame_index,
-                    faults, retry, up_outcomes, extra_down,
+                comm_ms, delivered, retries, down_outcomes = (
+                    self._communication_ms(
+                        reports, assigned, priority, frame_index,
+                        faults, retry, up_outcomes, extra_down,
+                    )
                 )
             sched_span.set_tag("n_global_objects", n_objects)
         return ScheduleDecision(
@@ -246,6 +257,7 @@ class CentralScheduler:
             dropped_reports=frozenset(reports) - frozenset(delivered_reports),
             comm_retries=retries,
             checkpoint=checkpoint,
+            down_outcomes=down_outcomes,
         )
 
     # ------------------------------------------------------------------
@@ -284,6 +296,34 @@ class CentralScheduler:
                     assignment[obj.global_id] = cam
                     break
         return assignment
+
+    def _admit_report(
+        self, cam: int, report: DetectionReport, outcome: TransferOutcome
+    ) -> bool:
+        """Run one delivered report upload through the scheduler's guard.
+
+        Corrupted attempts bounce off the checksum, a duplicated final
+        copy is deduped, and a reordered report arrives after its key
+        frame closed — the guard books its sequence number and the
+        camera sits this association round out (exactly like a dropped
+        report). Reports always travel at epoch 0: cameras are not
+        leadership authorities on the uplink.
+        """
+        guard = self.report_guards.setdefault(cam, ChannelGuard())
+        env = Envelope.seal(
+            f"report:{cam}",
+            report.frame_index,
+            0,
+            ",".join(str(t) for t in report.track_ids),
+        )
+        for _ in range(outcome.corrupt_attempts):
+            guard.admit(env.corrupted())
+        if outcome.reordered:
+            return guard.hold_reordered(env).accepted
+        admission = guard.admit(env)
+        if outcome.duplicated:
+            guard.admit(env)
+        return admission.accepted
 
     def _report_message(
         self, cam: int, entries: List[ReportEntry], frame_index: int
@@ -327,20 +367,24 @@ class CentralScheduler:
         retry: RetryPolicy,
         up_outcomes: Dict[int, TransferOutcome],
         extra_down_bytes: Optional[Dict[int, int]] = None,
-    ) -> Tuple[float, FrozenSet[int], int]:
+    ) -> Tuple[float, FrozenSet[int], int, Dict[int, TransferOutcome]]:
         """Max camera-to-scheduler round trip (cameras talk in parallel).
 
-        Returns ``(worst_ms, delivered_cameras, lost_attempts)``. For a
-        faulted camera the round trip replays its recorded uplink outcome
-        and simulates the (retried) assignment download; lost attempts
-        surface as ``net.retry`` child spans and in the link drop
-        counters. Cameras without a channel are delivered for free.
-        ``extra_down_bytes`` (camera -> bytes) models piggybacked payload
-        on that camera's download (the failover checkpoint replica).
+        Returns ``(worst_ms, delivered_cameras, lost_attempts,
+        down_outcomes)``. For a faulted camera the round trip replays its
+        recorded uplink outcome and simulates the (retried) assignment
+        download; lost attempts surface as ``net.retry`` child spans and
+        in the link drop counters, and the download's
+        :class:`TransferOutcome` is returned so the receiver guard can
+        consume its duplicate/reorder/corruption record. Cameras without
+        a channel are delivered for free. ``extra_down_bytes`` (camera ->
+        bytes) models piggybacked payload on that camera's download (the
+        failover checkpoint replica).
         """
         extra = extra_down_bytes or {}
+        down_outcomes: Dict[int, TransferOutcome] = {}
         if not self.channels:
-            return 0.0, frozenset(reports), 0
+            return 0.0, frozenset(reports), 0, down_outcomes
         tracer = get_tracer()
         worst = 0.0
         delivered = {cam for cam in reports if cam not in self.channels}
@@ -383,6 +427,7 @@ class CentralScheduler:
                     down = channel.down_transfer(
                         down_bytes, fault, retry
                     )
+                    down_outcomes[cam] = down
                     total += down.elapsed_ms
                     for _ in range(down.dropped):
                         with tracer.span("net.retry", direction="down"):
@@ -393,4 +438,4 @@ class CentralScheduler:
                 lost_attempts += up.dropped
                 span.set_tag("delivered", cam in delivered)
             worst = max(worst, total)
-        return worst, frozenset(delivered), lost_attempts
+        return worst, frozenset(delivered), lost_attempts, down_outcomes

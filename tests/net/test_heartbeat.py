@@ -72,3 +72,82 @@ def test_recovery_resets_misses():
 def test_heartbeat_message_payload():
     beat = Heartbeat(frame_index=12, leader_id=3)
     assert beat.payload_bytes() > 0
+
+
+# ---------------------------------------------------------------------------
+# Property tests: the availability bound the failover design rests on.
+# Detection latency after a crash is at most lease_misses *
+# heartbeat_interval_frames frames, and the expiry frame is exactly
+# predictable from the last renewal.
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+_DETERMINISTIC = settings(derandomize=True, database=None, max_examples=80)
+
+
+@given(
+    h=st.integers(min_value=1, max_value=20),
+    m=st.integers(min_value=1, max_value=5),
+    c=st.integers(min_value=0, max_value=100),
+)
+@_DETERMINISTIC
+def test_detection_latency_is_bounded(h, m, c):
+    lease = LeaseConfig(heartbeat_interval_frames=h, lease_misses=m)
+    monitor = HeartbeatMonitor(lease)
+    monitor.observe(c, True)  # last renewal before the crash
+    expiries = [
+        f for f in range(c + 1, c + m * h + 1) if monitor.observe(f, False)
+    ]
+    # The lease expires exactly once, within the availability bound ...
+    assert len(expiries) == 1
+    (expiry,) = expiries
+    assert expiry - c <= m * h
+    # ... on an exactly predictable frame: the first due beacon strictly
+    # after the renewal, plus the remaining allowed misses.
+    first_due = c + ((h - c % h) or h)
+    assert expiry == first_due + (m - 1) * h
+
+
+@given(
+    h=st.integers(min_value=1, max_value=20),
+    m=st.integers(min_value=1, max_value=5),
+    k=st.integers(min_value=0, max_value=10),
+)
+@_DETERMINISTIC
+def test_bound_is_tight_when_crash_lands_on_a_due_frame(h, m, k):
+    # Expire-exactly-now edge: renewing on a heartbeat frame covers that
+    # beacon ("dying gasp"), so detection takes the full m*h frames --
+    # the availability bound is attained, never exceeded.
+    c = k * h
+    lease = LeaseConfig(heartbeat_interval_frames=h, lease_misses=m)
+    monitor = HeartbeatMonitor(lease)
+    monitor.observe(c, True)
+    assert not monitor.observe(c, False)  # due frame, covered by renewal
+    expiry = next(
+        f for f in range(c + 1, c + m * h + 1) if monitor.observe(f, False)
+    )
+    assert expiry - c == m * h
+
+
+@given(
+    h=st.integers(min_value=1, max_value=12),
+    m=st.integers(min_value=1, max_value=4),
+    renewals=st.lists(st.booleans(), min_size=1, max_size=60),
+)
+@_DETERMINISTIC
+def test_no_expiry_while_renewals_keep_arriving(h, m, renewals):
+    # Whatever the alive/dead pattern, an expiry can only fire after m
+    # consecutive *due* frames went unrenewed -- never while the most
+    # recent due beacon was answered.
+    lease = LeaseConfig(heartbeat_interval_frames=h, lease_misses=m)
+    monitor = HeartbeatMonitor(lease)
+    last_alive = None
+    for frame, alive in enumerate(renewals):
+        fired = monitor.observe(frame, alive)
+        if alive:
+            last_alive = frame
+        if fired:
+            assert last_alive is None or frame - last_alive >= m * h - h + 1
+            assert monitor.missed == m

@@ -281,3 +281,65 @@ class TestDuplexChannelRNG:
                               RetryPolicy(max_attempts=1))
         assert channel.messages_dropped == 3
         assert channel.bytes_dropped == 250
+
+
+class TestWireFaults:
+    def outcome(self, fault, seed=0, policy=None):
+        link = Link(LinkSpec(bandwidth_mbps=10.0))
+        policy = policy or RetryPolicy(max_attempts=3, timeout_ms=50.0,
+                                       backoff_ms=10.0)
+        return link, link.reliable_transfer(
+            1000, fault, policy, np.random.default_rng(seed)
+        )
+
+    def test_corrupt_attempts_cost_retries_like_losses(self):
+        link, outcome = self.outcome(LinkFault(corrupt_prob=1.0))
+        assert not outcome.delivered
+        assert outcome.corrupt_attempts == 3
+        assert link.messages_corrupted == 3
+        assert link.bytes_corrupted == 3000
+        assert link.giveups == 1
+
+    def test_giveups_distinct_from_recovered_retries(self):
+        # A transfer that recovers after losses books drops, not giveups.
+        link = Link(LinkSpec(bandwidth_mbps=10.0))
+        policy = RetryPolicy(max_attempts=8, timeout_ms=50.0, backoff_ms=0.0)
+        outcome = link.reliable_transfer(
+            1000, LinkFault(loss_prob=0.5), policy,
+            np.random.default_rng(3),
+        )
+        assert outcome.delivered
+        assert link.giveups == 0
+        assert link.messages_dropped == outcome.dropped
+
+    def test_duplicate_flagged_on_delivery(self):
+        link, outcome = self.outcome(LinkFault(duplicate_prob=1.0))
+        assert outcome.delivered and outcome.duplicated
+        assert not outcome.reordered
+
+    def test_reorder_flagged_on_delivery(self):
+        link, outcome = self.outcome(LinkFault(reorder_prob=1.0))
+        assert outcome.delivered and outcome.reordered
+        assert not outcome.duplicated
+
+    def test_clean_fault_consumes_no_rng(self):
+        # Zero-probability kinds must not draw: a fault mix without a
+        # kind keeps the exact RNG stream it had before the kind existed.
+        link = Link(LinkSpec(bandwidth_mbps=10.0))
+        rng = np.random.default_rng(7)
+        witness = np.random.default_rng(7)
+        link.reliable_transfer(1000, LinkFault(), RetryPolicy(), rng)
+        assert rng.random() == witness.random()
+
+    def test_wire_probabilities_validated(self):
+        for field in ("corrupt_prob", "duplicate_prob", "reorder_prob"):
+            with pytest.raises(ValueError):
+                LinkFault(**{field: 1.5})
+
+    def test_duplex_channel_aggregates_wire_counters(self):
+        channel = DuplexChannel(seed=0)
+        channel.up.record_corrupt(100)
+        channel.down.record_corrupt(50)
+        channel.up.giveups += 1
+        assert channel.messages_corrupted == 2
+        assert channel.giveups == 1

@@ -1,0 +1,112 @@
+"""The control-plane invariant monitor (R1-R4) in isolation."""
+
+import pickle
+
+import pytest
+
+from repro.runtime.invariants import InvariantMonitor, InvariantViolation
+
+
+class TestR1OneSchedulerPerEpoch:
+    def test_concurrent_issuers_sharing_an_epoch_raise(self):
+        monitor = InvariantMonitor()
+        monitor.observe_issue(frame=10, epoch=0, leader_id=-1)
+        with pytest.raises(InvariantViolation, match="R1 split-brain"):
+            monitor.observe_issue(frame=10, epoch=0, leader_id=1)
+
+    def test_concurrent_issuers_in_distinct_epochs_are_legal(self):
+        # The epoch-fenced protocol: a partition yields two authorities,
+        # but every leadership change bumped the epoch.
+        monitor = InvariantMonitor()
+        monitor.observe_issue(frame=10, epoch=0, leader_id=-1)
+        monitor.observe_issue(frame=10, epoch=1, leader_id=1)
+
+    def test_sequential_leaders_sharing_an_epoch_are_legal(self):
+        # Legacy crash failover (fencing off): primary then standby both
+        # issue at epoch 0, at different frames. Not split-brain.
+        monitor = InvariantMonitor()
+        monitor.observe_issue(frame=10, epoch=0, leader_id=-1)
+        monitor.observe_issue(frame=15, epoch=0, leader_id=1)
+        monitor.observe_issue(frame=20, epoch=0, leader_id=-1)
+
+    def test_same_leader_may_reissue_within_a_frame(self):
+        monitor = InvariantMonitor()
+        monitor.observe_issue(frame=5, epoch=2, leader_id=1)
+        monitor.observe_issue(frame=5, epoch=2, leader_id=1)
+
+
+class TestR2MonotonicAppliedEpochs:
+    def test_stale_epoch_applied_raises(self):
+        monitor = InvariantMonitor()
+        monitor.observe_applied(frame=5, camera_id=0, epoch=2)
+        with pytest.raises(InvariantViolation, match="R2 stale epoch"):
+            monitor.observe_applied(frame=10, camera_id=0, epoch=1)
+
+    def test_epochs_are_tracked_per_camera(self):
+        monitor = InvariantMonitor()
+        monitor.observe_applied(frame=5, camera_id=0, epoch=2)
+        monitor.observe_applied(frame=10, camera_id=1, epoch=0)
+
+    def test_equal_epoch_reapplication_is_legal(self):
+        monitor = InvariantMonitor()
+        monitor.observe_applied(frame=5, camera_id=0, epoch=1)
+        monitor.observe_applied(frame=10, camera_id=0, epoch=1)
+
+
+class TestR3AtMostOnceDispatch:
+    def test_double_apply_in_one_frame_raises(self):
+        monitor = InvariantMonitor()
+        monitor.observe_applied(frame=5, camera_id=0, epoch=0)
+        with pytest.raises(InvariantViolation, match="R3 duplicate"):
+            monitor.observe_applied(frame=5, camera_id=0, epoch=0)
+
+    def test_distinct_cameras_and_frames_are_legal(self):
+        monitor = InvariantMonitor()
+        monitor.observe_applied(frame=5, camera_id=0, epoch=0)
+        monitor.observe_applied(frame=5, camera_id=1, epoch=0)
+        monitor.observe_applied(frame=10, camera_id=0, epoch=0)
+
+
+class TestR4LedgerConservation:
+    def test_visible_and_lost_must_partition(self):
+        monitor = InvariantMonitor()
+        monitor.observe_frame(0, frozenset({1, 2}), frozenset({3}))
+        with pytest.raises(InvariantViolation, match="R4 ledger overlap"):
+            monitor.observe_frame(1, frozenset({1, 2}), frozenset({2}))
+
+    def test_frame_index_never_moves_backwards(self):
+        monitor = InvariantMonitor()
+        monitor.observe_frame(5, frozenset(), frozenset())
+        with pytest.raises(InvariantViolation, match="backwards"):
+            monitor.observe_frame(4, frozenset(), frozenset())
+
+
+class TestMonitorMechanics:
+    def test_record_mode_collects_instead_of_raising(self):
+        monitor = InvariantMonitor(mode="record")
+        monitor.observe_issue(frame=10, epoch=0, leader_id=-1)
+        monitor.observe_issue(frame=10, epoch=0, leader_id=1)
+        monitor.observe_applied(frame=10, camera_id=0, epoch=3)
+        monitor.observe_applied(frame=12, camera_id=0, epoch=1)
+        assert len(monitor.violations) == 2
+        assert "R1" in monitor.violations[0]
+        assert "R2" in monitor.violations[1]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            InvariantMonitor(mode="ignore")
+
+    def test_monitor_pickles_for_checkpoints(self):
+        monitor = InvariantMonitor()
+        monitor.observe_issue(frame=3, epoch=1, leader_id=-1)
+        monitor.observe_applied(frame=3, camera_id=0, epoch=1)
+        clone = pickle.loads(pickle.dumps(monitor))
+        with pytest.raises(InvariantViolation):
+            clone.observe_applied(frame=4, camera_id=0, epoch=0)
+
+    def test_per_frame_state_rolls_forward(self):
+        monitor = InvariantMonitor()
+        monitor.observe_issue(frame=5, epoch=0, leader_id=-1)
+        monitor.observe_frame(5, frozenset(), frozenset())
+        # A new frame clears the per-frame issuer/dispatch sets.
+        monitor.observe_issue(frame=10, epoch=0, leader_id=1)

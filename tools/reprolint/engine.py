@@ -84,6 +84,7 @@ class Config:
     rl003_modules: Tuple[str, ...] = (
         "src/repro/net/messages.py",
         "src/repro/net/heartbeat.py",
+        "src/repro/net/envelope.py",
         "src/repro/checkpoint.py",
         "src/repro/faults/spec.py",
     )
