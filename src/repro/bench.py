@@ -176,6 +176,49 @@ def _setup_event_pipeline_burst() -> Callable[[], object]:
     return lambda: run_policy(scenario, "balb", config, trained)
 
 
+#: Fleet size and frames each ``fleet_health_overhead`` iteration drives
+#: through the watchdog (the per-frame cost the scheduler pays under a
+#: sensor-fault preset, amortized over a representative episode).
+HEALTH_CAMERAS = 16
+HEALTH_FRAMES = 60
+
+
+def _setup_fleet_health() -> Callable[[], object]:
+    from repro.runtime.health import FleetHealthWatchdog, HealthSignals
+
+    cams = list(range(HEALTH_CAMERAS))
+
+    def body() -> object:
+        watchdog = FleetHealthWatchdog(cams)
+        transitions = 0
+        for frame in range(HEALTH_FRAMES):
+            signals = {}
+            for cam in cams:
+                # Camera 0 freezes mid-episode (its token repeats),
+                # camera 1 drifts off the fleet clock, camera 2 flaps;
+                # the rest stay healthy behind a scene-varying token —
+                # a full quarantine/readmission lifecycle per iteration.
+                token = frame * 31 + cam
+                alive = True
+                skew = 0
+                if cam == 0 and 20 <= frame < 40:
+                    token = 20 * 31
+                elif cam == 1:
+                    skew = frame // 12
+                elif cam == 2:
+                    alive = frame % 2 == 0
+                signals[cam] = HealthSignals(
+                    alive=alive,
+                    content_token=token,
+                    skew_frames=skew,
+                    quality=1.0 if frame % 5 == 0 else None,
+                )
+            transitions += len(watchdog.observe(frame, signals))
+        return transitions
+
+    return body
+
+
 def _setup_mask_build() -> Callable[[], object]:
     from repro.core.masks import build_camera_masks
 
@@ -189,6 +232,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Callable[[], object]], int]] = {
     # name -> (setup factory, inner iterations per round)
     "balb_central_40obj": (lambda: _setup_balb_central(40), 20),
     "balb_priority_of": (_setup_priority_of, 2000),
+    "fleet_health_overhead": (_setup_fleet_health, 20),
     "hungarian_20x20": (lambda: _setup_hungarian(20), 20),
     "knn_pair_query": (_setup_knn_query, 50),
     "knn_pair_query_batch64": (lambda: _setup_knn_query_batch(64), 50),

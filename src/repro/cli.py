@@ -207,6 +207,22 @@ def _fault_summary_table(result, title: str = "fault summary") -> str:
             ("stale epochs fenced",
              counter_sum("failover_fenced_total")),
         ]
+    if counter_sum("health_suspects_total") or counter_sum(
+        "health_quarantines_total"
+    ):
+        rows += [
+            ("health suspects", counter_sum("health_suspects_total")),
+            ("cameras quarantined",
+             counter_sum("health_quarantines_total")),
+            ("probation admissions",
+             counter_sum("health_probations_total")),
+            ("cameras readmitted",
+             counter_sum("health_readmissions_total")),
+            ("membership re-fits",
+             counter_sum("membership_refits_total")),
+            ("frozen sensor frames",
+             counter_sum("sensor_frozen_frames_total")),
+        ]
     if counter_sum("scheduler_down_frames_total"):
         recovery = next(
             (m for m in result.metrics

@@ -63,6 +63,9 @@ class EpisodeOutcome:
     shrunk_events: Tuple[FaultEvent, ...] = ()
     #: Pipeline re-runs the shrinking loop spent.
     shrink_runs: int = 0
+    #: Fleet-health lifecycle counts (sensor-fault presets only).
+    quarantines: int = 0
+    readmissions: int = 0
 
     @property
     def passed(self) -> bool:
@@ -80,6 +83,9 @@ class SoakResult:
     base_seed: int
     fencing: bool
     episodes: Tuple[EpisodeOutcome, ...] = field(default_factory=tuple)
+    #: The preset carries degraded-sensor faults, so the report includes
+    #: the fleet-health lifecycle columns.
+    sensor_faults: bool = False
 
     @property
     def n_passed(self) -> int:
@@ -108,14 +114,30 @@ def _soak_config(
 
 def _run_episode(
     scenario, trained, base_seed: int, schedule: FaultSchedule, fencing: bool
-) -> Optional[str]:
-    """Run one episode; the first violation line, or ``None`` if clean."""
+) -> Tuple[Optional[str], int, int]:
+    """Run one episode.
+
+    Returns ``(violation, quarantines, readmissions)``: the first
+    violation line (or ``None`` if clean) and the fleet-health lifecycle
+    counts the episode racked up (0 on a violating run — it aborted).
+    """
     config = _soak_config(base_seed, schedule, fencing)
     try:
-        run_policy(scenario, config.policy, config, trained)
+        result = run_policy(scenario, config.policy, config, trained)
     except InvariantViolation as exc:
-        return str(exc).splitlines()[0]
-    return None
+        return str(exc).splitlines()[0], 0, 0
+
+    def counter_sum(name: str) -> int:
+        return int(sum(
+            m["value"] for m in result.metrics
+            if m["kind"] == "counter" and m["name"] == name
+        ))
+
+    return (
+        None,
+        counter_sum("health_quarantines_total"),
+        counter_sum("health_readmissions_total"),
+    )
 
 
 def _shrink(
@@ -171,6 +193,12 @@ def run_soak(
             f"{', '.join(sorted(CHAOS_PRESETS))}"
         )
     model: FaultModel = CHAOS_PRESETS[preset]
+    sensor_faults = bool(
+        model.freeze_rate
+        or model.clock_drift_rate
+        or model.flap_rate
+        or model.fade_rate
+    )
     scenario = get_scenario(scenario_name, seed=seed)
     camera_ids = [cam.camera_id for cam in scenario.cameras]
     config = _soak_config(seed, None, fencing)
@@ -183,17 +211,25 @@ def run_soak(
         schedule = model.compile(
             camera_ids, n_frames, fault_seed + _FAULT_SEED_OFFSET
         )
-        violation = _run_episode(scenario, trained, seed, schedule, fencing)
+        violation, quarantines, readmissions = _run_episode(
+            scenario, trained, seed, schedule, fencing
+        )
         if violation is None:
             outcomes.append(
-                EpisodeOutcome(i, fault_seed, len(schedule.events))
+                EpisodeOutcome(
+                    i,
+                    fault_seed,
+                    len(schedule.events),
+                    quarantines=quarantines,
+                    readmissions=readmissions,
+                )
             )
             continue
 
         def _violates(subset: Sequence[FaultEvent]) -> bool:
             sub_schedule = FaultSchedule(tuple(subset))
             return (
-                _run_episode(scenario, trained, seed, sub_schedule, fencing)
+                _run_episode(scenario, trained, seed, sub_schedule, fencing)[0]
                 is not None
             )
 
@@ -216,6 +252,7 @@ def run_soak(
         base_seed=seed,
         fencing=fencing,
         episodes=tuple(outcomes),
+        sensor_faults=sensor_faults,
     )
 
 
@@ -245,14 +282,28 @@ def format_soak_report(result: SoakResult) -> str:
             f"{'on' if result.fencing else 'off'}"
         ),
         "",
-        f"{'episode':>7}  {'fault-seed':>10}  {'events':>6}  verdict",
     ]
-    for ep in result.episodes:
-        verdict = "ok" if ep.passed else "VIOLATION"
+    if result.sensor_faults:
         lines.append(
-            f"{ep.index:>7}  {ep.fault_seed:>10}  {ep.n_events:>6}  "
-            f"{verdict}"
+            f"{'episode':>7}  {'fault-seed':>10}  {'events':>6}  "
+            f"{'quar':>4}  {'readm':>5}  verdict"
         )
+        for ep in result.episodes:
+            verdict = "ok" if ep.passed else "VIOLATION"
+            lines.append(
+                f"{ep.index:>7}  {ep.fault_seed:>10}  {ep.n_events:>6}  "
+                f"{ep.quarantines:>4}  {ep.readmissions:>5}  {verdict}"
+            )
+    else:
+        lines.append(
+            f"{'episode':>7}  {'fault-seed':>10}  {'events':>6}  verdict"
+        )
+        for ep in result.episodes:
+            verdict = "ok" if ep.passed else "VIOLATION"
+            lines.append(
+                f"{ep.index:>7}  {ep.fault_seed:>10}  {ep.n_events:>6}  "
+                f"{verdict}"
+            )
     for ep in result.episodes:
         if ep.passed:
             continue
@@ -262,8 +313,14 @@ def format_soak_report(result: SoakResult) -> str:
             f"events, {ep.shrink_runs} shrink runs):"
         )
         lines += [f"    {_format_event(e)}" for e in ep.shrunk_events]
+    lines.append("")
+    if result.sensor_faults:
+        lines.append(
+            "fleet lifecycle: "
+            f"{sum(e.quarantines for e in result.episodes)} quarantines, "
+            f"{sum(e.readmissions for e in result.episodes)} readmissions"
+        )
     lines += [
-        "",
         f"episodes passed: {result.n_passed}/{len(result.episodes)}",
         f"verdict: {'PASS' if result.ok else 'FAIL'}",
     ]

@@ -30,6 +30,7 @@ from repro.faults.schedule import (
 from repro.faults.spec import (
     CHAOS_PRESETS,
     parse_fault_spec,
+    render_clause,
     resolve_faults,
     validate_fault_spec,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "FaultSchedule",
     "FrameFaults",
     "parse_fault_spec",
+    "render_clause",
     "resolve_faults",
     "validate_fault_spec",
 ]

@@ -57,25 +57,48 @@ class FaultModel:
     #: window (then heals, forcing the split-brain reunite path).
     scheduler_partition_rate: float = 0.0
     mean_scheduler_partition_frames: float = 8.0
+    #: Degraded-sensor processes: the camera keeps heartbeating but its
+    #: output lies. Onset rates are per camera-frame like ``crash_rate``.
+    freeze_rate: float = 0.0
+    mean_freeze_frames: float = 10.0
+    clock_drift_rate: float = 0.0
+    drift_slope: float = 0.5  # lag frames gained per frame while drifting
+    mean_drift_frames: float = 15.0
+    flap_rate: float = 0.0
+    flap_period_frames: float = 2.0  # leave/join phase length
+    mean_flap_frames: float = 10.0
+    fade_rate: float = 0.0
+    fade_factor: float = 8.0  # miss-probability multiplier at full fade
+    mean_fade_frames: float = 20.0
 
     def __post_init__(self) -> None:
         for name in ("crash_rate", "partition_rate", "delay_spike_rate",
                      "slowdown_rate", "loss_prob", "scheduler_crash_rate",
                      "burst_rate", "corrupt_prob", "duplicate_prob",
-                     "reorder_prob", "scheduler_partition_rate"):
+                     "reorder_prob", "scheduler_partition_rate",
+                     "freeze_rate", "clock_drift_rate", "flap_rate",
+                     "fade_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability in [0, 1]")
         for name in ("mean_outage_frames", "mean_partition_frames",
                      "mean_delay_frames", "mean_slowdown_frames",
                      "mean_scheduler_outage_frames", "mean_burst_frames",
-                     "mean_scheduler_partition_frames"):
+                     "mean_scheduler_partition_frames",
+                     "mean_freeze_frames", "mean_drift_frames",
+                     "mean_flap_frames", "mean_fade_frames"):
             if getattr(self, name) < 1.0:
                 raise ValueError(f"{name} must be >= 1 frame")
         if self.delay_ms < 0:
             raise ValueError("delay_ms must be non-negative")
         if self.slowdown_factor <= 0:
             raise ValueError("slowdown_factor must be positive")
+        if self.drift_slope <= 0:
+            raise ValueError("drift_slope must be positive")
+        if self.flap_period_frames < 1.0:
+            raise ValueError("flap_period_frames must be >= 1 frame")
+        if self.fade_factor < 1.0:
+            raise ValueError("fade_factor must be >= 1")
 
     @property
     def is_null(self) -> bool:
@@ -92,6 +115,10 @@ class FaultModel:
             and self.duplicate_prob == 0.0
             and self.reorder_prob == 0.0
             and self.scheduler_partition_rate == 0.0
+            and self.freeze_rate == 0.0
+            and self.clock_drift_rate == 0.0
+            and self.flap_rate == 0.0
+            and self.fade_rate == 0.0
         )
 
     # ------------------------------------------------------------------
@@ -214,4 +241,39 @@ class FaultModel:
                     frame += duration
                 else:
                     frame += 1
+        # Degraded-sensor processes draw after *every* pre-existing
+        # process (per-camera, scheduler-crash and scheduler-partition
+        # alike), so sensor-free models compile to exactly the schedules
+        # they did before these kinds existed.
+        sensor_processes = (
+            (FaultKind.SENSOR_FREEZE, self.freeze_rate,
+             self.mean_freeze_frames, 0.0),
+            (FaultKind.CLOCK_DRIFT, self.clock_drift_rate,
+             self.mean_drift_frames, self.drift_slope),
+            (FaultKind.CAMERA_FLAP, self.flap_rate,
+             self.mean_flap_frames, self.flap_period_frames),
+            (FaultKind.QUALITY_FADE, self.fade_rate,
+             self.mean_fade_frames, self.fade_factor),
+        )
+        for cam in sorted(camera_ids):
+            for kind, rate, mean_frames, magnitude in sensor_processes:
+                if rate <= 0.0:
+                    continue
+                frame = 0
+                while frame < n_frames:
+                    if rng.random() < rate:
+                        duration = int(rng.geometric(1.0 / mean_frames))
+                        duration = max(1, min(duration, n_frames - frame))
+                        events.append(
+                            FaultEvent(
+                                kind=kind,
+                                start_frame=frame,
+                                duration=duration,
+                                camera_id=cam,
+                                magnitude=magnitude,
+                            )
+                        )
+                        frame += duration
+                    else:
+                        frame += 1
         return FaultSchedule(events)

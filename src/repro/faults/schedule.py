@@ -9,11 +9,19 @@ events *starting* at that frame, which it emits as trace spans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 import enum
+import math
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.net.link import LinkFault
+
+#: Hard ceiling on clock-drift lag, in frames. Bounds the world-history
+#: depth the pipeline must retain no matter how long a drift window runs.
+DRIFT_LAG_CAP = 12
+
+#: Frames over which a quality fade ramps from 1.0 to its full factor.
+FADE_RAMP_FRAMES = 10
 
 
 class FaultKind(enum.Enum):
@@ -31,11 +39,20 @@ class FaultKind(enum.Enum):
     MSG_CORRUPT = "msg_corrupt"  # in-flight bit damage (checksum rejects)
     MSG_DUPLICATE = "msg_duplicate"  # wire delivers a second copy
     MSG_REORDER = "msg_reorder"  # wire delivers out of order
+    SENSOR_FREEZE = "sensor_freeze"  # heartbeats fine, repeats its last frame
+    CLOCK_DRIFT = "clock_drift"  # per-camera lag grows over the window
+    CAMERA_FLAP = "camera_flap"  # rapid leave/join membership churn
+    QUALITY_FADE = "quality_fade"  # detector recall decays (lens fouling)
 
+
+#: Degraded-sensor kinds: the camera keeps talking but lies. These arm
+#: the fleet-health watchdog rather than the crash/partition machinery.
+_SENSOR_KINDS = (FaultKind.SENSOR_FREEZE, FaultKind.CLOCK_DRIFT,
+                 FaultKind.CAMERA_FLAP, FaultKind.QUALITY_FADE)
 
 #: Kinds that require a concrete camera id (link faults may be fleet-wide).
 _CAMERA_REQUIRED = (FaultKind.CAMERA_CRASH, FaultKind.PARTITION,
-                    FaultKind.GPU_SLOWDOWN)
+                    FaultKind.GPU_SLOWDOWN) + _SENSOR_KINDS
 
 #: Kinds affecting the central node itself: never bound to a camera.
 _SCHEDULER_KINDS = (FaultKind.SCHEDULER_CRASH, FaultKind.SCHEDULER_REJOIN)
@@ -88,6 +105,20 @@ class FaultEvent:
             raise ValueError("link_delay magnitude (ms) must be non-negative")
         if self.kind is FaultKind.GPU_SLOWDOWN and self.magnitude <= 0:
             raise ValueError("gpu_slowdown magnitude (factor) must be positive")
+        if self.kind is FaultKind.CLOCK_DRIFT and self.magnitude <= 0:
+            raise ValueError(
+                "clock_drift magnitude (lag frames gained per frame) must "
+                "be positive"
+            )
+        if self.kind is FaultKind.CAMERA_FLAP and self.magnitude < 1:
+            raise ValueError(
+                "camera_flap magnitude (phase period in frames) must be >= 1"
+            )
+        if self.kind is FaultKind.QUALITY_FADE and self.magnitude < 1:
+            raise ValueError(
+                "quality_fade magnitude (miss-probability multiplier) must "
+                "be >= 1"
+            )
 
     @property
     def end_frame(self) -> Optional[int]:
@@ -125,6 +156,13 @@ class FrameFaults:
     #: still talk to a standby on their side of the cut — the substrate
     #: of the split-brain scenario.
     sched_partitioned: FrozenSet[int] = frozenset()
+    #: Cameras whose sensor repeats its last frame (still heartbeating).
+    frozen: FrozenSet[int] = frozenset()
+    #: Extra lag frames accumulated by drifting clocks (absent = 0).
+    drift_lags: Dict[int, int] = field(default_factory=dict)
+    #: Detector miss-probability multipliers from quality fades
+    #: (absent = 1.0).
+    fade: Dict[int, float] = field(default_factory=dict)
 
     @property
     def any_active(self) -> bool:
@@ -132,6 +170,7 @@ class FrameFaults:
             self.down or self.partitioned or self.gpu_factor
             or self.link_faults or self.started or self.scheduler_down
             or self.bursting or self.sched_partitioned
+            or self.frozen or self.drift_lags or self.fade
         )
 
 
@@ -158,14 +197,30 @@ class FaultSchedule:
 
     # ------------------------------------------------------------------
     def down_cameras(self, frame: int) -> FrozenSet[int]:
-        """Cameras crashed (not processing at all) at ``frame``."""
-        return frozenset(
+        """Cameras crashed (not processing at all) at ``frame``.
+
+        Includes the down phases of ``CAMERA_FLAP`` windows: a flapping
+        camera alternates leave/join every ``magnitude`` frames, opening
+        with a leave, which is exactly the churn that thrashes naive
+        membership handling.
+        """
+        crashed = set(
             e.camera_id
             for e in self.events
             if e.kind is FaultKind.CAMERA_CRASH
             and e.active_at(frame)
             and e.camera_id is not None
         )
+        for e in self.events:
+            if (
+                e.kind is FaultKind.CAMERA_FLAP
+                and e.active_at(frame)
+                and e.camera_id is not None
+            ):
+                period = max(1, int(e.magnitude))
+                if ((frame - e.start_frame) // period) % 2 == 0:
+                    crashed.add(e.camera_id)
+        return frozenset(crashed)
 
     def partitioned_cameras(self, frame: int) -> FrozenSet[int]:
         """Cameras running but cut off from the scheduler at ``frame``."""
@@ -231,6 +286,86 @@ class FaultSchedule:
         return any(
             e.kind is FaultKind.INGEST_BURST for e in self.events
         )
+
+    @property
+    def has_sensor_faults(self) -> bool:
+        """Can any event degrade a sensor without killing the camera?
+
+        Freeze/drift/flap/fade events arm the fleet-health watchdog;
+        without them the pipeline keeps its pristine code path and
+        fault-free golden traces stay byte-identical.
+        """
+        return any(e.kind in _SENSOR_KINDS for e in self.events)
+
+    def frozen_cameras(self, frame: int) -> FrozenSet[int]:
+        """Cameras whose sensor repeats its last frame at ``frame``."""
+        return frozenset(
+            e.camera_id
+            for e in self.events
+            if e.kind is FaultKind.SENSOR_FREEZE
+            and e.active_at(frame)
+            and e.camera_id is not None
+        )
+
+    def drift_lag(self, frame: int, camera_id: int) -> int:
+        """Extra lag frames a drifting clock has accumulated at ``frame``.
+
+        Each active ``CLOCK_DRIFT`` event contributes
+        ``floor(rate * elapsed)`` lag frames, where ``rate`` is its
+        magnitude; the sum is capped at :data:`DRIFT_LAG_CAP` so history
+        depth stays bounded.
+        """
+        lag = 0
+        for e in self.events:
+            if (
+                e.kind is FaultKind.CLOCK_DRIFT
+                and e.active_at(frame)
+                and e.camera_id == camera_id
+            ):
+                lag += int(math.floor(e.magnitude * (frame - e.start_frame + 1)))
+        return min(lag, DRIFT_LAG_CAP)
+
+    def max_drift_lag(self, n_frames: int) -> int:
+        """Largest drift lag any camera can reach within ``n_frames``.
+
+        The pipeline sizes its world-history buffer from this before the
+        run starts, so drifting cameras always find their lagged view.
+        """
+        worst = 0
+        cams = set(
+            e.camera_id
+            for e in self.events
+            if e.kind is FaultKind.CLOCK_DRIFT and e.camera_id is not None
+        )
+        for cam in cams:
+            for e in self.events:
+                if e.kind is not FaultKind.CLOCK_DRIFT or e.camera_id != cam:
+                    continue
+                last = n_frames - 1
+                if e.end_frame is not None:
+                    last = min(last, e.end_frame - 1)
+                if last >= e.start_frame:
+                    worst = max(worst, self.drift_lag(last, cam))
+        return min(worst, DRIFT_LAG_CAP)
+
+    def fade_factor(self, frame: int, camera_id: int) -> float:
+        """Combined detector miss-probability multiplier for one camera.
+
+        A fade ramps linearly from 1.0 to its full magnitude over the
+        first :data:`FADE_RAMP_FRAMES` frames of the window — recall
+        *decays* rather than falling off a cliff — then holds.
+        """
+        factor = 1.0
+        for e in self.events:
+            if (
+                e.kind is FaultKind.QUALITY_FADE
+                and e.active_at(frame)
+                and e.camera_id == camera_id
+            ):
+                elapsed = frame - e.start_frame + 1
+                ramp = min(1.0, elapsed / float(FADE_RAMP_FRAMES))
+                factor *= 1.0 + (e.magnitude - 1.0) * ramp
+        return factor
 
     def ingest_bursting(self, frame: int, camera_id: int) -> bool:
         """Is ``camera_id``'s frame ingest stalled by a burst at ``frame``?"""
@@ -338,6 +473,15 @@ class FaultSchedule:
         partitioned = self.partitioned_cameras(frame) & frozenset(cams)
         gpu = {}
         link: Dict[int, LinkFault] = {}
+        drift_lags: Dict[int, int] = {}
+        fade: Dict[int, float] = {}
+        for cam in cams:
+            lag = self.drift_lag(frame, cam)
+            if lag > 0:
+                drift_lags[cam] = lag
+            fade_x = self.fade_factor(frame, cam)
+            if fade_x != 1.0:
+                fade[cam] = fade_x
         for cam in cams:
             factor = self.gpu_factor(frame, cam)
             if factor != 1.0:
@@ -371,4 +515,7 @@ class FaultSchedule:
             sched_partitioned=self.scheduler_partitioned_cameras(
                 frame, cams
             ),
+            frozen=self.frozen_cameras(frame) & frozenset(cams),
+            drift_lags=drift_lags,
+            fade=fade,
         )

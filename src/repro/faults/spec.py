@@ -17,6 +17,10 @@ Scripted events are semicolon-separated ``kind:key=value,...`` clauses::
     corrupt:p=0.05                  # 5% of messages damaged in flight
     dup:p=0.05,cam=1,at=5,for=20    # scoped duplicate delivery on camera 1
     reorder:p=0.03                  # 3% of messages delivered out of order
+    freeze:cam=1,at=10,for=15       # camera 1 repeats its last frame
+    drift:cam=2,rate=0.5,at=5,for=20  # camera 2's clock lags 0.5 frames/frame
+    flap:cam=0,period=2,at=10,for=12  # camera 0 leaves/joins every 2 frames
+    fade:cam=1,x=8,at=10,for=25     # camera 1's detector misses ramp to 8x
 
 ``at`` defaults to frame 0 and ``for`` to the rest of the run. A
 ``rand:`` clause instead builds a stochastic
@@ -75,6 +79,14 @@ CHAOS_PRESETS: Dict[str, FaultModel] = {
         mean_scheduler_partition_frames=8.0,
         scheduler_crash_rate=0.004, mean_scheduler_outage_frames=10.0,
     ),
+    # Degraded sensors: cameras that lie rather than die. Exercises the
+    # fleet-health watchdog's quarantine/probation lifecycle.
+    "fleet": FaultModel(
+        freeze_rate=0.012, mean_freeze_frames=10.0,
+        clock_drift_rate=0.008, drift_slope=0.6, mean_drift_frames=12.0,
+        flap_rate=0.006, flap_period_frames=2.0, mean_flap_frames=8.0,
+        fade_rate=0.008, fade_factor=8.0, mean_fade_frames=15.0,
+    ),
 }
 
 _EVENT_KINDS = {
@@ -90,7 +102,15 @@ _EVENT_KINDS = {
     "corrupt": FaultKind.MSG_CORRUPT,
     "dup": FaultKind.MSG_DUPLICATE,
     "reorder": FaultKind.MSG_REORDER,
+    "freeze": FaultKind.SENSOR_FREEZE,
+    "drift": FaultKind.CLOCK_DRIFT,
+    "flap": FaultKind.CAMERA_FLAP,
+    "fade": FaultKind.QUALITY_FADE,
 }
+
+#: Clause name for each kind — the DSL table inverted, so events can be
+#: rendered back to clause text (see :func:`render_clause`).
+_CLAUSE_NAMES = {kind: name for name, kind in _EVENT_KINDS.items()}
 
 #: Wire clauses whose magnitude is a required ``p=<prob>``.
 _WIRE_CLAUSES = ("corrupt", "dup", "reorder")
@@ -117,6 +137,17 @@ _RAND_KEYS = {
     "reorder": "reorder_prob",
     "sched_partition": "scheduler_partition_rate",
     "sched_partition_frames": "mean_scheduler_partition_frames",
+    "freeze": "freeze_rate",
+    "freeze_frames": "mean_freeze_frames",
+    "drift": "clock_drift_rate",
+    "drift_slope": "drift_slope",
+    "drift_frames": "mean_drift_frames",
+    "flap": "flap_rate",
+    "flap_period": "flap_period_frames",
+    "flap_frames": "mean_flap_frames",
+    "fade": "fade_rate",
+    "fade_x": "fade_factor",
+    "fade_frames": "mean_fade_frames",
 }
 
 
@@ -206,6 +237,23 @@ def _parse_event(name: str, kv: Dict[str, str], clause: str) -> FaultEvent:
         if x is None:
             raise ValueError(f"fault clause {clause!r}: gpu needs x=<factor>")
         magnitude = x
+    elif kind is FaultKind.CLOCK_DRIFT:
+        rate = _float_field(kv, "rate", clause)
+        if rate is None:
+            raise ValueError(
+                f"fault clause {clause!r}: drift needs rate=<frames/frame>"
+            )
+        magnitude = rate
+    elif kind is FaultKind.CAMERA_FLAP:
+        period = _float_field(kv, "period", clause)
+        magnitude = 2.0 if period is None else period
+    elif kind is FaultKind.QUALITY_FADE:
+        x = _float_field(kv, "x", clause)
+        if x is None:
+            raise ValueError(
+                f"fault clause {clause!r}: fade needs x=<multiplier>"
+            )
+        magnitude = x
     if kv:
         raise ValueError(
             f"fault clause {clause!r}: unknown keys {sorted(kv)}"
@@ -258,11 +306,49 @@ def parse_fault_spec(spec: str) -> Union[FaultSchedule, FaultModel]:
             return _parse_model(kv, clause)
         if name not in _EVENT_KINDS:
             raise ValueError(
-                f"unknown fault kind {name!r}; options: "
-                f"{sorted(_EVENT_KINDS)} or rand"
+                f"unknown fault kind {name!r} in clause {clause!r}; "
+                f"valid clauses: {', '.join(sorted(_EVENT_KINDS))}, or rand"
             )
         events.append(_parse_event(name, kv, clause))
     return FaultSchedule(events)
+
+
+#: Magnitude key each clause renders with (absent = magnitude unused).
+_MAGNITUDE_KEYS = {
+    FaultKind.LINK_LOSS: "p",
+    FaultKind.MSG_CORRUPT: "p",
+    FaultKind.MSG_DUPLICATE: "p",
+    FaultKind.MSG_REORDER: "p",
+    FaultKind.LINK_DELAY: "ms",
+    FaultKind.GPU_SLOWDOWN: "x",
+    FaultKind.CLOCK_DRIFT: "rate",
+    FaultKind.CAMERA_FLAP: "period",
+    FaultKind.QUALITY_FADE: "x",
+}
+
+
+def render_clause(event: FaultEvent) -> str:
+    """Render one event back to DSL clause text.
+
+    The exact inverse of :func:`parse_fault_spec` for a single clause:
+    ``parse_fault_spec(render_clause(e))`` yields a schedule containing
+    exactly ``e``. Keeps the DSL table honest — a kind that can't render
+    has silently drifted from the parser.
+    """
+    name = _CLAUSE_NAMES.get(event.kind)
+    if name is None:
+        raise ValueError(f"{event.kind.value} has no DSL clause")
+    parts = []
+    if event.camera_id is not None:
+        parts.append(f"cam={event.camera_id}")
+    magnitude_key = _MAGNITUDE_KEYS.get(event.kind)
+    if magnitude_key is not None:
+        parts.append(f"{magnitude_key}={event.magnitude:g}")
+    if event.start_frame:
+        parts.append(f"at={event.start_frame}")
+    if event.duration is not None:
+        parts.append(f"for={event.duration}")
+    return f"{name}:{','.join(parts)}" if parts else name + ":"
 
 
 def validate_fault_spec(spec: str) -> None:

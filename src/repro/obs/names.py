@@ -42,6 +42,11 @@ SPAN_NAMES = frozenset(
         "ingest.drop",
         "ingest.stall",
         "gpu.full_frame",
+        "health.active",
+        "health.probation",
+        "health.quarantined",
+        "health.refit",
+        "health.suspect",
         "net.retry",
         "net.round_trip",
         "run",
@@ -62,6 +67,7 @@ SPAN_PREFIXES = frozenset(
     {
         "fault.",
         "failover.",
+        "health.",
         "ingest.",
         "wire.",
     }
@@ -91,8 +97,15 @@ METRIC_NAMES = frozenset(
         "failover_takeovers_total",
         "fault_events_total",
         "forced_key_frames_total",
+        "clock_drift_lag_frames",
         "frame_wall_ms",
         "frames_total",
+        "health_probation_frames_total",
+        "health_probations_total",
+        "health_quarantines_total",
+        "health_readmissions_total",
+        "health_score",
+        "health_suspects_total",
         "inference_ms",
         "ingest_admitted_total",
         "ingest_coalesced_total",
@@ -105,11 +118,15 @@ METRIC_NAMES = frozenset(
         "ingest_stalled_frames_total",
         "key_frames_total",
         "link_giveups_total",
+        "membership_epoch",
+        "membership_refits_total",
         "message_retries_total",
         "messages_corrupted_total",
         "messages_dropped_total",
+        "quality_fade_factor",
         "regular_frames_total",
         "scheduler_down_frames_total",
+        "sensor_frozen_frames_total",
         "serving_cache_hits_total",
         "serving_cache_misses_total",
         "serving_requests_total",

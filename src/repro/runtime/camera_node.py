@@ -104,6 +104,11 @@ class CameraNode:
         self.frame_dt = frame_dt
         self.tracks: Dict[int, NodeTrack] = {}
         self._next_tid = camera.camera_id * 1_000_000
+        #: Detector miss-probability multiplier from a ``quality_fade``
+        #: fault (1.0 = healthy). Scales every object's miss probability
+        #: without changing the detector's RNG draw count, so a factor of
+        #: 1.0 is byte-identical to no fade at all.
+        self.quality_fade = 1.0
         #: Receiver guard for the assignment downlink: drops corrupted
         #: messages, dedupes duplicated deliveries and fences assignments
         #: from a deposed scheduler epoch (see repro.net.envelope). Pure
@@ -127,7 +132,7 @@ class CameraNode:
         inference_ms = self.executor.execute_full_frame()
         with tracer.span("camera.detect"):
             detections = self.detector.detect_full_frame(
-                objects, miss_multipliers
+                objects, self._faded_multipliers(objects, miss_multipliers)
             )
 
         with tracer.span("camera.track_refresh"):
@@ -279,7 +284,9 @@ class CameraNode:
         # 5. Detect within the slices and refresh tracks.
         with tracer.span("camera.detect"):
             detections = self.detector.detect_regions(
-                objects, [s.region for s in slices], miss_multipliers
+                objects,
+                [s.region for s in slices],
+                self._faded_multipliers(objects, miss_multipliers),
             )
         with tracer.span("camera.track_refresh"):
             inspected_boxes = {s.key: s.region for s in slices}
@@ -325,6 +332,26 @@ class CameraNode:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def set_quality_fade(self, factor: float) -> None:
+        """Install this frame's ``quality_fade`` miss multiplier."""
+        if factor < 1.0:
+            raise ValueError("quality fade factor must be >= 1")
+        self.quality_fade = factor
+
+    def _faded_multipliers(
+        self,
+        objects: Sequence[WorldObject],
+        miss_multipliers: Optional[Dict[int, float]],
+    ) -> Optional[Dict[int, float]]:
+        """Fold the quality-fade factor into the miss multipliers."""
+        if self.quality_fade == 1.0:
+            return miss_multipliers
+        base = miss_multipliers or {}
+        return {
+            obj.object_id: self.quality_fade * base.get(obj.object_id, 1.0)
+            for obj in objects
+        }
+
     def assigned_track_count(self) -> int:
         """Number of tracks this camera currently inspects."""
         return sum(

@@ -22,6 +22,12 @@ on changes nothing about a run until something is actually wrong:
 * **R4 — ledger conservation.** ``visible_gt`` and ``coverage_lost``
   partition the observable objects (never overlap), and the frame index
   only moves forward.
+* **R5 — no assignment to a quarantined camera.** A camera the fleet
+  health watchdog has quarantined is out of the scheduling membership;
+  an assignment applied by one means the quarantine wasn't honored.
+* **R6 — monotonic membership epochs.** The watchdog's membership epoch
+  (bumped on every quarantine/readmission) never moves backwards —
+  a regression would let a pre-quarantine view of the fleet resurface.
 
 A violation raises :class:`InvariantViolation` immediately (fail fast:
 the frame that broke the invariant is the one to debug) with the tail
@@ -63,6 +69,10 @@ class InvariantMonitor:
         self._applied_epoch: Dict[int, int] = {}
         #: R3: (camera, frame) assignments applied on the current frame.
         self._applied_now: Set[Tuple[int, int]] = set()
+        #: R5: cameras currently quarantined by the health watchdog.
+        self._quarantined: frozenset = frozenset()
+        #: R6: newest membership epoch observed.
+        self._membership_epoch = 0
         self._frame = -1
 
     # ------------------------------------------------------------------
@@ -78,7 +88,13 @@ class InvariantMonitor:
             )
 
     def observe_applied(self, frame: int, camera_id: int, epoch: int) -> None:
-        """Camera ``camera_id`` applied an assignment (R2, R3)."""
+        """Camera ``camera_id`` applied an assignment (R2, R3, R5)."""
+        if camera_id in self._quarantined:
+            self._fail(
+                f"R5 quarantine breached at frame {frame}: camera "
+                f"{camera_id} applied an assignment while QUARANTINED — "
+                "the watchdog's membership exclusion was bypassed"
+            )
         newest = self._applied_epoch.get(camera_id, 0)
         if epoch < newest:
             self._fail(
@@ -96,6 +112,20 @@ class InvariantMonitor:
                 f"{camera_id} applied two assignments in one frame"
             )
         self._applied_now.add(key)
+
+    def observe_membership(
+        self, frame: int, quarantined: frozenset, epoch: int
+    ) -> None:
+        """The health watchdog's membership view for this frame (R5, R6)."""
+        if epoch < self._membership_epoch:
+            self._fail(
+                f"R6 membership epoch moved backwards at frame {frame}: "
+                f"epoch {epoch} after epoch {self._membership_epoch}"
+            )
+        else:
+            self._membership_epoch = epoch
+        self._quarantined = frozenset(quarantined)
+        self._roll(frame)
 
     def observe_frame(
         self, frame: int, visible_gt: frozenset, coverage_lost: frozenset

@@ -38,6 +38,12 @@ from repro.obs.trace import WALL_CLOCK, Clock, Tracer, get_tracer, use_tracer
 from repro.runtime.camera_node import CameraNode
 from repro.runtime.events import EventQueue
 from repro.runtime.failover import PRIMARY, Authority, FailoverManager
+from repro.runtime.health import (
+    FleetHealthWatchdog,
+    HealthSignals,
+    HealthState,
+    content_token,
+)
 from repro.runtime.invariants import InvariantMonitor
 from repro.runtime.ingest import (
     INGEST_POLICIES,
@@ -55,7 +61,12 @@ from repro.runtime.policies import (
     StaticPartitioningPolicy,
 )
 from repro.runtime.scheduler_node import CentralScheduler, ScheduleDecision
-from repro.runtime.synchronization import SkewModel, WorldHistory
+from repro.runtime.synchronization import (
+    SkewModel,
+    WorldHistory,
+    drifted_lag,
+    snapshot_objects,
+)
 from repro.scenarios.builder import Scenario
 from repro.serving.edge import ServingEdge
 
@@ -159,6 +170,11 @@ class PipelineConfig:
     #: (0 = edge disabled) and the snapshot publication cadence in frames.
     serve_subscribers: int = 0
     serve_every: int = 1
+    #: Fleet health watchdog (repro.runtime.health): armed only when the
+    #: fault plan contains degraded-sensor events (freeze/drift/flap/fade),
+    #: so every other run keeps its pre-watchdog byte-exact outputs.
+    #: Disable to observe an unguarded fleet degrade.
+    fleet_health: bool = True
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -271,6 +287,13 @@ class _RunState:
     camera_lags: Dict[int, int]
     failover: Optional[FailoverManager]
     invariants: Optional[InvariantMonitor]
+    #: Fleet health (armed only under degraded-sensor faults): the
+    #: watchdog, the captured snapshot each frozen camera keeps seeing,
+    #: and whether a membership change last frame wants an early key
+    #: frame to re-run the central stage over the new membership.
+    health: Optional[FleetHealthWatchdog] = None
+    frozen_views: Dict[int, List[object]] = field(default_factory=dict)
+    health_forced_key: bool = False
 
 
 @dataclass
@@ -525,6 +548,26 @@ class Pipeline:
                 [cam.camera_id for cam in rig], lag_rng
             )
             history = WorldHistory(depth=config.max_camera_lag_frames + 1)
+        # Clock drift generalizes the static skew: size the history for
+        # the worst static + drifted lag any camera can reach this run.
+        max_drift = (
+            faults.max_drift_lag(total_frames) if faults is not None else 0
+        )
+        if max_drift > 0:
+            history = WorldHistory(
+                depth=config.max_camera_lag_frames + max_drift + 1
+            )
+
+        # The fleet health watchdog is armed only when the fault plan can
+        # actually degrade a sensor: every other run keeps the
+        # pre-watchdog code path (and its bit-exact outputs) untouched.
+        health: Optional[FleetHealthWatchdog] = None
+        if (
+            config.fleet_health
+            and faults is not None
+            and faults.has_sensor_faults
+        ):
+            health = FleetHealthWatchdog(camera_ids)
 
         # Failover is armed only when the fault plan can actually take the
         # scheduler down: every other run keeps the pre-failover code path
@@ -572,6 +615,7 @@ class Pipeline:
             invariants=(
                 InvariantMonitor() if config.check_invariants else None
             ),
+            health=health,
         )
 
     def _save_state(self, state: _RunState) -> None:
@@ -896,6 +940,21 @@ class Pipeline:
         failover = state.failover
         central_amortized = state.central_amortized
         prev_down = state.prev_down
+        health = state.health
+
+        # Membership view of this frame: transitions the watchdog took at
+        # the end of frame N take effect on frame N+1, and the invariant
+        # monitor sees the same view the frame is processed under (R5/R6).
+        quarantined = (
+            health.quarantined() if health is not None else frozenset()
+        )
+        probation = (
+            health.in_probation() if health is not None else frozenset()
+        )
+        if health is not None and state.invariants is not None:
+            state.invariants.observe_membership(
+                frame_idx, quarantined, health.membership_epoch
+            )
 
         in_horizon = frame_idx % config.horizon
         frame_faults: Optional[FrameFaults] = (
@@ -913,20 +972,41 @@ class Pipeline:
         # crash/rejoin membership is untouched.
         stalled = ingest.stalled if ingest is not None else frozenset()
         effective_down = down | stalled if stalled else down
+        if quarantined:
+            # A quarantined camera processes nothing: it is out of the
+            # fleet until the watchdog walks it through probation.
+            effective_down = effective_down | quarantined
         forced_key = False
         if faults is not None:
             # Camera crash/rejoin triggers an early key frame: the
             # central stage re-runs BALB on the surviving set so the
             # dead camera's shared objects are re-adopted (or the
-            # rejoined camera is folded back in) immediately.
-            membership_changed = down != prev_down
-            prev_down = down
+            # rejoined camera is folded back in) immediately. A
+            # quarantined camera's churn (the flap signature) is masked
+            # out — its membership is the watchdog's to manage, and
+            # reacting to its heartbeats is exactly the thrash the
+            # quarantine exists to stop.
+            visible_down = down - quarantined if quarantined else down
+            membership_changed = visible_down != prev_down
+            prev_down = visible_down
             forced_key = (
                 scheduler is not None
                 and membership_changed
                 and config.policy != "full"
                 and in_horizon != 0
             )
+            if health is not None:
+                # A watchdog membership change last frame re-runs the
+                # central stage over the new membership now; probation
+                # warm-up forces key frames for the whole dwell.
+                if (
+                    (state.health_forced_key or probation)
+                    and scheduler is not None
+                    and config.policy != "full"
+                    and in_horizon != 0
+                ):
+                    forced_key = True
+                state.health_forced_key = False
         # Scheduler failover: advance the heartbeat/lease protocol
         # one frame. A leadership change forces a key frame (the
         # new leader re-runs the central stage from its replica);
@@ -1017,14 +1097,31 @@ class Pipeline:
                 objects = world.objects
                 if history is not None:
                     history.push(objects)
+                drift_lags = (
+                    frame_faults.drift_lags
+                    if frame_faults is not None
+                    else {}
+                )
                 lagged_objects = {
                     cam_id: (
-                        history.view(lag)
+                        history.view(
+                            drifted_lag(
+                                lag,
+                                drift_lags.get(cam_id, 0),
+                                history.depth,
+                            )
+                            if drift_lags
+                            else lag
+                        )
                         if history is not None
                         else objects
                     )
                     for cam_id, lag in camera_lags.items()
                 }
+                if faults is not None and faults.has_sensor_faults:
+                    self._apply_frozen_views(
+                        state, frame_faults, lagged_objects
+                    )
                 multipliers: Dict[int, Dict[int, float]] = {}
                 if occlusion is not None:
                     fractions_by_cam = {
@@ -1060,6 +1157,7 @@ class Pipeline:
             detected: set = set()
             overheads: Dict[str, float] = {}
             n_slices: Dict[int, int] = {}
+            key_detected: Dict[int, int] = {}
             if transition is not None or partition_transition is not None:
                 # Restore/sync/claim-broadcast time of the
                 # leadership change, modeled through the link and
@@ -1090,6 +1188,17 @@ class Pipeline:
                             for d in outcome.detections
                             if d.gt_object_id >= 0
                         )
+                        if health is not None:
+                            # Report quality signal for the watchdog:
+                            # distinct ground-truth objects this camera
+                            # actually saw on its key frame.
+                            key_detected[cam_id] = len(
+                                {
+                                    d.gt_object_id
+                                    for d in outcome.detections
+                                    if d.gt_object_id >= 0
+                                }
+                            )
                         if ingest is not None and cam_id in ingest.degraded:
                             # Degraded mode: the camera runs the frame
                             # locally but sits out the central stage to
@@ -1138,6 +1247,7 @@ class Pipeline:
                                 link_faults=link_faults,
                                 retry=retry,
                                 replicate_to=replicate_to,
+                                no_authority=probation,
                             )
                             if (
                                 replicate_to is not None
@@ -1201,6 +1311,7 @@ class Pipeline:
                                     link_faults=link_faults,
                                     retry=retry,
                                     replicate_to=replicate_to,
+                                    no_authority=probation,
                                 )
                                 if (
                                     replicate_to is not None
@@ -1235,7 +1346,10 @@ class Pipeline:
                                 central_peak / config.horizon
                             )
                         for cam_id, node in nodes.items():
-                            if cam_id in down:
+                            if cam_id in down or cam_id in quarantined:
+                                # R5: a quarantined camera is out of the
+                                # membership — no assignment download may
+                                # reach it until probation readmits it.
                                 continue
                             entry = assignments.get(cam_id)
                             delivered_ok = (
@@ -1333,6 +1447,20 @@ class Pipeline:
                     sum(n_slices.values())
                 )
 
+            if health is not None:
+                self._observe_fleet_health(
+                    state,
+                    tracer,
+                    frame_idx,
+                    frame_faults,
+                    down,
+                    lagged_objects,
+                    objects,
+                    is_key,
+                    key_detected,
+                    overheads,
+                )
+
         registry.counter("frames_total").inc()
         registry.histogram("frame_wall_ms").observe(
             (self.clock.now() - frame_start) * 1e3
@@ -1368,6 +1496,157 @@ class Pipeline:
         state.central_amortized = central_amortized
         state.prev_down = prev_down
 
+    def _apply_frozen_views(
+        self,
+        state: _RunState,
+        frame_faults: Optional[FrameFaults],
+        lagged_objects: Dict[int, List],
+    ) -> None:
+        """Serve each frozen camera the snapshot it froze on, bit-exact.
+
+        On the first frame of a ``sensor_freeze`` window the camera's
+        current (lagged) view is captured; for the rest of the window the
+        camera detects against that captured list, so its frame-content
+        token repeats — the signature the watchdog keys on. When the
+        freeze lifts, the capture is dropped and the live view resumes.
+        """
+        frozen = (
+            frame_faults.frozen
+            if frame_faults is not None
+            else frozenset()
+        )
+        if not frozen and not state.frozen_views:
+            return
+        for cam_id in sorted(lagged_objects):
+            if cam_id in frozen:
+                if cam_id not in state.frozen_views:
+                    state.frozen_views[cam_id] = snapshot_objects(
+                        lagged_objects[cam_id]
+                    )
+                lagged_objects[cam_id] = state.frozen_views[cam_id]
+            else:
+                state.frozen_views.pop(cam_id, None)
+
+    def _observe_fleet_health(
+        self,
+        state: _RunState,
+        tracer,
+        frame_idx: int,
+        frame_faults: Optional[FrameFaults],
+        down: frozenset,
+        lagged_objects: Dict[int, List],
+        objects,
+        is_key: bool,
+        key_detected: Dict[int, int],
+        overheads: Dict[str, float],
+    ) -> None:
+        """End-of-frame health pass: signals -> watchdog -> membership.
+
+        Builds every camera's :class:`HealthSignals` from what this frame
+        actually exposed (liveness, the content token of the view the
+        camera detected against, its drift skew, its key-frame report
+        quality), folds them into the watchdog, and acts on the
+        transitions: spans + counters always, and on a membership change
+        a re-fit of the scheduler's association structures over the
+        surviving members (charged to this frame's overhead ledger) plus
+        an early key frame next frame.
+        """
+        health = state.health
+        assert health is not None
+        registry = state.registry
+        visible: Dict[int, int] = {}
+        if is_key:
+            # Denominator of the report-quality signal: how many objects
+            # each camera could have seen this frame.
+            for obj in objects:
+                for cam in state.rig.coverage_set(obj):
+                    visible[cam] = visible.get(cam, 0) + 1
+        drift_lags = (
+            frame_faults.drift_lags if frame_faults is not None else {}
+        )
+        signals: Dict[int, HealthSignals] = {}
+        for cam in state.camera_ids:
+            alive = cam not in down
+            view = lagged_objects[cam]
+            # An empty view carries no content to hash; feeding a
+            # frame-unique token (negative, outside crc32's range) keeps
+            # an empty scene from reading as a frozen sensor.
+            token = content_token(view) if view else -frame_idx - 1
+            quality: Optional[float] = None
+            if is_key and cam in key_detected:
+                quality = min(
+                    1.0,
+                    key_detected[cam] / max(1, visible.get(cam, 0)),
+                )
+            signals[cam] = HealthSignals(
+                alive=alive,
+                content_token=token,
+                skew_frames=drift_lags.get(cam, 0),
+                quality=quality,
+            )
+        transitions = health.observe(frame_idx, signals)
+        for t in transitions:
+            with tracer.span(
+                "health." + t.state.value,
+                camera=t.camera_id,
+                reason=t.reason,
+                epoch=t.epoch,
+            ):
+                pass
+            if t.state is HealthState.QUARANTINED:
+                registry.counter(
+                    "health_quarantines_total", camera=t.camera_id
+                ).inc()
+            elif t.state is HealthState.SUSPECT:
+                registry.counter(
+                    "health_suspects_total", camera=t.camera_id
+                ).inc()
+            elif t.state is HealthState.PROBATION:
+                registry.counter(
+                    "health_probations_total", camera=t.camera_id
+                ).inc()
+            elif t.previous is HealthState.PROBATION:
+                registry.counter(
+                    "health_readmissions_total", camera=t.camera_id
+                ).inc()
+        if any(t.membership_change for t in transitions):
+            state.health_forced_key = True
+            registry.gauge("membership_epoch").set(
+                health.membership_epoch
+            )
+            if state.scheduler is not None:
+                members = [
+                    c
+                    for c in state.camera_ids
+                    if c not in health.quarantined()
+                ]
+                if members:
+                    # Deterministic membership re-fit: co-visibility
+                    # masks and BALB's candidate set are rebuilt over
+                    # the survivors; the quarantined camera's cells go
+                    # to its overlapping peers. Modeled cost lands on
+                    # this frame.
+                    refit_ms = state.scheduler.refit_members(members)
+                    overheads["refit"] = (
+                        overheads.get("refit", 0.0) + refit_ms
+                    )
+                    with tracer.span(
+                        "health.refit",
+                        members=len(members),
+                        epoch=health.membership_epoch,
+                    ):
+                        pass
+                    registry.counter("membership_refits_total").inc()
+        in_probation = health.in_probation()
+        if in_probation:
+            registry.counter("health_probation_frames_total").inc(
+                len(in_probation)
+            )
+        for cam in state.camera_ids:
+            registry.gauge("health_score", camera=cam).set(
+                round(health.score_of(cam), 4)
+            )
+
     def _apply_frame_faults(
         self,
         tracer,
@@ -1392,10 +1671,23 @@ class Pipeline:
             node.executor.set_slowdown(
                 frame_faults.gpu_factor.get(cam_id, 1.0)
             )
+            node.set_quality_fade(frame_faults.fade.get(cam_id, 1.0))
         for cam_id in sorted(frame_faults.down):
             registry.counter(
                 "camera_down_frames_total", camera=cam_id
             ).inc()
+        for cam_id in sorted(frame_faults.frozen):
+            registry.counter(
+                "sensor_frozen_frames_total", camera=cam_id
+            ).inc()
+        for cam_id in sorted(frame_faults.drift_lags):
+            registry.gauge(
+                "clock_drift_lag_frames", camera=cam_id
+            ).set(frame_faults.drift_lags[cam_id])
+        for cam_id in sorted(frame_faults.fade):
+            registry.gauge(
+                "quality_fade_factor", camera=cam_id
+            ).set(round(frame_faults.fade[cam_id], 4))
         if frame_faults.scheduler_down:
             registry.counter("scheduler_down_frames_total").inc()
         if forced_key:

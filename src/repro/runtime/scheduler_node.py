@@ -103,6 +103,16 @@ class CentralScheduler:
         self.channels = channels or {}
         self.redundancy = redundancy
         self.camera_positions = dict(camera_positions or {})
+        # Mask-fit inputs are retained so membership reconfiguration can
+        # re-fit the co-visibility structures over a camera subset.
+        self._associator = associator
+        self._frame_sizes = dict(frame_sizes)
+        self._typical_box_sizes = dict(typical_box_sizes)
+        self._mask_grid = mask_grid
+        #: Cameras currently in the scheduling membership. Quarantined
+        #: cameras are removed by :meth:`refit_members`; their reports
+        #: are ignored and no assignment is issued to them.
+        self.active_members: FrozenSet[int] = frozenset(profiles)
         self.masks: Dict[int, CameraMask] = build_camera_masks(
             frame_sizes, associator, typical_box_sizes, mask_grid
         )
@@ -115,6 +125,33 @@ class CentralScheduler:
         }
 
     # ------------------------------------------------------------------
+    def refit_members(self, members: Sequence[int]) -> float:
+        """Re-fit the co-visibility structures over a camera subset.
+
+        Called on every fleet-membership change (quarantine, probation
+        re-entry, full readmission): rebuilds the ownership masks — the
+        offline CrossRoI-style redundancy map — over exactly ``members``,
+        so a quarantined camera's cells deterministically reassign to the
+        overlapping peers that can still see them, and BALB's candidate
+        set (the reports the next ``schedule`` round accepts) shrinks to
+        the survivors. Returns the modeled re-fit cost in milliseconds,
+        charged to the frame that reconfigured.
+        """
+        members = sorted(set(members) & set(self.profiles))
+        if not members:
+            raise ValueError("membership re-fit needs at least one camera")
+        self.active_members = frozenset(members)
+        sizes = {cam: self._frame_sizes[cam] for cam in members}
+        typical = {
+            cam: self._typical_box_sizes.get(cam, 60.0) for cam in members
+        }
+        self.masks.update(
+            build_camera_masks(
+                sizes, self._associator, typical, self._mask_grid
+            )
+        )
+        return self.overheads.central_stage_ms(0, len(members))
+
     def schedule(
         self,
         reports: Dict[int, List[ReportEntry]],
@@ -122,6 +159,7 @@ class CentralScheduler:
         link_faults: Optional[Dict[int, LinkFault]] = None,
         retry: Optional[RetryPolicy] = None,
         replicate_to: Optional[int] = None,
+        no_authority: FrozenSet[int] = frozenset(),
     ) -> ScheduleDecision:
         """One central-stage round over the key-frame reports.
 
@@ -138,8 +176,21 @@ class CentralScheduler:
         failover warm standby); the extra bytes ride the same modeled
         transfer, and the checkpoint only counts as replicated if the
         download is delivered.
+
+        ``no_authority`` (the probation set) demotes those cameras for
+        shared objects: an object another member can also see is never
+        assigned to a probation camera — it keeps authority only over
+        objects nobody else covers.
         """
         retry = retry or DEFAULT_RETRY
+        if len(self.active_members) != len(self.profiles):
+            # Quarantined cameras are out of the membership: their
+            # reports are not associated and they get no assignment.
+            reports = {
+                cam: entries
+                for cam, entries in reports.items()
+                if cam in self.active_members
+            }
         faults = {
             cam: fault
             for cam, fault in (link_faults or {}).items()
@@ -210,6 +261,11 @@ class CentralScheduler:
                         )
                     )
 
+            if no_authority:
+                self._demote_probation(
+                    assignment, global_objects, no_authority
+                )
+
             assigned: Dict[int, List[int]] = {cam: [] for cam in self.profiles}
             shadows: Dict[int, Dict[int, int]] = {
                 cam: {} for cam in self.profiles
@@ -259,6 +315,42 @@ class CentralScheduler:
             checkpoint=checkpoint,
             down_outcomes=down_outcomes,
         )
+
+    def _demote_probation(
+        self,
+        assignment: Dict[int, object],
+        global_objects: Sequence[GlobalObject],
+        no_authority: FrozenSet[int],
+    ) -> None:
+        """Strip probation cameras of authority over shared objects.
+
+        For every object assigned to a probation camera that at least
+        one full member also observes, the assignment deterministically
+        moves to the highest-capacity full member (ties broken by camera
+        id). Objects only the probation camera can see stay with it —
+        demotion must never create coverage loss.
+        """
+        for obj in global_objects:
+            chosen = assignment.get(obj.global_id)
+            if chosen is None:
+                continue
+            chosen_tuple = isinstance(chosen, tuple)
+            chosen_set = chosen if chosen_tuple else (chosen,)
+            if not any(cam in no_authority for cam in chosen_set):
+                continue
+            alternates = [
+                cam for cam in sorted(obj.members) if cam not in no_authority
+            ]
+            if not alternates:
+                continue
+            kept = tuple(c for c in chosen_set if c not in no_authority)
+            if not kept:
+                best = max(
+                    alternates,
+                    key=lambda c: (self.capacities.get(c, 0.0), -c),
+                )
+                kept = (best,)
+            assignment[obj.global_id] = kept if chosen_tuple else kept[0]
 
     # ------------------------------------------------------------------
     def _build_instance(

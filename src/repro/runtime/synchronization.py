@@ -55,6 +55,23 @@ class SkewModel:
         return max(0, base_lag + int(rng.integers(-1, 2)))
 
 
+def drifted_lag(static_lag: int, drift_lag: int, depth: int) -> int:
+    """Effective observation lag of a camera whose clock is drifting.
+
+    Generalizes the static :class:`SkewModel` lag to a time-varying one:
+    the ``clock_drift`` fault adds ``drift_lag`` frames on top of the
+    camera's fixed skew, clamped to what a history buffer of ``depth``
+    snapshots can serve (``view`` clamps too, but clamping here keeps
+    the effective lag — which the health watchdog reads as the
+    timestamp-skew signal — honest about what the camera actually saw).
+    """
+    if static_lag < 0 or drift_lag < 0:
+        raise ValueError("lags must be non-negative")
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    return min(static_lag + drift_lag, depth - 1)
+
+
 class WorldHistory:
     """A rolling buffer of world snapshots for lagged observation.
 
@@ -88,6 +105,16 @@ class WorldHistory:
 
     def __len__(self) -> int:
         return len(self._buffer)
+
+
+def snapshot_objects(objects: Sequence[WorldObject]) -> List[WorldObject]:
+    """Deep-enough copies of ``objects`` (what the history buffer keeps).
+
+    The ``sensor_freeze`` fault uses this to capture the frame a frozen
+    camera keeps repeating: later world mutation must not leak into the
+    frozen view, or the freeze would not actually repeat content.
+    """
+    return [_copy_object(o) for o in objects]
 
 
 def _copy_object(obj: WorldObject) -> WorldObject:

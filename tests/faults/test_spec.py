@@ -67,7 +67,8 @@ def test_validate_rejects_malformed_specs(bad):
 
 def test_presets_are_valid_non_null_models():
     assert set(CHAOS_PRESETS) == {"light", "heavy", "cameras", "network",
-                                  "gpu", "scheduler", "ingest", "wire"}
+                                  "gpu", "scheduler", "ingest", "wire",
+                                  "fleet"}
     for name, model in CHAOS_PRESETS.items():
         assert isinstance(model, FaultModel), name
         assert not model.is_null, name

@@ -1,4 +1,4 @@
-"""The control-plane invariant monitor (R1-R4) in isolation."""
+"""The control-plane invariant monitor (R1-R6) in isolation."""
 
 import pickle
 
@@ -79,6 +79,43 @@ class TestR4LedgerConservation:
         monitor.observe_frame(5, frozenset(), frozenset())
         with pytest.raises(InvariantViolation, match="backwards"):
             monitor.observe_frame(4, frozenset(), frozenset())
+
+
+class TestR5QuarantineFence:
+    def test_assignment_to_quarantined_camera_raises(self):
+        monitor = InvariantMonitor()
+        monitor.observe_membership(frame=5, quarantined=frozenset({1}),
+                                   epoch=1)
+        monitor.observe_applied(frame=5, camera_id=0, epoch=0)
+        with pytest.raises(InvariantViolation, match="R5 quarantine"):
+            monitor.observe_applied(frame=5, camera_id=1, epoch=0)
+
+    def test_readmitted_camera_may_apply_again(self):
+        monitor = InvariantMonitor()
+        monitor.observe_membership(frame=5, quarantined=frozenset({1}),
+                                   epoch=1)
+        monitor.observe_membership(frame=12, quarantined=frozenset(),
+                                   epoch=3)
+        monitor.observe_applied(frame=12, camera_id=1, epoch=0)
+
+
+class TestR6MonotonicMembershipEpochs:
+    def test_membership_epoch_backwards_raises(self):
+        monitor = InvariantMonitor()
+        monitor.observe_membership(frame=5, quarantined=frozenset(),
+                                   epoch=2)
+        with pytest.raises(InvariantViolation, match="R6 membership"):
+            monitor.observe_membership(frame=6, quarantined=frozenset(),
+                                       epoch=1)
+
+    def test_equal_epoch_is_legal_between_transitions(self):
+        monitor = InvariantMonitor()
+        monitor.observe_membership(frame=5, quarantined=frozenset({0}),
+                                   epoch=2)
+        monitor.observe_membership(frame=6, quarantined=frozenset({0}),
+                                   epoch=2)
+        monitor.observe_membership(frame=7, quarantined=frozenset(),
+                                   epoch=4)
 
 
 class TestMonitorMechanics:

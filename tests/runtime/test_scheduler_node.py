@@ -140,3 +140,87 @@ class TestSPScheduling:
         assigned_total = sum(len(v) for v in decision.assigned.values())
         # SP assigns at most one owner; mask imperfection may drop it.
         assert assigned_total <= 1
+
+
+class TestMembershipRefit:
+    def test_refit_shrinks_candidate_set_to_survivors(self):
+        scheduler = make_scheduler()
+        cost = scheduler.refit_members([0])
+        assert cost > 0
+        assert scheduler.active_members == frozenset({0})
+        # Reports from the quarantined camera are ignored: the shared
+        # object resolves entirely through the survivor.
+        reports = {
+            0: [entry(10, 300, 300, gt=1)],
+            1: [entry(20, 500, 300, gt=1)],
+        }
+        decision = scheduler.schedule(reports)
+        assert decision.assigned[0] == [10]
+        assert 1 not in decision.assigned or not decision.assigned[1]
+        assert not decision.shadows.get(1)
+
+    def test_refit_is_reversible_on_readmission(self):
+        scheduler = make_scheduler()
+        scheduler.refit_members([0])
+        scheduler.refit_members([0, 1])
+        assert scheduler.active_members == frozenset({0, 1})
+        reports = {
+            0: [entry(10, 300, 300, gt=1)],
+            1: [entry(20, 500, 300, gt=1)],
+        }
+        decision = scheduler.schedule(reports)
+        # Back to the two-member outcome: fast camera owns, slow shadows.
+        assert decision.assigned[0] == [10]
+        assert decision.shadows[1] == {20: 0}
+
+    def test_refit_requires_a_surviving_camera(self):
+        scheduler = make_scheduler()
+        with pytest.raises(ValueError):
+            scheduler.refit_members([])
+        with pytest.raises(ValueError):
+            scheduler.refit_members([99])  # not a fleet camera
+
+    def test_refit_cost_scales_with_membership(self):
+        scheduler = make_scheduler()
+        both = scheduler.refit_members([0, 1])
+        one = scheduler.refit_members([0])
+        assert both >= one > 0
+
+
+class TestProbationDemotion:
+    def test_probation_camera_loses_shared_objects(self):
+        scheduler = make_scheduler()
+        reports = {
+            0: [entry(10, 300, 300, gt=1)],
+            1: [entry(20, 500, 300, gt=1)],
+        }
+        # Camera 0 would win the shared object outright (fast camera);
+        # on probation it must cede to the full member.
+        decision = scheduler.schedule(
+            reports, no_authority=frozenset({0})
+        )
+        assert decision.assigned.get(1) == [20]
+        assert not decision.assigned.get(0)
+
+    def test_probation_camera_keeps_exclusive_objects(self):
+        scheduler = make_scheduler()
+        reports = {
+            0: [entry(10, 900, 650, gt=1)],  # outside the mapped region
+            1: [],
+        }
+        decision = scheduler.schedule(
+            reports, no_authority=frozenset({0})
+        )
+        # Demotion never creates coverage loss: nobody else sees it.
+        assert decision.assigned[0] == [10]
+
+    def test_empty_probation_set_changes_nothing(self):
+        scheduler = make_scheduler()
+        reports = {
+            0: [entry(10, 300, 300, gt=1)],
+            1: [entry(20, 500, 300, gt=1)],
+        }
+        plain = scheduler.schedule(reports)
+        fenced = scheduler.schedule(reports, no_authority=frozenset())
+        assert plain.assigned == fenced.assigned
+        assert plain.shadows == fenced.shadows

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.runtime.pipeline import PipelineConfig, run_policy, train_models
-from repro.runtime.synchronization import SkewModel, WorldHistory
+from repro.runtime.synchronization import (
+    SkewModel,
+    WorldHistory,
+    drifted_lag,
+    snapshot_objects,
+)
 from repro.scenarios.aic21 import scenario_s2
 from repro.world.entities import ObjectClass, WorldObject
 
@@ -120,6 +125,29 @@ class TestWorldHistory:
             history.push([obj(0, float(i))])
         # snapshots 0 and 1 were evicted; lag 5 clamps to snapshot 2
         assert history.view(5)[0].x == 2.0
+
+
+class TestDriftedLag:
+    def test_drift_adds_to_static_lag(self):
+        assert drifted_lag(2, 0, depth=10) == 2
+        assert drifted_lag(2, 3, depth=10) == 5
+
+    def test_drift_clamps_to_history_depth(self):
+        # A runaway clock can never ask for a frame the buffer evicted.
+        assert drifted_lag(2, 50, depth=10) == 9
+        assert drifted_lag(0, 9, depth=10) == 9
+
+
+class TestSnapshotObjects:
+    def test_snapshot_is_an_isolated_copy(self):
+        source = obj(0, 10.0)
+        frozen = snapshot_objects([source])
+        source.x = 99.0
+        assert frozen[0].x == 10.0
+        assert frozen[0].object_id == 0
+
+    def test_snapshot_of_empty_view(self):
+        assert snapshot_objects([]) == []
 
 
 class TestPipelineWithSkew:
