@@ -544,6 +544,40 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return reprolint_main(argv)
 
 
+def cmd_flow(args: argparse.Namespace) -> int:
+    """Run the whole-program analyzer (``reproflow``).
+
+    Like ``repro lint``, the analyzer lives in ``tools/reproflow`` at
+    the repository root and only works from a source checkout.
+    """
+    import os
+
+    try:
+        from tools.reproflow.cli import main as reproflow_main
+    except ImportError:
+        if os.path.isfile(os.path.join("tools", "reproflow", "cli.py")):
+            sys.path.insert(0, os.getcwd())
+            from tools.reproflow.cli import main as reproflow_main
+        else:
+            print(
+                "error: reproflow not found — 'repro flow' runs the "
+                "repo-local whole-program analyzer in tools/reproflow "
+                "and must be invoked from a source checkout root",
+                file=sys.stderr,
+            )
+            return 2
+    argv = list(args.paths)
+    if args.json:
+        argv.insert(0, "--json")
+    if args.list_rules:
+        argv.insert(0, "--list-rules")
+    if args.no_baseline:
+        argv.insert(0, "--no-baseline")
+    if args.write_baseline:
+        argv.insert(0, "--write-baseline")
+    return reproflow_main(argv)
+
+
 def cmd_soak(args: argparse.Namespace) -> int:
     """Run the chaos-soak invariant harness (see ``repro.experiments.soak``).
 
@@ -764,6 +798,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the RL rule catalog and exit",
     )
     lint_parser.set_defaults(func=cmd_lint)
+
+    flow_parser = sub.add_parser(
+        "flow",
+        help="run the whole-program analyzer (reproflow)",
+    )
+    flow_parser.add_argument(
+        "paths", nargs="*", default=["src", "tools"],
+        help="files or directories to analyze (default: src tools)",
+    )
+    flow_parser.add_argument(
+        "--json", action="store_true",
+        help="emit findings as a single JSON document",
+    )
+    flow_parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the checked-in baseline",
+    )
+    flow_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to the current findings",
+    )
+    flow_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the RF rule catalog and exit",
+    )
+    flow_parser.set_defaults(func=cmd_flow)
     return parser
 
 

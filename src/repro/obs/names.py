@@ -63,13 +63,14 @@ SPAN_NAMES = frozenset(
 )
 
 #: Registered prefixes for dynamic span families (prefix + enum value).
+#: Only prefixes with a live ``"prefix" + value`` emission belong here —
+#: the ingest.* and wire.* families emit literal names and are listed in
+#: SPAN_NAMES above (reproflow RF005 enforces this).
 SPAN_PREFIXES = frozenset(
     {
         "fault.",
         "failover.",
         "health.",
-        "ingest.",
-        "wire.",
     }
 )
 

@@ -1,0 +1,12 @@
+"""Fixture: registry with one dead span name (defect class d)."""
+
+SPAN_NAMES = frozenset(
+    {
+        "frame",
+        "ghost.span",  # RF005: registered but never emitted (line 6)
+    }
+)
+
+SPAN_PREFIXES = frozenset()
+
+METRIC_NAMES = frozenset({"frames_total"})

@@ -1,0 +1,6 @@
+"""Fixture: emits every registered name except the ghost."""
+
+
+def run_frame(tracer, registry):
+    with tracer.span("frame"):
+        registry.counter("frames_total").inc()

@@ -1,0 +1,36 @@
+"""Fixture: the health machine with a QUARANTINED->ACTIVE shortcut
+(defect class b). Every declared edge and state is otherwise faithful,
+so the forbidden edge is the single finding."""
+
+import enum
+
+
+class HealthState(enum.Enum):
+    ACTIVE = "active"
+    SUSPECT = "suspect"
+    QUARANTINED = "quarantined"
+    PROBATION = "probation"
+
+
+class FleetHealthWatchdog:
+    def observe(self, previous, healthy, ready):
+        nxt = previous
+        if previous is HealthState.ACTIVE:
+            if not healthy:
+                nxt = HealthState.SUSPECT
+        elif previous is HealthState.SUSPECT:
+            if healthy:
+                nxt = HealthState.ACTIVE
+            else:
+                nxt = HealthState.QUARANTINED
+        elif previous is HealthState.QUARANTINED:
+            if ready:
+                nxt = HealthState.PROBATION
+            elif healthy:
+                nxt = HealthState.ACTIVE  # RF003: forbidden shortcut (line 30)
+        elif previous is HealthState.PROBATION:
+            if healthy:
+                nxt = HealthState.ACTIVE
+            else:
+                nxt = HealthState.QUARANTINED
+        return nxt

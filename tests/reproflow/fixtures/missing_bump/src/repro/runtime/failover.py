@@ -1,0 +1,24 @@
+"""Fixture: a takeover path that skips the epoch bump (defect class c)."""
+
+
+class FailoverTransition:
+    def __init__(self, kind, epoch):
+        self.kind = kind
+        self.epoch = epoch
+
+
+class FailoverManager:
+    def __init__(self):
+        self._epoch = 0
+
+    def _bump(self):
+        self._epoch += 1
+        return self._epoch
+
+    def _takeover(self, camera_id):
+        # RF004: constructs the transition with a stale epoch (line 20).
+        return FailoverTransition(kind="takeover", epoch=self._epoch)
+
+    def _handback(self, camera_id):
+        epoch = self._bump()
+        return FailoverTransition(kind="handback", epoch=epoch)

@@ -1,0 +1,7 @@
+"""Fixture: registry missing a name the code emits."""
+
+SPAN_NAMES = frozenset({"frame"})
+
+SPAN_PREFIXES = frozenset()
+
+METRIC_NAMES = frozenset()

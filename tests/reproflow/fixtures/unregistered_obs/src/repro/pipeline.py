@@ -1,0 +1,6 @@
+"""Fixture: emits a span name the registry does not know."""
+
+
+def run_frame(tracer):
+    with tracer.span("frame"):
+        tracer.span("typo.span")  # RF006 fires here (line 6)

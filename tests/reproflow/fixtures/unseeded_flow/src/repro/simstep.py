@@ -1,0 +1,8 @@
+"""Fixture: draws from the unseeded stream across a module boundary."""
+
+from repro.streams import make_stream
+
+
+def advance():
+    rng = make_stream()
+    return rng.normal()  # RF001 fires here (line 8)

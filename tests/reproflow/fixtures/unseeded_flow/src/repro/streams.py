@@ -1,0 +1,8 @@
+"""Fixture: a helper that mints an UNSEEDED stream (defect class a)."""
+
+import numpy as np
+
+
+def make_stream():
+    # Unseeded root: PCG64() with no seed argument.
+    return np.random.Generator(np.random.PCG64())

@@ -1,0 +1,121 @@
+"""Baseline ratchet and SARIF rendering tests."""
+
+import json
+
+from tools.reprolint.engine import Finding
+from tools.reproflow.baseline import (
+    fingerprint,
+    load_baseline,
+    ratchet,
+    render_baseline,
+    write_baseline,
+)
+from tools.reproflow.cli import RULES
+from tools.reproflow.sarif import render_sarif
+
+
+def make_finding(code="RF001", path="src/repro/a.py", line=3,
+                 message="draw consumes an unseeded stream"):
+    return Finding(
+        code=code, severity="error", path=path, line=line, col=0,
+        message=message,
+    )
+
+
+class TestFingerprint:
+    def test_line_number_excluded(self):
+        a = make_finding(line=3)
+        b = make_finding(line=99)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_message_included(self):
+        assert fingerprint(make_finding()) != fingerprint(
+            make_finding(message="other")
+        )
+
+
+class TestRatchet:
+    def test_unknown_finding_is_new(self):
+        new, baselined, stale = ratchet([make_finding()], [])
+        assert len(new) == 1 and baselined == [] and stale == []
+
+    def test_baselined_finding_survives_line_shift(self):
+        entries = [
+            {
+                "code": "RF001",
+                "path": "src/repro/a.py",
+                "message": "draw consumes an unseeded stream",
+            }
+        ]
+        new, baselined, stale = ratchet(
+            [make_finding(line=42)], entries
+        )
+        assert new == [] and len(baselined) == 1 and stale == []
+
+    def test_paid_debt_reported_stale(self):
+        entries = [
+            {"code": "RF005", "path": "x.py", "message": "gone"}
+        ]
+        new, baselined, stale = ratchet([], entries)
+        assert new == [] and baselined == [] and stale == entries
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), [make_finding()])
+        entries = load_baseline(str(path))
+        assert entries == [
+            {
+                "code": "RF001",
+                "path": "src/repro/a.py",
+                "message": "draw consumes an unseeded stream",
+            }
+        ]
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) == []
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"findings": "nope"}')
+        try:
+            load_baseline(str(path))
+        except ValueError as exc:
+            assert "bad.json" in str(exc)
+        else:
+            raise AssertionError("malformed baseline accepted")
+
+    def test_render_is_sorted_and_stable(self):
+        first = render_baseline(
+            [make_finding(path="b.py"), make_finding(path="a.py")]
+        )
+        second = render_baseline(
+            [make_finding(path="a.py"), make_finding(path="b.py")]
+        )
+        assert first == second
+
+
+class TestSarif:
+    def test_document_shape(self):
+        doc = json.loads(render_sarif([make_finding()], RULES))
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "reproflow"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert set(RULES) <= rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "RF001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/a.py"
+        assert location["region"]["startLine"] == 3
+        assert location["region"]["startColumn"] == 1
+
+    def test_warning_severity_maps_to_warning(self):
+        finding = Finding(
+            code="RF005", severity="warning", path="x.py", line=1, col=0,
+            message="m",
+        )
+        doc = json.loads(render_sarif([finding], RULES))
+        assert doc["runs"][0]["results"][0]["level"] == "warning"

@@ -1,0 +1,149 @@
+"""Program-model tests: modules, symbol table, call graph, RF000."""
+
+from tools.reproflow.engine import (
+    apply_suppressions,
+    collect_suppressions,
+    module_name,
+    program_from_sources,
+    rf_finding,
+)
+
+
+class TestModuleNames:
+    def test_src_prefix_is_stripped(self):
+        assert module_name("src/repro/runtime/health.py") == (
+            "repro.runtime.health"
+        )
+
+    def test_init_maps_to_package(self):
+        assert module_name("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_tools_keep_their_spine(self):
+        assert module_name("tools/reproflow/engine.py") == (
+            "tools.reproflow.engine"
+        )
+
+
+class TestSymbolTable:
+    def test_functions_methods_and_enums_collected(self):
+        program, findings = program_from_sources(
+            {
+                "src/repro/demo.py": (
+                    "import enum\n"
+                    "class Color(enum.Enum):\n"
+                    "    RED = 'red'\n"
+                    "    BLUE = 'blue'\n"
+                    "class Box:\n"
+                    "    def open(self):\n"
+                    "        return 1\n"
+                    "def free():\n"
+                    "    return 2\n"
+                ),
+            }
+        )
+        assert findings == []
+        module = program.modules["repro.demo"]
+        assert module.enums["Color"] == ("RED", "BLUE")
+        assert set(module.functions) == {"Box.open", "free"}
+        assert "repro.demo.Box.open" in program.functions
+
+    def test_relative_import_resolves_against_package(self):
+        program, _ = program_from_sources(
+            {
+                "src/repro/pkg/__init__.py": "",
+                "src/repro/pkg/a.py": "def helper():\n    return 1\n",
+                "src/repro/pkg/b.py": (
+                    "from .a import helper\n"
+                    "def use():\n"
+                    "    return helper()\n"
+                ),
+            }
+        )
+        module = program.modules["repro.pkg.b"]
+        assert module.imports["helper"] == "repro.pkg.a.helper"
+        assert program.call_graph["repro.pkg.b.use"] == {
+            "repro.pkg.a.helper"
+        }
+
+
+class TestCallResolution:
+    def test_class_call_resolves_to_init(self):
+        program, _ = program_from_sources(
+            {
+                "src/repro/a.py": (
+                    "class Thing:\n"
+                    "    def __init__(self, x):\n"
+                    "        self.x = x\n"
+                ),
+                "src/repro/b.py": (
+                    "from repro.a import Thing\n"
+                    "def make():\n"
+                    "    return Thing(1)\n"
+                ),
+            }
+        )
+        assert program.call_graph["repro.b.make"] == {
+            "repro.a.Thing.__init__"
+        }
+        (site,) = program.callers["repro.a.Thing.__init__"]
+        assert site.caller.fqn == "repro.b.make"
+
+    def test_self_method_call_resolves(self):
+        program, _ = program_from_sources(
+            {
+                "src/repro/c.py": (
+                    "class W:\n"
+                    "    def a(self):\n"
+                    "        return self.b()\n"
+                    "    def b(self):\n"
+                    "        return 1\n"
+                ),
+            }
+        )
+        assert program.call_graph["repro.c.W.a"] == {"repro.c.W.b"}
+
+
+class TestParseFailures:
+    def test_broken_module_yields_rf000_not_abort(self):
+        program, findings = program_from_sources(
+            {
+                "src/repro/ok.py": "def fine():\n    return 1\n",
+                "src/repro/broken.py": "def broken(:\n",
+            }
+        )
+        assert [f.code for f in findings] == ["RF000"]
+        assert findings[0].path == "src/repro/broken.py"
+        assert findings[0].severity == "error"
+        # The parseable module still made it into the program.
+        assert "repro.ok" in program.modules
+        assert "repro.broken" not in program.modules
+
+    def test_null_bytes_yield_rf000(self):
+        _, findings = program_from_sources({"src/repro/nul.py": "x = 1\0\n"})
+        assert [f.code for f in findings] == ["RF000"]
+
+
+class TestSuppressions:
+    def test_grammar_matches_reprolint_spelling(self):
+        file_level, per_line = collect_suppressions(
+            "# reproflow: disable-file=RF005\n"
+            "x = 1  # reproflow: disable=RF001, RF002\n"
+        )
+        assert file_level == {"RF005"}
+        assert per_line == {2: {"RF001", "RF002"}}
+
+    def test_apply_suppressions_drops_only_matches(self):
+        source = "x = 1  # reproflow: disable=RF001\ny = 2\n"
+        program, _ = program_from_sources({"src/repro/s.py": source})
+        node1 = type("N", (), {"lineno": 1, "col_offset": 0})()
+        node2 = type("N", (), {"lineno": 2, "col_offset": 0})()
+        findings = [
+            rf_finding("RF001", "src/repro/s.py", node1, "suppressed"),
+            rf_finding("RF002", "src/repro/s.py", node1, "other code"),
+            rf_finding("RF001", "src/repro/s.py", node2, "other line"),
+        ]
+        kept = apply_suppressions(findings, program)
+        assert [(f.code, f.line) for f in kept] == [
+            ("RF002", 1),
+            ("RF001", 2),
+        ]

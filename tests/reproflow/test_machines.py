@@ -1,0 +1,286 @@
+"""State-machine extraction and model-checking tests (RF003/RF004)."""
+
+from tools.reproflow import machines
+from tools.reproflow.engine import program_from_sources
+from tools.reproflow.machines import (
+    EpochRule,
+    MachineReport,
+    MachineSpec,
+    TransitionTable,
+    check_table,
+    extract_machine,
+)
+from tools.reproflow.tables import HEALTH_TABLE, MACHINE_SPECS
+
+TABLE = TransitionTable(
+    machine="demo",
+    states=("A", "B", "C"),
+    initial="A",
+    edges=(("A", "B"), ("B", "A"), ("B", "C"), ("C", "A")),
+    forbidden=(("A", "C"),),
+)
+
+MACHINE_SOURCE = (
+    "import enum\n"
+    "class S(enum.Enum):\n"
+    "    A = 'a'\n"
+    "    B = 'b'\n"
+    "    C = 'c'\n"
+    "def step(state, up):\n"
+    "    nxt = state\n"
+    "    if state is S.A:\n"
+    "        if not up:\n"
+    "            nxt = S.B\n"
+    "    elif state is S.B:\n"
+    "        if up:\n"
+    "            nxt = S.A\n"
+    "        else:\n"
+    "            nxt = S.C\n"
+    "    elif state is S.C:\n"
+    "        nxt = S.A\n"
+    "    return nxt\n"
+)
+
+SPEC = MachineSpec(
+    module="repro.demo", enum="S", function="step", table=TABLE
+)
+
+
+def run_machines(sources, specs=(SPEC,), epoch_rules=(), report=None):
+    program, findings = program_from_sources(sources)
+    assert findings == []
+    return machines.run(
+        program, specs, epoch_rules, "tools/reproflow/tables.py",
+        report=report,
+    )
+
+
+class TestCheckTable:
+    def test_valid_table_passes(self):
+        assert check_table(TABLE) == []
+        assert check_table(HEALTH_TABLE) == []
+
+    def test_unknown_initial(self):
+        bad = TransitionTable("m", ("A",), "Z", ())
+        assert any("initial" in p for p in check_table(bad))
+
+    def test_self_loop_rejected(self):
+        bad = TransitionTable("m", ("A", "B"), "A", (("A", "A"), ("A", "B")))
+        assert any("self-loop" in p for p in check_table(bad))
+
+    def test_duplicate_edge_rejected(self):
+        bad = TransitionTable(
+            "m", ("A", "B"), "A", (("A", "B"), ("A", "B"))
+        )
+        assert any("duplicate edge" in p for p in check_table(bad))
+
+    def test_declared_and_forbidden_conflict(self):
+        bad = TransitionTable(
+            "m", ("A", "B"), "A", (("A", "B"), ("B", "A")),
+            forbidden=(("A", "B"),),
+        )
+        assert any("both declared and forbidden" in p for p in check_table(bad))
+
+    def test_unreachable_state(self):
+        bad = TransitionTable(
+            "m", ("A", "B", "C"), "A", (("A", "B"), ("B", "A"), ("C", "A"))
+        )
+        assert any("unreachable" in p for p in check_table(bad))
+
+    def test_dead_nonterminal_state(self):
+        bad = TransitionTable("m", ("A", "B"), "A", (("A", "B"),))
+        assert any("no outgoing edge" in p for p in check_table(bad))
+
+    def test_terminal_state_may_be_dead(self):
+        ok = TransitionTable(
+            "m", ("A", "B"), "A", (("A", "B"),), terminal=("B",)
+        )
+        assert check_table(ok) == []
+
+
+class TestExtraction:
+    def test_edges_and_handled_states_recovered(self):
+        program, _ = program_from_sources({"src/repro/demo.py": MACHINE_SOURCE})
+        extracted = extract_machine(program, SPEC)
+        assert extracted is not None
+        assert sorted((s, d) for s, d, _ in extracted.edges) == [
+            ("A", "B"), ("B", "A"), ("B", "C"), ("C", "A"),
+        ]
+        assert sorted(extracted.handled) == ["A", "B", "C"]
+
+    def test_missing_module_skips(self):
+        program, _ = program_from_sources({"src/repro/other.py": "x = 1\n"})
+        assert extract_machine(program, SPEC) is None
+        report = MachineReport()
+        findings = run_machines(
+            {"src/repro/other.py": "x = 1\n"}, report=report
+        )
+        assert findings == []
+        assert report.skipped == ["demo"]
+
+    def test_real_health_machine_matches_declared_table(self):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        source = (repo / "src/repro/runtime/health.py").read_text()
+        program, _ = program_from_sources(
+            {"src/repro/runtime/health.py": source}
+        )
+        findings = machines.run(
+            program, MACHINE_SPECS, (), "tools/reproflow/tables.py"
+        )
+        assert findings == []
+
+
+class TestMismatches:
+    def test_faithful_machine_is_clean(self):
+        assert run_machines({"src/repro/demo.py": MACHINE_SOURCE}) == []
+
+    def test_forbidden_edge_is_one_finding(self):
+        source = MACHINE_SOURCE.replace(
+            "    elif state is S.C:\n        nxt = S.A\n",
+            "    elif state is S.C:\n        nxt = S.A\n"
+            "    if state is S.A:\n        nxt = S.C\n",
+        )
+        findings = run_machines({"src/repro/demo.py": source})
+        assert len(findings) == 1
+        assert findings[0].code == "RF003"
+        assert "forbidden" in findings[0].message
+
+    def test_undeclared_edge_reported(self):
+        table = TransitionTable(
+            machine="demo",
+            states=("A", "B", "C"),
+            initial="A",
+            edges=(("A", "B"), ("B", "A"), ("B", "C")),
+            terminal=("C",),
+        )
+        spec = MachineSpec(
+            module="repro.demo", enum="S", function="step", table=table
+        )
+        findings = run_machines(
+            {"src/repro/demo.py": MACHINE_SOURCE}, specs=(spec,)
+        )
+        assert [f.code for f in findings] == ["RF003"]
+        assert "implemented but not declared" in findings[0].message
+
+    def test_lost_declared_edge_reported(self):
+        source = MACHINE_SOURCE.replace(
+            "    elif state is S.C:\n        nxt = S.A\n",
+            "    elif state is S.C:\n        nxt = S.B\n",
+        )
+        table = TransitionTable(
+            machine="demo",
+            states=("A", "B", "C"),
+            initial="A",
+            edges=(("A", "B"), ("B", "A"), ("B", "C"), ("C", "A"),
+                   ("C", "B")),
+        )
+        spec = MachineSpec(
+            module="repro.demo", enum="S", function="step", table=table
+        )
+        findings = run_machines({"src/repro/demo.py": source}, specs=(spec,))
+        assert [f.code for f in findings] == ["RF003"]
+        assert "declared transition C->A is not implemented" in (
+            findings[0].message
+        )
+
+    def test_unhandled_state_reported(self):
+        source = MACHINE_SOURCE.replace(
+            "    elif state is S.C:\n        nxt = S.A\n", ""
+        )
+        table = TransitionTable(
+            machine="demo",
+            states=("A", "B", "C"),
+            initial="A",
+            edges=(("A", "B"), ("B", "A"), ("B", "C"), ("C", "A")),
+        )
+        spec = MachineSpec(
+            module="repro.demo", enum="S", function="step", table=table
+        )
+        findings = run_machines({"src/repro/demo.py": source}, specs=(spec,))
+        messages = [f.message for f in findings]
+        assert any("declared transition C->A" in m for m in messages)
+        assert any("state C has no dispatch branch" in m for m in messages)
+
+    def test_invalid_declared_table_anchored_at_tables(self):
+        bad_table = TransitionTable(
+            machine="demo", states=("A", "B", "C"), initial="Z",
+            edges=(("A", "B"), ("B", "A"), ("B", "C"), ("C", "A")),
+        )
+        spec = MachineSpec(
+            module="repro.demo", enum="S", function="step", table=bad_table
+        )
+        findings = run_machines(
+            {"src/repro/demo.py": MACHINE_SOURCE}, specs=(spec,)
+        )
+        anchored = [f for f in findings if "declared table is invalid" in
+                    f.message]
+        assert anchored
+        assert all(f.path == "tools/reproflow/tables.py" for f in anchored)
+
+
+EPOCH_RULE = EpochRule(
+    machine="demo-epochs",
+    module="repro.fo",
+    transition="Transition",
+    bump="_bump",
+)
+
+FO_TEMPLATE = (
+    "class Transition:\n"
+    "    def __init__(self, kind, epoch):\n"
+    "        self.kind = kind\n"
+    "        self.epoch = epoch\n"
+    "class Manager:\n"
+    "    def _bump(self):\n"
+    "        return 1\n"
+    "    def takeover(self):\n"
+    "{body}"
+)
+
+
+class TestEpochRule:
+    def test_missing_bump_flagged(self):
+        source = FO_TEMPLATE.format(
+            body="        return Transition('takeover', 0)\n"
+        )
+        findings = run_machines(
+            {"src/repro/fo.py": source}, specs=(), epoch_rules=(EPOCH_RULE,)
+        )
+        assert [(f.code, f.line) for f in findings] == [("RF004", 9)]
+        assert "Manager.takeover" in findings[0].message
+
+    def test_bump_before_construction_is_clean(self):
+        source = FO_TEMPLATE.format(
+            body=(
+                "        epoch = self._bump()\n"
+                "        return Transition('takeover', epoch)\n"
+            )
+        )
+        assert (
+            run_machines(
+                {"src/repro/fo.py": source},
+                specs=(),
+                epoch_rules=(EPOCH_RULE,),
+            )
+            == []
+        )
+
+    def test_exempt_kind_is_skipped(self):
+        rule = EpochRule(
+            machine="demo-epochs",
+            module="repro.fo",
+            transition="Transition",
+            bump="_bump",
+            exempt_kinds=("observe",),
+        )
+        source = FO_TEMPLATE.format(
+            body="        return Transition(kind='observe', epoch=0)\n"
+        )
+        assert (
+            run_machines(
+                {"src/repro/fo.py": source}, specs=(), epoch_rules=(rule,)
+            )
+            == []
+        )

@@ -1,0 +1,137 @@
+"""Property test: the model checker accepts exactly the valid tables.
+
+Mirrors the health-machine property tests from PR 8: random transition
+tables — some well-formed, some broken in a random way — against an
+independent reference implementation of validity. ``check_table`` must
+return no problems iff the reference says the table is valid.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tools.reproflow.machines import TransitionTable, check_table
+
+STATE_POOL = ["A", "B", "C", "D", "E"]
+
+
+def reference_valid(table: TransitionTable) -> bool:
+    """Independent re-statement of what makes a table valid."""
+    if not table.states:
+        return False
+    if len(set(table.states)) != len(table.states):
+        return False
+    states = set(table.states)
+    if table.initial not in states:
+        return False
+    if any(t not in states for t in table.terminal):
+        return False
+    edges = list(table.edges)
+    if len(set(edges)) != len(edges):
+        return False
+    for src, dst in edges:
+        if src not in states or dst not in states or src == dst:
+            return False
+    edge_set = set(edges)
+    for src, dst in table.forbidden:
+        if src not in states or dst not in states:
+            return False
+        if (src, dst) in edge_set:
+            return False
+    reachable = {table.initial}
+    changed = True
+    while changed:
+        changed = False
+        for src, dst in edges:
+            if src in reachable and dst not in reachable:
+                reachable.add(dst)
+                changed = True
+    if reachable != states:
+        return False
+    for state in states:
+        if state in table.terminal:
+            continue
+        if not any(src == state for src, _ in edge_set):
+            return False
+    return True
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(min_value=1, max_value=len(STATE_POOL)))
+    states = tuple(STATE_POOL[:n])
+    # Sometimes point initial outside the state set.
+    initial = draw(st.sampled_from(STATE_POOL + ["Z"]))
+    pairs = [
+        (s, d) for s in STATE_POOL[: n + 1] for d in STATE_POOL[: n + 1]
+    ]
+    edges = tuple(
+        draw(st.lists(st.sampled_from(pairs), min_size=0, max_size=12))
+    )
+    forbidden = tuple(
+        draw(st.lists(st.sampled_from(pairs), min_size=0, max_size=3))
+    )
+    terminal = tuple(
+        draw(st.lists(st.sampled_from(STATE_POOL[:n]), min_size=0,
+                      max_size=n, unique=True))
+    )
+    return TransitionTable(
+        machine="prop",
+        states=states,
+        initial=initial,
+        edges=edges,
+        forbidden=forbidden,
+        terminal=terminal,
+    )
+
+
+@st.composite
+def valid_tables(draw):
+    """Construct tables that are valid by construction: a random
+    spanning walk guarantees reachability, then extra legal edges."""
+    n = draw(st.integers(min_value=1, max_value=len(STATE_POOL)))
+    states = list(STATE_POOL[:n])
+    initial = states[0]
+    edges = set()
+    reached = [initial]
+    for state in states[1:]:
+        src = draw(st.sampled_from(reached))
+        edges.add((src, state))
+        reached.append(state)
+    extra = [
+        (s, d) for s in states for d in states if s != d
+    ]
+    if extra:
+        for edge in draw(st.lists(st.sampled_from(extra), max_size=8)):
+            edges.add(edge)
+    terminal = tuple(
+        s for s in states if not any(src == s for src, _ in edges)
+    )
+    forbidden = tuple(
+        e
+        for e in (
+            draw(st.lists(st.sampled_from(extra), max_size=3)) if extra
+            else []
+        )
+        if e not in edges
+    )
+    return TransitionTable(
+        machine="prop",
+        states=tuple(states),
+        initial=initial,
+        edges=tuple(sorted(edges)),
+        forbidden=tuple(sorted(set(forbidden))),
+        terminal=terminal,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(tables())
+def test_checker_agrees_with_reference(table):
+    assert (check_table(table) == []) == reference_valid(table)
+
+
+@settings(max_examples=100, deadline=None)
+@given(valid_tables())
+def test_constructively_valid_tables_accepted(table):
+    assert reference_valid(table)
+    assert check_table(table) == []

@@ -1,0 +1,169 @@
+"""Bidirectional obs-coverage tests (RF005/RF006)."""
+
+from tools.reproflow import obscov
+from tools.reproflow.engine import program_from_sources
+
+NAMES = (
+    "SPAN_NAMES = frozenset(\n"
+    "    {\n"
+    "        'frame',\n"
+    "        'health.active',\n"
+    "    }\n"
+    ")\n"
+    "SPAN_PREFIXES = frozenset({'health.'})\n"
+    "METRIC_NAMES = frozenset({'frames_total'})\n"
+)
+
+NAMES_PATH = "src/repro/obs/names.py"
+
+
+def run_obscov(sources):
+    program, findings = program_from_sources(sources)
+    assert findings == []
+    return obscov.run(program)
+
+
+class TestRegisteredButNeverEmitted:
+    def test_dead_span_name_flagged_at_its_line(self):
+        findings = run_obscov(
+            {
+                NAMES_PATH: NAMES,
+                "src/repro/pipeline.py": (
+                    "def f(tracer, reg, state):\n"
+                    "    tracer.span('frame')\n"
+                    "    tracer.span('health.' + state)\n"
+                    "    reg.counter('frames_total')\n"
+                    "    tracer.span('ghost')\n"
+                ),
+            }
+        )
+        # 'ghost' is unregistered (RF006); everything registered is
+        # emitted, so no RF005.
+        assert [f.code for f in findings] == ["RF006"]
+
+    def test_never_emitted_span_name(self):
+        findings = run_obscov(
+            {
+                NAMES_PATH: NAMES,
+                "src/repro/pipeline.py": (
+                    "def f(tracer, reg, state):\n"
+                    "    tracer.span('health.' + state)\n"
+                    "    reg.counter('frames_total')\n"
+                ),
+            }
+        )
+        assert [(f.code, f.path, f.line) for f in findings] == [
+            ("RF005", NAMES_PATH, 3)
+        ]
+        assert "'frame'" in findings[0].message
+
+    def test_prefix_covered_name_counts_as_emitted(self):
+        findings = run_obscov(
+            {
+                NAMES_PATH: NAMES,
+                "src/repro/pipeline.py": (
+                    "def f(tracer, reg, state):\n"
+                    "    tracer.span('frame')\n"
+                    "    tracer.span('health.' + state)\n"
+                    "    reg.counter('frames_total')\n"
+                ),
+            }
+        )
+        # 'health.active' is covered by the dynamic 'health.' family.
+        assert findings == []
+
+    def test_unused_prefix_flagged(self):
+        findings = run_obscov(
+            {
+                NAMES_PATH: NAMES,
+                "src/repro/pipeline.py": (
+                    "def f(tracer, reg):\n"
+                    "    tracer.span('frame')\n"
+                    "    tracer.span('health.active')\n"
+                    "    reg.counter('frames_total')\n"
+                ),
+            }
+        )
+        assert [(f.code, f.line) for f in findings] == [("RF005", 7)]
+        assert "prefix 'health.'" in findings[0].message
+
+    def test_dead_metric_flagged(self):
+        findings = run_obscov(
+            {
+                NAMES_PATH: NAMES,
+                "src/repro/pipeline.py": (
+                    "def f(tracer, state):\n"
+                    "    tracer.span('frame')\n"
+                    "    tracer.span('health.' + state)\n"
+                ),
+            }
+        )
+        assert [(f.code, f.line) for f in findings] == [("RF005", 8)]
+        assert "'frames_total'" in findings[0].message
+
+
+class TestEmittedButUnregistered:
+    def test_unregistered_literal_flagged_at_emission(self):
+        findings = run_obscov(
+            {
+                NAMES_PATH: NAMES,
+                "src/repro/x.py": (
+                    "def f(tracer, reg, state):\n"
+                    "    tracer.span('frame')\n"
+                    "    tracer.span('health.' + state)\n"
+                    "    reg.counter('frames_total')\n"
+                    "    reg.gauge('typo_total')\n"
+                ),
+            }
+        )
+        assert [(f.code, f.path, f.line) for f in findings] == [
+            ("RF006", "src/repro/x.py", 5)
+        ]
+        assert "'typo_total'" in findings[0].message
+
+    def test_unregistered_dynamic_prefix_flagged(self):
+        findings = run_obscov(
+            {
+                NAMES_PATH: NAMES,
+                "src/repro/x.py": (
+                    "def f(tracer, reg, state):\n"
+                    "    tracer.span('frame')\n"
+                    "    tracer.span('health.' + state)\n"
+                    "    reg.counter('frames_total')\n"
+                    "    tracer.span('mystery.' + state)\n"
+                ),
+            }
+        )
+        assert [(f.code, f.line) for f in findings] == [("RF006", 5)]
+        assert "prefix 'mystery.'" in findings[0].message
+
+
+class TestScope:
+    def test_no_names_module_means_silence(self):
+        findings = run_obscov(
+            {
+                "src/repro/x.py": (
+                    "def f(tracer):\n"
+                    "    tracer.span('anything.goes')\n"
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_non_repro_modules_not_scanned(self):
+        findings = run_obscov(
+            {
+                NAMES_PATH: NAMES,
+                "src/repro/pipeline.py": (
+                    "def f(tracer, reg, state):\n"
+                    "    tracer.span('frame')\n"
+                    "    tracer.span('health.' + state)\n"
+                    "    reg.counter('frames_total')\n"
+                ),
+                "tools/helper.py": (
+                    "def g(tracer):\n"
+                    "    tracer.span('not.a.real.span')\n"
+                ),
+            }
+        )
+        assert findings == []

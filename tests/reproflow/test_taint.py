@@ -1,0 +1,322 @@
+"""RNG-provenance taint tests (RF001/RF002)."""
+
+from tools.reproflow import taint
+from tools.reproflow.engine import program_from_sources
+
+
+def run_taint(sources):
+    program, findings = program_from_sources(sources)
+    assert findings == []
+    return taint.run(program)
+
+
+class TestLocalProvenance:
+    def test_unseeded_local_draw_flagged(self):
+        findings = run_taint(
+            {
+                "src/repro/a.py": (
+                    "import numpy as np\n"
+                    "def f():\n"
+                    "    rng = np.random.default_rng()\n"
+                    "    return rng.normal()\n"
+                ),
+            }
+        )
+        assert [(f.code, f.line) for f in findings] == [("RF001", 4)]
+        assert "src/repro/a.py:3" in findings[0].message
+
+    def test_seeded_local_draw_clean(self):
+        assert (
+            run_taint(
+                {
+                    "src/repro/a.py": (
+                        "import numpy as np\n"
+                        "def f():\n"
+                        "    rng = np.random.default_rng(7)\n"
+                        "    return rng.normal()\n"
+                    ),
+                }
+            )
+            == []
+        )
+
+    def test_explicit_none_seed_is_unseeded(self):
+        findings = run_taint(
+            {
+                "src/repro/a.py": (
+                    "import numpy as np\n"
+                    "def f():\n"
+                    "    rng = np.random.default_rng(None)\n"
+                    "    return rng.integers(0, 10)\n"
+                ),
+            }
+        )
+        assert [f.code for f in findings] == ["RF001"]
+
+    def test_unseeded_bitgen_flagged(self):
+        findings = run_taint(
+            {
+                "src/repro/a.py": (
+                    "import numpy as np\n"
+                    "def f():\n"
+                    "    rng = np.random.Generator(np.random.PCG64())\n"
+                    "    return rng.random()\n"
+                ),
+            }
+        )
+        assert [f.code for f in findings] == ["RF001"]
+
+    def test_unknown_provenance_stays_silent(self):
+        # A parameter nothing ever binds resolves to no roots: silence.
+        assert (
+            run_taint(
+                {
+                    "src/repro/a.py": (
+                        "def f(rng):\n"
+                        "    return rng.normal()\n"
+                    ),
+                }
+            )
+            == []
+        )
+
+
+class TestInterproceduralFlow:
+    def test_unseeded_stream_crosses_module_boundary(self):
+        findings = run_taint(
+            {
+                "src/repro/streams.py": (
+                    "import numpy as np\n"
+                    "def make_stream():\n"
+                    "    return np.random.Generator(np.random.PCG64())\n"
+                ),
+                "src/repro/sim.py": (
+                    "from repro.streams import make_stream\n"
+                    "def advance():\n"
+                    "    rng = make_stream()\n"
+                    "    return rng.normal()\n"
+                ),
+            }
+        )
+        assert [(f.code, f.path, f.line) for f in findings] == [
+            ("RF001", "src/repro/sim.py", 4)
+        ]
+        assert "src/repro/streams.py:3" in findings[0].message
+
+    def test_unseeded_stream_through_parameter(self):
+        findings = run_taint(
+            {
+                "src/repro/a.py": (
+                    "import numpy as np\n"
+                    "def draw(rng):\n"
+                    "    return rng.normal()\n"
+                    "def caller():\n"
+                    "    return draw(np.random.default_rng())\n"
+                ),
+            }
+        )
+        assert [(f.code, f.line) for f in findings] == [("RF001", 3)]
+
+    def test_seeded_stream_through_parameter_clean(self):
+        assert (
+            run_taint(
+                {
+                    "src/repro/a.py": (
+                        "import numpy as np\n"
+                        "def draw(rng):\n"
+                        "    return rng.normal()\n"
+                        "def caller():\n"
+                        "    return draw(np.random.default_rng(3))\n"
+                    ),
+                }
+            )
+            == []
+        )
+
+    def test_derived_child_stream_inherits_unseeded_root(self):
+        findings = run_taint(
+            {
+                "src/repro/a.py": (
+                    "import numpy as np\n"
+                    "def child(rng):\n"
+                    "    return np.random.default_rng("
+                    "int(rng.integers(0, 2**63 - 1)))\n"
+                    "def use():\n"
+                    "    kid = child(np.random.default_rng())\n"
+                    "    return kid.uniform()\n"
+                ),
+            }
+        )
+        # Both the seed-derivation draw (line 3) and the draw on the
+        # derived child (line 6) sit on the unseeded root.
+        assert [(f.code, f.line) for f in findings] == [
+            ("RF001", 3),
+            ("RF001", 6),
+        ]
+
+    def test_derived_child_stream_of_seeded_parent_clean(self):
+        assert (
+            run_taint(
+                {
+                    "src/repro/a.py": (
+                        "import numpy as np\n"
+                        "def child(rng):\n"
+                        "    return np.random.default_rng("
+                        "int(rng.integers(0, 2**63 - 1)))\n"
+                        "def use():\n"
+                        "    kid = child(np.random.default_rng(5))\n"
+                        "    return kid.uniform()\n"
+                    ),
+                }
+            )
+            == []
+        )
+
+    def test_spawn_children_keep_provenance(self):
+        findings = run_taint(
+            {
+                "src/repro/a.py": (
+                    "import numpy as np\n"
+                    "def f():\n"
+                    "    root = np.random.default_rng()\n"
+                    "    kid = root.spawn(3)[0]\n"
+                    "    return kid.random()\n"
+                ),
+            }
+        )
+        assert [(f.code, f.line) for f in findings] == [("RF001", 5)]
+
+    def test_self_attribute_flow(self):
+        findings = run_taint(
+            {
+                "src/repro/a.py": (
+                    "import numpy as np\n"
+                    "class Node:\n"
+                    "    def __init__(self):\n"
+                    "        self._rng = np.random.default_rng()\n"
+                    "    def step(self):\n"
+                    "        return self._rng.normal()\n"
+                ),
+            }
+        )
+        assert [(f.code, f.line) for f in findings] == [("RF001", 6)]
+
+
+FAULTS_HELPER = (
+    "def make_noise(rng, n):\n"
+    "    return rng.normal(size=n)\n"
+)
+
+
+class TestFaultsBoundary:
+    def test_sim_stream_into_faults_flagged(self):
+        findings = run_taint(
+            {
+                "src/repro/faults/noise.py": FAULTS_HELPER,
+                "src/repro/world/sim.py": (
+                    "import numpy as np\n"
+                    "from repro.faults.noise import make_noise\n"
+                    "def step():\n"
+                    "    rng = np.random.default_rng(11)\n"
+                    "    return make_noise(rng, 4)\n"
+                ),
+            }
+        )
+        codes = [(f.code, f.path, f.line) for f in findings]
+        assert codes == [("RF002", "src/repro/world/sim.py", 5)]
+
+    def test_faults_stream_into_sim_flagged(self):
+        findings = run_taint(
+            {
+                "src/repro/world/mix.py": (
+                    "def blend(rng, x):\n"
+                    "    return rng.uniform() + x\n"
+                ),
+                "src/repro/faults/inject.py": (
+                    "import numpy as np\n"
+                    "from repro.world.mix import blend\n"
+                    "def corrupt(x):\n"
+                    "    rng = np.random.default_rng(3)\n"
+                    "    return blend(rng, x)\n"
+                ),
+            }
+        )
+        codes = [(f.code, f.path, f.line) for f in findings]
+        assert codes == [("RF002", "src/repro/faults/inject.py", 5)]
+
+    def test_faults_stream_returned_to_sim_flagged(self):
+        findings = run_taint(
+            {
+                "src/repro/faults/gen.py": (
+                    "import numpy as np\n"
+                    "def make_rng():\n"
+                    "    return np.random.default_rng(9)\n"
+                ),
+                "src/repro/world/sim.py": (
+                    "from repro.faults.gen import make_rng\n"
+                    "def step():\n"
+                    "    rng = make_rng()\n"
+                    "    return rng\n"
+                ),
+            }
+        )
+        assert [(f.code, f.path, f.line) for f in findings] == [
+            ("RF002", "src/repro/world/sim.py", 3)
+        ]
+
+    def test_integer_seed_crossing_is_legal(self):
+        # Deriving an int seed and handing THAT across is the sanctioned
+        # pattern (FaultModel.compile takes a seed, not a stream).
+        assert (
+            run_taint(
+                {
+                    "src/repro/faults/model.py": (
+                        "import numpy as np\n"
+                        "def compile_model(seed):\n"
+                        "    rng = np.random.default_rng(seed)\n"
+                        "    return rng.random()\n"
+                    ),
+                    "src/repro/world/sim.py": (
+                        "from repro.faults.model import compile_model\n"
+                        "def step(seed):\n"
+                        "    return compile_model(seed + 1)\n"
+                    ),
+                }
+            )
+            == []
+        )
+
+    def test_faults_internal_stream_is_legal(self):
+        assert (
+            run_taint(
+                {
+                    "src/repro/faults/model.py": (
+                        "import numpy as np\n"
+                        "def make(seed):\n"
+                        "    return np.random.default_rng(seed)\n"
+                        "def sample(seed):\n"
+                        "    return make(seed).random()\n"
+                    ),
+                }
+            )
+            == []
+        )
+
+
+class TestSuppression:
+    def test_inline_disable_silences_rf001(self):
+        program, _ = program_from_sources(
+            {
+                "src/repro/a.py": (
+                    "import numpy as np\n"
+                    "def f():\n"
+                    "    rng = np.random.default_rng()\n"
+                    "    return rng.normal()"
+                    "  # reproflow: disable=RF001\n"
+                ),
+            }
+        )
+        from tools.reproflow.engine import apply_suppressions
+
+        findings = apply_suppressions(taint.run(program), program)
+        assert findings == []

@@ -1,0 +1,3 @@
+# Fixture: deliberately unparseable (RL000).
+def broken(:
+    pass

@@ -1,0 +1,92 @@
+"""Satellite: unparseable files yield one RL000 finding, never an
+aborted run — and suppressions cannot mask rules they do not name
+under ``--select``/``--warn``."""
+
+from pathlib import Path
+
+from tools.reprolint import Config, lint_paths, lint_source
+from tools.reprolint.rules import rules_for
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestUnparseableFiles:
+    def test_syntax_error_is_one_rl000_finding(self):
+        findings = lint_source("def broken(:\n", "src/repro/x.py")
+        assert [(f.code, f.severity) for f in findings] == [
+            ("RL000", "error")
+        ]
+        assert findings[0].path == "src/repro/x.py"
+        assert findings[0].line == 1
+
+    def test_null_bytes_are_one_rl000_finding(self):
+        findings = lint_source("x = 1\0\n", "src/repro/x.py")
+        assert [f.code for f in findings] == ["RL000"]
+
+    def test_broken_fixture_file_yields_rl000(self):
+        config = Config(exclude_dirs=frozenset({"__pycache__"}))
+        findings = lint_paths(
+            [str(FIXTURES / "rl000_broken.py")], config
+        )
+        assert [f.code for f in findings] == ["RL000"]
+        assert findings[0].line == 2
+
+    def test_walk_survives_a_broken_file(self, tmp_path, monkeypatch):
+        """One broken file must not eat findings from its siblings."""
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "broken.py").write_text("def broken(:\n")
+        (pkg / "bad.py").write_text(
+            "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        findings = lint_paths(["src"])
+        codes = sorted(f.code for f in findings)
+        assert "RL000" in codes
+        assert "RL001" in codes
+
+
+SOURCE_BOTH_ON_ONE_LINE = (
+    "import numpy as np\n"
+    "import time\n"
+    "x = np.random.rand(int(time.time()))"
+    "  # reprolint: disable=RL002\n"
+)
+
+
+class TestSuppressionSelectInteraction:
+    """A suppression names codes, not lines: disabling an unselected
+    rule must not hide a selected rule's finding on the same line."""
+
+    def test_line_has_both_violations_without_suppression(self):
+        source = SOURCE_BOTH_ON_ONE_LINE.replace(
+            "  # reprolint: disable=RL002", ""
+        )
+        codes = sorted(f.code for f in lint_source(source, "src/repro/x.py"))
+        assert codes == ["RL001", "RL002"]
+
+    def test_suppressing_unselected_rule_keeps_selected_finding(self):
+        findings = lint_source(
+            SOURCE_BOTH_ON_ONE_LINE,
+            "src/repro/x.py",
+            rules=rules_for(["RL001"]),
+        )
+        assert [f.code for f in findings] == ["RL001"]
+
+    def test_suppression_still_works_for_its_own_code(self):
+        findings = lint_source(
+            SOURCE_BOTH_ON_ONE_LINE,
+            "src/repro/x.py",
+            rules=rules_for(["RL002"]),
+        )
+        assert findings == []
+
+    def test_suppressed_code_hidden_even_when_other_rule_demoted(self):
+        config = Config(demote_to_warning=frozenset({"RL001"}))
+        findings = lint_source(
+            SOURCE_BOTH_ON_ONE_LINE, "src/repro/x.py", config
+        )
+        # RL002 stays suppressed; RL001 survives, demoted to warning.
+        assert [(f.code, f.severity) for f in findings] == [
+            ("RL001", "warning")
+        ]

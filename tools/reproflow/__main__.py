@@ -1,0 +1,8 @@
+"""``python -m tools.reproflow`` entry point."""
+
+import sys
+
+from tools.reproflow.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Findings baseline with a no-new-findings ratchet.
+
+The baseline is a checked-in JSON file listing findings that existed
+when the analyzer landed. CI compares the current run against it:
+
+* a finding **not** in the baseline is *new* and fails the build,
+* a finding in the baseline is reported as *baselined* (visible, never
+  fatal),
+* a baseline entry no match produces is *stale* — the debt was paid and
+  the entry should be deleted (``--write-baseline`` does it).
+
+Fingerprints deliberately exclude line numbers so unrelated edits that
+shift a baselined finding up or down the file do not break the build;
+``(code, path, message)`` is stable enough in practice because messages
+embed the offending name. The checked-in baseline starts — and should
+stay — empty.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from tools.reprolint.engine import Finding
+
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    return (finding.code, finding.path, finding.message)
+
+
+def load_baseline(path: str) -> List[Dict[str, str]]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        return []
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path}: not a reproflow baseline file")
+    entries = payload["findings"]
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: 'findings' must be a list")
+    for entry in entries:
+        if not isinstance(entry, dict) or not all(
+            key in entry for key in ("code", "path", "message")
+        ):
+            raise ValueError(
+                f"{path}: baseline entries need code/path/message keys"
+            )
+    return entries
+
+
+def ratchet(
+    findings: Sequence[Finding], entries: Sequence[Dict[str, str]]
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]]]:
+    """Split findings into (new, baselined) and report stale entries."""
+    known = {(e["code"], e["path"], e["message"]) for e in entries}
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    seen = set()
+    for finding in findings:
+        print_ = fingerprint(finding)
+        if print_ in known:
+            baselined.append(finding)
+            seen.add(print_)
+        else:
+            new.append(finding)
+    stale = [
+        e
+        for e in entries
+        if (e["code"], e["path"], e["message"]) not in seen
+    ]
+    return new, baselined, stale
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    entries = sorted(
+        (
+            {"code": f.code, "path": f.path, "message": f.message}
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["code"], e["message"]),
+    )
+    return (
+        json.dumps(
+            {"version": BASELINE_VERSION, "findings": entries}, indent=2
+        )
+        + "\n"
+    )
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_baseline(findings))

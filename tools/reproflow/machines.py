@@ -1,0 +1,424 @@
+"""State-machine extraction and model checking (RF003/RF004).
+
+The runtime's two lifecycle protocols — the fleet-health machine in
+:mod:`repro.runtime.health` and the epoch-fenced failover protocol in
+:mod:`repro.runtime.failover` — carry guarantees that are stated in
+prose ("no quarantine->active shortcut", "every takeover bumps the
+epoch") and enforced dynamically by the R1-R6 invariant monitor. This
+pass makes them *build-time* guarantees:
+
+* :func:`check_table` model-checks a declared
+  :class:`TransitionTable` on its own: endpoints exist, every state is
+  reachable from the initial state, non-terminal states have a way out,
+  no declared edge is also forbidden.
+* :func:`extract_machine` recovers the transition relation a function
+  actually implements from its AST — ``if state is Enum.A: ...
+  next = Enum.B`` branches — and RF003 reports any mismatch against the
+  declared table: an undeclared (or outright forbidden) edge in the
+  code, a declared edge the code lost, a state the dispatch no longer
+  handles.
+* The :class:`EpochRule` check (RF004) requires every function that
+  constructs a leadership transition to mint a fresh epoch first, which
+  is the static form of R2's "applied epochs are monotonic".
+
+Everything is deliberately syntactic: the extractor only trusts
+``<expr> is/== Enum.MEMBER`` tests and ``<target> = Enum.MEMBER``
+assignments, and anything else is invisible — which fails *loud* (a
+declared edge goes missing) rather than silently passing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.engine import Finding
+from tools.reproflow.engine import Program, attr_chain, rf_finding
+
+
+@dataclass(frozen=True)
+class TransitionTable:
+    """The declared transition relation of one state machine.
+
+    ``states`` are enum member names; ``edges`` are the allowed
+    state-changing transitions (self-loops are implicit and never
+    declared); ``forbidden`` documents edges whose *absence* is a
+    guarantee, so adding one to the code is an error even if someone
+    also declares it; ``terminal`` states are allowed to have no
+    outgoing edge.
+    """
+
+    machine: str
+    states: Tuple[str, ...]
+    initial: str
+    edges: Tuple[Tuple[str, str], ...]
+    forbidden: Tuple[Tuple[str, str], ...] = ()
+    terminal: Tuple[str, ...] = ()
+
+
+def check_table(table: TransitionTable) -> List[str]:
+    """Model-check a declared table; an empty list means it is valid.
+
+    Checks: non-empty unique states, known initial, edge/forbidden
+    endpoints in the state set, no duplicate edges, no self-loops, no
+    edge that is simultaneously declared and forbidden, every state
+    reachable from the initial state, and every non-terminal state has
+    at least one outgoing edge (exhaustiveness).
+    """
+    problems: List[str] = []
+    if not table.states:
+        return [f"{table.machine}: table declares no states"]
+    if len(set(table.states)) != len(table.states):
+        problems.append(f"{table.machine}: duplicate states declared")
+    states = set(table.states)
+    if table.initial not in states:
+        problems.append(
+            f"{table.machine}: initial state {table.initial!r} is not a "
+            "declared state"
+        )
+    for name in table.terminal:
+        if name not in states:
+            problems.append(
+                f"{table.machine}: terminal state {name!r} is not a "
+                "declared state"
+            )
+    seen: Set[Tuple[str, str]] = set()
+    for src, dst in table.edges:
+        if src not in states or dst not in states:
+            problems.append(
+                f"{table.machine}: edge {src}->{dst} has an undeclared "
+                "endpoint"
+            )
+        if src == dst:
+            problems.append(
+                f"{table.machine}: self-loop {src}->{dst} declared "
+                "(self-loops are implicit)"
+            )
+        if (src, dst) in seen:
+            problems.append(f"{table.machine}: duplicate edge {src}->{dst}")
+        seen.add((src, dst))
+    for src, dst in table.forbidden:
+        if src not in states or dst not in states:
+            problems.append(
+                f"{table.machine}: forbidden edge {src}->{dst} has an "
+                "undeclared endpoint"
+            )
+        if (src, dst) in seen:
+            problems.append(
+                f"{table.machine}: edge {src}->{dst} is both declared "
+                "and forbidden"
+            )
+    if problems:
+        return problems
+    # Reachability and exhaustiveness only make sense on a well-formed
+    # table, so they run after the structural checks pass.
+    reachable = {table.initial}
+    frontier = [table.initial]
+    outgoing: Dict[str, int] = {s: 0 for s in table.states}
+    adjacency: Dict[str, List[str]] = {s: [] for s in table.states}
+    for src, dst in table.edges:
+        adjacency[src].append(dst)
+        outgoing[src] += 1
+    while frontier:
+        for dst in adjacency[frontier.pop()]:
+            if dst not in reachable:
+                reachable.add(dst)
+                frontier.append(dst)
+    for state in table.states:
+        if state not in reachable:
+            problems.append(
+                f"{table.machine}: state {state} is unreachable from "
+                f"{table.initial}"
+            )
+        if outgoing[state] == 0 and state not in table.terminal:
+            problems.append(
+                f"{table.machine}: non-terminal state {state} has no "
+                "outgoing edge"
+            )
+    return problems
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Where one declared machine lives in the code.
+
+    ``function`` is the module-relative qualname of the dispatch
+    function (``Class.method`` or a bare function name) whose body
+    implements the transition relation over ``enum`` members.
+    """
+
+    module: str
+    enum: str
+    function: str
+    table: TransitionTable
+
+
+@dataclass(frozen=True)
+class ExtractedMachine:
+    """The transition relation a function's AST actually implements."""
+
+    edges: Tuple[Tuple[str, str, int], ...]  # (src, dst, lineno)
+    handled: Tuple[str, ...]  # states appearing as a dispatch branch
+    function_line: int
+
+
+def extract_machine(
+    program: Program, spec: MachineSpec
+) -> Optional[ExtractedMachine]:
+    """Recover ``spec.function``'s transition relation from its AST.
+
+    Returns ``None`` when the module, enum or function is not part of
+    the analyzed program (the caller then skips the machine — partial
+    analyses of a subtree must not fail on what they cannot see).
+    """
+    module = program.modules.get(spec.module)
+    if module is None:
+        return None
+    members = module.enums.get(spec.enum)
+    fn = module.functions.get(spec.function)
+    if members is None or fn is None:
+        return None
+    member_set = set(members)
+
+    def state_of(expr: ast.AST) -> Optional[str]:
+        chain = attr_chain(expr)
+        if (
+            chain is not None
+            and len(chain) >= 2
+            and chain[-2] == spec.enum
+            and chain[-1] in member_set
+        ):
+            return chain[-1]
+        return None
+
+    def test_state(test: ast.AST) -> Optional[str]:
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], (ast.Is, ast.Eq))
+        ):
+            for side in (test.left, test.comparators[0]):
+                state = state_of(side)
+                if state is not None:
+                    return state
+        return None
+
+    edges: List[Tuple[str, str, int]] = []
+    handled: List[str] = []
+    seen_edges: Set[Tuple[str, str]] = set()
+
+    def visit(stmts: Sequence[ast.stmt], current: Optional[str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                state = test_state(stmt.test)
+                if state is not None:
+                    if state not in handled:
+                        handled.append(state)
+                    visit(stmt.body, state)
+                    visit(stmt.orelse, current)
+                else:
+                    visit(stmt.body, current)
+                    visit(stmt.orelse, current)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.Return)):
+                value = stmt.value
+                if value is None:
+                    continue
+                target = state_of(value)
+                if target is not None and current is not None and (
+                    target != current
+                ):
+                    if (current, target) not in seen_edges:
+                        seen_edges.add((current, target))
+                        edges.append((current, target, stmt.lineno))
+            elif isinstance(stmt, (ast.For, ast.While)):
+                visit(stmt.body, current)
+                visit(stmt.orelse, current)
+            elif isinstance(stmt, ast.With):
+                visit(stmt.body, current)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body, current)
+                for handler in stmt.handlers:
+                    visit(handler.body, current)
+                visit(stmt.orelse, current)
+                visit(stmt.finalbody, current)
+
+    visit(fn.node.body, None)  # type: ignore[arg-type]
+    return ExtractedMachine(
+        edges=tuple(edges),
+        handled=tuple(handled),
+        function_line=fn.node.lineno,  # type: ignore[attr-defined]
+    )
+
+
+@dataclass(frozen=True)
+class EpochRule:
+    """Monotonic-epoch obligation on a leadership-transition factory.
+
+    Every function in ``module`` that constructs a ``transition``
+    object must call ``<receiver>.<bump>()`` earlier in its body: the
+    bump method is the single place the next epoch is minted, so a
+    construction site without one is a leadership change that reuses a
+    stale epoch — the static shadow of runtime invariant R2.
+    """
+
+    machine: str
+    module: str
+    transition: str
+    bump: str
+    #: Constructions whose ``kind=`` keyword is one of these literals
+    #: are exempt (none today; the hook exists for observer-only kinds).
+    exempt_kinds: Tuple[str, ...] = ()
+
+
+def _check_epoch_rule(program: Program, rule: EpochRule) -> List[Finding]:
+    module = program.modules.get(rule.module)
+    if module is None:
+        return []
+    findings: List[Finding] = []
+    for fn in module.functions.values():
+        constructions: List[ast.Call] = []
+        bump_lines: List[int] = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            if chain[-1] == rule.transition:
+                kind = next(
+                    (
+                        kw.value.value
+                        for kw in node.keywords
+                        if kw.arg == "kind"
+                        and isinstance(kw.value, ast.Constant)
+                    ),
+                    None,
+                )
+                if kind in rule.exempt_kinds:
+                    continue
+                constructions.append(node)
+            elif chain[-1] == rule.bump and len(chain) > 1:
+                bump_lines.append(node.lineno)
+        for call in constructions:
+            if not any(line <= call.lineno for line in bump_lines):
+                findings.append(
+                    rf_finding(
+                        "RF004",
+                        module.path,
+                        call,
+                        f"{rule.machine}: {fn.qualname} constructs "
+                        f"{rule.transition} without first minting a new "
+                        f"epoch via {rule.bump}() — leadership changes "
+                        "must bump the epoch monotonically (R2)",
+                    )
+                )
+    return findings
+
+
+@dataclass
+class MachineReport:
+    """What the pass saw, for tests and the CLI's verbose mode."""
+
+    checked: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+
+def run(
+    program: Program,
+    specs: Sequence[MachineSpec],
+    epoch_rules: Sequence[EpochRule],
+    tables_path: str,
+    report: Optional[MachineReport] = None,
+) -> List[Finding]:
+    """RF003/RF004 over every declared machine present in the program."""
+    findings: List[Finding] = []
+    for spec in specs:
+        extracted = extract_machine(program, spec)
+        if extracted is None:
+            if report is not None:
+                report.skipped.append(spec.table.machine)
+            continue
+        if report is not None:
+            report.checked.append(spec.table.machine)
+        module = program.modules[spec.module]
+        table = spec.table
+        for problem in check_table(table):
+            findings.append(
+                Finding(
+                    code="RF003",
+                    severity="error",
+                    path=tables_path,
+                    line=1,
+                    col=0,
+                    message=f"declared table is invalid: {problem}",
+                )
+            )
+        declared = set(table.edges)
+        forbidden = set(table.forbidden)
+        implemented = {(src, dst) for src, dst, _ in extracted.edges}
+        for src, dst, lineno in extracted.edges:
+            if (src, dst) in forbidden:
+                findings.append(
+                    Finding(
+                        code="RF003",
+                        severity="error",
+                        path=module.path,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"{table.machine}: transition {src}->{dst} is "
+                            "forbidden by the declared table (its absence "
+                            "is a documented guarantee)"
+                        ),
+                    )
+                )
+            elif (src, dst) not in declared:
+                findings.append(
+                    Finding(
+                        code="RF003",
+                        severity="error",
+                        path=module.path,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"{table.machine}: transition {src}->{dst} is "
+                            "implemented but not declared in the "
+                            "transition table"
+                        ),
+                    )
+                )
+        for src, dst in sorted(declared - implemented):
+            findings.append(
+                Finding(
+                    code="RF003",
+                    severity="error",
+                    path=module.path,
+                    line=extracted.function_line,
+                    col=0,
+                    message=(
+                        f"{table.machine}: declared transition {src}->{dst} "
+                        f"is not implemented by {spec.function}"
+                    ),
+                )
+            )
+        handled = set(extracted.handled)
+        for state in table.states:
+            if state not in handled and state not in table.terminal:
+                findings.append(
+                    Finding(
+                        code="RF003",
+                        severity="error",
+                        path=module.path,
+                        line=extracted.function_line,
+                        col=0,
+                        message=(
+                            f"{table.machine}: state {state} has no "
+                            f"dispatch branch in {spec.function} "
+                            "(non-exhaustive handling)"
+                        ),
+                    )
+                )
+    for rule in epoch_rules:
+        findings.extend(_check_epoch_rule(program, rule))
+    return findings

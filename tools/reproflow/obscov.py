@@ -1,0 +1,236 @@
+"""Bidirectional observability-name coverage (RF005/RF006).
+
+``repro.obs.names`` is the registered inventory of every span and
+metric name. reprolint's RL005 proves the *forward* direction per file:
+every emission uses a registered literal. This pass closes the loop
+whole-program:
+
+* **RF005** — a registered name (or dynamic-span prefix) that *nothing*
+  in the tree emits. Dead inventory is worse than clutter: it reads as
+  a promise ("this metric exists") that dashboards and golden tests can
+  rely on, when the series never materializes.
+* **RF006** — an emission whose literal (or dynamic prefix) is not
+  registered. This is RL005's check re-proved at whole-program scope so
+  the obs pass is self-contained when run on partial trees or fixtures.
+
+A registered span name counts as emitted if a literal emission uses it
+*or* a dynamic emission's prefix covers it (``"health." + state`` emits
+the whole ``health.*`` family). Metric names have no prefix families and
+must be emitted literally. If the names module is not part of the
+analyzed tree (partial runs), the pass is silent — no inventory, no
+judgment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from tools.reprolint.engine import Finding
+from tools.reproflow.engine import ModuleInfo, Program, rf_finding
+
+#: The module holding the inventory, and the sets read out of it.
+NAMES_MODULE = "repro.obs.names"
+_SETS = {
+    "SPAN_NAMES": "span",
+    "SPAN_PREFIXES": "prefix",
+    "METRIC_NAMES": "metric",
+}
+
+#: Emitting methods, mirroring reprolint RL005.
+_METHODS = {
+    "span": "span",
+    "counter": "metric",
+    "gauge": "metric",
+    "histogram": "metric",
+}
+
+
+class Inventory:
+    """The registered names with the line each literal sits on."""
+
+    def __init__(self) -> None:
+        self.path = ""
+        #: kind ("span" | "prefix" | "metric") -> {name: lineno}.
+        self.names: Dict[str, Dict[str, int]] = {
+            "span": {},
+            "prefix": {},
+            "metric": {},
+        }
+
+
+def read_inventory(program: Program) -> Optional[Inventory]:
+    module = program.modules.get(NAMES_MODULE)
+    if module is None:
+        return None
+    inventory = Inventory()
+    inventory.path = module.path
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        kinds = [
+            _SETS[t.id]
+            for t in node.targets
+            if isinstance(t, ast.Name) and t.id in _SETS
+        ]
+        if not kinds:
+            continue
+        for constant in ast.walk(node.value):
+            if isinstance(constant, ast.Constant) and isinstance(
+                constant.value, str
+            ):
+                for kind in kinds:
+                    inventory.names[kind][constant.value] = constant.lineno
+    return inventory
+
+
+class Emissions:
+    """Every literal and dynamic-prefix emission in the tree."""
+
+    def __init__(self) -> None:
+        #: kind ("span" | "metric") -> {name: [(path, line), ...]}.
+        self.literals: Dict[str, Dict[str, List[Tuple[str, int]]]] = {
+            "span": {},
+            "metric": {},
+        }
+        #: dynamic span prefixes actually used -> [(path, line), ...].
+        self.prefixes: Dict[str, List[Tuple[str, int]]] = {}
+        #: (kind, path, line, name) of every emission, for RF006.
+        self.sites: List[Tuple[str, str, int, str, bool]] = []
+
+
+def _name_argument(node: ast.Call) -> Optional[ast.expr]:
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "name":
+            return kw.value
+    return None
+
+
+def _record(
+    emissions: Emissions,
+    module: ModuleInfo,
+    node: ast.Call,
+    arg: ast.expr,
+    kind: str,
+) -> None:
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        emissions.literals[kind].setdefault(arg.value, []).append(
+            (module.path, node.lineno)
+        )
+        emissions.sites.append(
+            (kind, module.path, node.lineno, arg.value, False)
+        )
+    elif isinstance(arg, ast.IfExp):
+        _record(emissions, module, node, arg.body, kind)
+        _record(emissions, module, node, arg.orelse, kind)
+    elif (
+        kind == "span"
+        and isinstance(arg, ast.BinOp)
+        and isinstance(arg.op, ast.Add)
+        and isinstance(arg.left, ast.Constant)
+        and isinstance(arg.left.value, str)
+    ):
+        emissions.prefixes.setdefault(arg.left.value, []).append(
+            (module.path, node.lineno)
+        )
+        emissions.sites.append(
+            (kind, module.path, node.lineno, arg.left.value, True)
+        )
+
+
+def collect_emissions(program: Program) -> Emissions:
+    emissions = Emissions()
+    for modname in sorted(program.modules):
+        if not modname.startswith("repro.") or modname == NAMES_MODULE:
+            continue
+        module = program.modules[modname]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            kind = _METHODS.get(node.func.attr)
+            if kind is None:
+                continue
+            arg = _name_argument(node)
+            if arg is not None:
+                _record(emissions, module, node, arg, kind)
+    return emissions
+
+
+def run(program: Program) -> List[Finding]:
+    inventory = read_inventory(program)
+    if inventory is None:
+        return []
+    emissions = collect_emissions(program)
+    findings: List[Finding] = []
+    anchor = inventory.path
+
+    def _at(lineno: int) -> ast.AST:
+        node = ast.Pass()
+        node.lineno = lineno  # type: ignore[attr-defined]
+        node.col_offset = 0  # type: ignore[attr-defined]
+        return node
+
+    used_prefixes: Set[str] = set(emissions.prefixes)
+    for name in sorted(inventory.names["span"]):
+        lineno = inventory.names["span"][name]
+        emitted = name in emissions.literals["span"] or any(
+            name.startswith(prefix) for prefix in used_prefixes
+        )
+        if not emitted:
+            findings.append(
+                rf_finding(
+                    "RF005",
+                    anchor,
+                    _at(lineno),
+                    f"span name {name!r} is registered but never "
+                    "emitted; remove it or add the emission "
+                    "(# reproflow: disable=RF005 if reserved)",
+                )
+            )
+    for prefix in sorted(inventory.names["prefix"]):
+        lineno = inventory.names["prefix"][prefix]
+        if prefix not in used_prefixes:
+            findings.append(
+                rf_finding(
+                    "RF005",
+                    anchor,
+                    _at(lineno),
+                    f"span prefix {prefix!r} is registered but no "
+                    "dynamic emission uses it; remove it or add the "
+                    "emission",
+                )
+            )
+    for name in sorted(inventory.names["metric"]):
+        lineno = inventory.names["metric"][name]
+        if name not in emissions.literals["metric"]:
+            findings.append(
+                rf_finding(
+                    "RF005",
+                    anchor,
+                    _at(lineno),
+                    f"metric name {name!r} is registered but never "
+                    "emitted; remove it or add the emission",
+                )
+            )
+    for kind, path, lineno, name, is_prefix in emissions.sites:
+        if is_prefix:
+            registered = name in inventory.names["prefix"]
+            label = f"span prefix {name!r}"
+        else:
+            registered = name in inventory.names[kind]
+            label = f"{kind} name {name!r}"
+        if not registered:
+            findings.append(
+                rf_finding(
+                    "RF006",
+                    path,
+                    _at(lineno),
+                    f"{label} is emitted but not registered in "
+                    f"{NAMES_MODULE}; add it there (or fix the typo)",
+                )
+            )
+    return findings

@@ -1,0 +1,84 @@
+"""Minimal SARIF 2.1.0 rendering for reproflow findings.
+
+Just enough of the schema for GitHub code scanning to annotate PRs:
+one run, one tool driver with the rule catalog, one result per finding
+with a physical location. Severities map ``error`` -> ``error`` and
+everything else -> ``warning``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from tools.reprolint.engine import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Dict[str, Dict[str, str]]
+) -> str:
+    """``rules`` maps code -> {"summary": ..., "rationale": ...}."""
+    used = sorted({f.code for f in findings} | set(rules))
+    driver_rules: List[dict] = []
+    for code in used:
+        info = rules.get(code, {})
+        driver_rules.append(
+            {
+                "id": code,
+                "shortDescription": {
+                    "text": info.get("summary", code)
+                },
+                "fullDescription": {
+                    "text": info.get("rationale", info.get("summary", code))
+                },
+            }
+        )
+    rule_index = {code: i for i, code in enumerate(used)}
+    results = [
+        {
+            "ruleId": f.code,
+            "ruleIndex": rule_index[f.code],
+            "level": "error" if f.severity == "error" else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reproflow",
+                        "informationUri": (
+                            "docs/static-analysis.md"
+                        ),
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,73 @@
+"""The declared transition tables the machine pass checks code against.
+
+This module is the single source of truth for which lifecycle edges are
+*allowed* to exist in the runtime. Adding a transition to
+``repro.runtime.health`` (or removing one) without updating the table
+here is an RF003 error — which is the point: lifecycle changes become a
+reviewable diff in one place, exactly like ``repro.obs.names`` does for
+the observability surface.
+
+Table format (see ``docs/static-analysis.md#declared-transition-tables``):
+
+* ``states`` — the enum member names of the machine.
+* ``initial`` — where every instance starts.
+* ``edges`` — the allowed state-*changing* transitions. Self-loops are
+  implicit (staying put is always legal) and never declared.
+* ``forbidden`` — edges whose absence is a documented guarantee. The
+  model checker rejects a table that declares a forbidden edge, and the
+  extraction pass reports code that implements one even if someone also
+  adds it to ``edges``.
+* ``terminal`` — states allowed to have no outgoing edge.
+
+``EPOCH_RULES`` is the companion obligation for epoch-fenced protocols:
+every function constructing the named transition object must call the
+bump method first (RF004).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from tools.reproflow.machines import EpochRule, MachineSpec, TransitionTable
+
+#: Where findings about the declared tables themselves are anchored.
+TABLES_PATH = "tools/reproflow/tables.py"
+
+#: The fleet-health lifecycle (PR 8): readmission must pass through
+#: PROBATION — QUARANTINED->ACTIVE is the shortcut the watchdog's
+#: hysteresis exists to prevent, so it is declared forbidden.
+HEALTH_TABLE = TransitionTable(
+    machine="fleet-health",
+    states=("ACTIVE", "SUSPECT", "QUARANTINED", "PROBATION"),
+    initial="ACTIVE",
+    edges=(
+        ("ACTIVE", "SUSPECT"),
+        ("SUSPECT", "ACTIVE"),
+        ("SUSPECT", "QUARANTINED"),
+        ("QUARANTINED", "PROBATION"),
+        ("PROBATION", "QUARANTINED"),
+        ("PROBATION", "ACTIVE"),
+    ),
+    forbidden=(("QUARANTINED", "ACTIVE"),),
+)
+
+MACHINE_SPECS: Tuple[MachineSpec, ...] = (
+    MachineSpec(
+        module="repro.runtime.health",
+        enum="HealthState",
+        function="FleetHealthWatchdog.observe",
+        table=HEALTH_TABLE,
+    ),
+)
+
+#: Epoch fencing (PR 7): every leadership change — takeover, handback,
+#: split takeover, reunite — must mint its epoch through
+#: ``FailoverManager._bump`` before constructing the transition.
+EPOCH_RULES: Tuple[EpochRule, ...] = (
+    EpochRule(
+        machine="failover-epochs",
+        module="repro.runtime.failover",
+        transition="FailoverTransition",
+        bump="_bump",
+    ),
+)

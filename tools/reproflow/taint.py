@@ -1,0 +1,484 @@
+"""Interprocedural RNG-provenance taint analysis (RF001/RF002).
+
+The repo's determinism guarantee says every random draw comes from a
+``numpy.random.Generator`` whose seed flows from the run config, and
+the fault subsystem's "zero RNG when disabled" guarantee additionally
+requires fault randomness to live on *its own* streams, never borrowed
+from the simulation. reprolint checks the local symptoms (RL001/RL004);
+this pass proves the global property:
+
+* **RF001** — a draw site (``rng.normal()``, ``rng.integers()``, ...)
+  whose stream provably includes an *unseeded* root: a bare
+  ``default_rng()``, an argument-less bit generator (``PCG64()``), or a
+  stream derived from one — across module boundaries, through function
+  returns, parameters, ``self`` attributes and ``spawn()`` children.
+* **RF002** — a live RNG stream crossing the ``repro.faults`` boundary
+  in either direction: simulation/runtime code handing one of its
+  streams into the fault subsystem (the compiled-schedule design exists
+  precisely so this never happens), or a faults-owned stream escaping
+  into simulation code.
+
+Provenance is a *may* analysis over symbolic roots. Every value carries
+two components: ``stream`` roots (the value may BE a generator with
+these origins) and ``taint`` roots (the value was *derived* from such a
+generator — e.g. ``int(rng.integers(...))``). Drawing moves stream to
+taint; seeding a new generator from a tainted value inherits the parent
+origins, which is how ``default_rng(int(rng.integers(...)))`` child
+streams stay connected to their root. Symbolic roots (parameters,
+call returns, attributes) resolve through the call graph to concrete
+``seeded``/``unseeded`` creation sites; anything unresolvable resolves
+to *nothing* and never produces a finding — the pass is conservative in
+the quiet direction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from tools.reprolint.engine import Finding
+from tools.reproflow.engine import (
+    BITGEN_NAMES,
+    DRAW_METHODS,
+    FunctionInfo,
+    Program,
+    attr_chain,
+    rf_finding,
+)
+
+#: A provenance root. Concrete roots are ("seeded"|"unseeded", path,
+#: line) creation sites; symbolic roots are ("param", fqn, name),
+#: ("call", fqn) and ("attr", class_fqn, attr) and resolve through the
+#: call graph.
+Root = Tuple[str, ...]
+
+_EMPTY: FrozenSet[Root] = frozenset()
+
+
+class Prov:
+    """One value's provenance: stream roots and derivation taint."""
+
+    __slots__ = ("stream", "taint")
+
+    def __init__(
+        self, stream: FrozenSet[Root] = _EMPTY, taint: FrozenSet[Root] = _EMPTY
+    ) -> None:
+        self.stream = stream
+        self.taint = taint
+
+    def __or__(self, other: "Prov") -> "Prov":
+        return Prov(self.stream | other.stream, self.taint | other.taint)
+
+    @property
+    def any_roots(self) -> FrozenSet[Root]:
+        return self.stream | self.taint
+
+
+_NONE = Prov()
+
+
+class Summary:
+    """What the local pass learned about one function."""
+
+    def __init__(self, fn: FunctionInfo) -> None:
+        self.fn = fn
+        #: Potential draw sites: (call node, receiver stream roots).
+        self.draws: List[Tuple[ast.Call, FrozenSet[Root]]] = []
+        #: Stream roots of returned values.
+        self.returns: Set[Root] = set()
+        #: Resolved calls passing a (possible) stream as an argument:
+        #: (callee fqn, param name, stream roots, call node).
+        self.rng_args: List[Tuple[str, str, FrozenSet[Root], ast.Call]] = []
+        #: Resolved call sites (callee fqn, node) for boundary checks.
+        self.calls: List[Tuple[str, ast.Call]] = []
+
+
+class _FunctionAnalyzer:
+    """Single forward pass over one function body (union semantics)."""
+
+    def __init__(self, program: Program, fn: FunctionInfo,
+                 attr_writes: Dict[Tuple[str, str], Set[Root]]) -> None:
+        self.program = program
+        self.fn = fn
+        self.module = fn.module
+        self.attr_writes = attr_writes
+        self.summary = Summary(fn)
+        self.env: Dict[str, Prov] = {}
+        for param in fn.params:
+            self.env[param.arg] = Prov(
+                stream=frozenset({("param", fn.fqn, param.arg)})
+            )
+
+    # -- driver --------------------------------------------------------
+    def analyze(self) -> Summary:
+        self._visit_body(self.fn.node.body)  # type: ignore[attr-defined]
+        return self.summary
+
+    def _visit_body(self, stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            prov = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, prov)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.summary.returns |= self._eval(stmt.value).stream
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind(stmt.target, self._eval(stmt.iter))
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                prov = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, prov)
+            self._visit_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._visit_body(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_body(handler.body)
+            self._visit_body(stmt.orelse)
+            self._visit_body(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # nested scopes are analyzed as their own functions
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+
+    def _bind(self, target: ast.expr, prov: Prov) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = self.env.get(target.id, _NONE) | prov
+        elif isinstance(target, ast.Attribute):
+            chain = attr_chain(target)
+            if (
+                chain is not None
+                and len(chain) == 2
+                and chain[0] == "self"
+                and self.fn.class_name is not None
+            ):
+                key = (f"{self.module.modname}.{self.fn.class_name}", chain[1])
+                self.attr_writes.setdefault(key, set()).update(prov.stream)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, prov)
+
+    # -- expression provenance -----------------------------------------
+    def _eval(self, expr: Optional[ast.expr]) -> Prov:
+        if expr is None or isinstance(expr, ast.Constant):
+            return _NONE
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id, _NONE)
+        if isinstance(expr, ast.Attribute):
+            chain = attr_chain(expr)
+            if (
+                chain is not None
+                and len(chain) == 2
+                and chain[0] == "self"
+                and self.fn.class_name is not None
+            ):
+                cls = f"{self.module.modname}.{self.fn.class_name}"
+                return Prov(stream=frozenset({("attr", cls, chain[1])}))
+            base = self._eval(expr.value)
+            # An attribute of a stream-ish value is a derivation, not
+            # itself a stream (rng.bit_generator is the one exception
+            # nobody draws from directly).
+            return Prov(taint=base.any_roots)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return self._eval(expr.body) | self._eval(expr.orelse)
+        if isinstance(expr, ast.BoolOp):
+            out = _NONE
+            for value in expr.values:
+                out = out | self._eval(value)
+            return out
+        if isinstance(expr, ast.BinOp):
+            left = self._eval(expr.left)
+            right = self._eval(expr.right)
+            return Prov(taint=left.any_roots | right.any_roots)
+        if isinstance(expr, ast.UnaryOp):
+            return Prov(taint=self._eval(expr.operand).any_roots)
+        if isinstance(expr, ast.Compare):
+            self._eval(expr.left)
+            for comparator in expr.comparators:
+                self._eval(comparator)
+            return _NONE
+        if isinstance(expr, ast.Subscript):
+            self._eval(expr.slice)
+            return self._eval(expr.value)  # spawn(n)[i] keeps provenance
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = _NONE
+            for element in expr.elts:
+                out = out | self._eval(element)
+            return out
+        if isinstance(expr, ast.Dict):
+            out = _NONE
+            for value in expr.values:
+                if value is not None:
+                    out = out | self._eval(value)
+            return out
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, (ast.GeneratorExp, ast.ListComp, ast.SetComp,
+                             ast.DictComp, ast.Lambda)):
+            return _NONE  # comprehension scopes are out of model
+        if isinstance(expr, ast.JoinedStr):
+            return _NONE
+        return _NONE
+
+    def _eval_call(self, call: ast.Call) -> Prov:
+        chain = attr_chain(call.func)
+        arg_provs = [self._eval(arg) for arg in call.args]
+        kw_provs = {
+            kw.arg: self._eval(kw.value)
+            for kw in call.keywords
+            if kw.arg is not None
+        }
+        if chain is not None:
+            last = chain[-1]
+            if last == "default_rng" or last in BITGEN_NAMES:
+                return self._seeding(call, arg_provs, kw_provs)
+            if last == "Generator" and len(chain) <= 3:
+                out = _NONE
+                for prov in arg_provs:
+                    out = out | prov
+                for prov in kw_provs.values():
+                    out = out | prov
+                return Prov(stream=out.any_roots)
+            if last == "spawn" and isinstance(call.func, ast.Attribute):
+                receiver = self._eval(call.func.value)
+                return Prov(stream=receiver.stream)
+            if last in DRAW_METHODS and isinstance(call.func, ast.Attribute):
+                receiver = self._eval(call.func.value)
+                if receiver.stream:
+                    self.summary.draws.append((call, receiver.stream))
+                    # The drawn value is derived from the stream.
+                    return Prov(taint=receiver.stream)
+        callee = self.program.resolve_call(self.module, call.func, self.fn)
+        if callee is not None and callee in self.program.functions:
+            self.summary.calls.append((callee, call))
+            params = [p.arg for p in self.program.functions[callee].params]
+            for index, prov in enumerate(arg_provs):
+                if prov.stream and index < len(params):
+                    self.summary.rng_args.append(
+                        (callee, params[index], prov.stream, call)
+                    )
+            for name, prov in kw_provs.items():
+                if prov.stream and name in params:
+                    self.summary.rng_args.append(
+                        (callee, name, prov.stream, call)
+                    )
+            return Prov(stream=frozenset({("call", callee)}))
+        # Unresolved call: provenance flows through (int(), float(), ...).
+        out = _NONE
+        for prov in arg_provs:
+            out = out | prov
+        for prov in kw_provs.values():
+            out = out | prov
+        return Prov(taint=out.any_roots)
+
+    def _seeding(
+        self,
+        call: ast.Call,
+        arg_provs: List[Prov],
+        kw_provs: Dict[str, Prov],
+    ) -> Prov:
+        """A generator/bit-generator construction: seeded, unseeded or
+        derived from the provenance of whatever seeds it."""
+        unseeded = not call.args and not call.keywords
+        if (
+            len(call.args) == 1
+            and isinstance(call.args[0], ast.Constant)
+            and call.args[0].value is None
+            and not call.keywords
+        ):
+            unseeded = True
+        if unseeded:
+            return Prov(
+                stream=frozenset(
+                    {("unseeded", self.module.path, call.lineno)}
+                )
+            )
+        inherited: Set[Root] = set()
+        for prov in arg_provs:
+            inherited |= prov.any_roots
+        for prov in kw_provs.values():
+            inherited |= prov.any_roots
+        if inherited:
+            return Prov(stream=frozenset(inherited))
+        return Prov(
+            stream=frozenset({("seeded", self.module.path, call.lineno)})
+        )
+
+
+class TaintAnalysis:
+    """Whole-program fixpoint over every function's local summary."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.attr_writes: Dict[Tuple[str, str], Set[Root]] = {}
+        self.summaries: Dict[str, Summary] = {}
+        for fqn, fn in program.functions.items():
+            self.summaries[fqn] = _FunctionAnalyzer(
+                program, fn, self.attr_writes
+            ).analyze()
+        self._cache: Dict[Root, FrozenSet[Root]] = {}
+
+    # -- symbolic-root resolution --------------------------------------
+    def concrete(self, roots: Iterable[Root]) -> FrozenSet[Root]:
+        """Resolve symbolic roots to seeded/unseeded creation sites."""
+        out: Set[Root] = set()
+        for root in roots:
+            out |= self._concrete_one(root, set())
+        return frozenset(out)
+
+    def _concrete_one(self, root: Root, stack: Set[Root]) -> FrozenSet[Root]:
+        if root[0] in ("seeded", "unseeded"):
+            return frozenset({root})
+        cached = self._cache.get(root)
+        if cached is not None:
+            return cached
+        if root in stack:
+            return _EMPTY  # recursion: resolve cycles to nothing
+        stack.add(root)
+        out: Set[Root] = set()
+        if root[0] == "call":
+            summary = self.summaries.get(root[1])
+            if summary is not None:
+                for sub in summary.returns:
+                    out |= self._concrete_one(sub, stack)
+        elif root[0] == "param":
+            fqn, name = root[1], root[2]
+            for summary in self.summaries.values():
+                for callee, param, stream, _node in summary.rng_args:
+                    if callee == fqn and param == name:
+                        for sub in stream:
+                            out |= self._concrete_one(sub, stack)
+        elif root[0] == "attr":
+            for sub in self.attr_writes.get((root[1], root[2]), set()):
+                out |= self._concrete_one(sub, stack)
+        stack.discard(root)
+        self._cache[root] = frozenset(out)
+        return self._cache[root]
+
+
+def _faults_domain(modname: str) -> bool:
+    return modname == "repro.faults" or modname.startswith("repro.faults.")
+
+
+def _sim_domain(modname: str) -> bool:
+    return modname.startswith("repro.") and not _faults_domain(modname)
+
+
+def run(program: Program) -> List[Finding]:
+    """RF001 + RF002 over the whole program."""
+    analysis = TaintAnalysis(program)
+    findings: List[Finding] = []
+    for fqn in sorted(analysis.summaries):
+        summary = analysis.summaries[fqn]
+        module = summary.fn.module
+        for call, stream in summary.draws:
+            resolved = analysis.concrete(stream)
+            origins = sorted(
+                (path, line) for kind, path, line in resolved
+                if kind == "unseeded"
+            )
+            if origins:
+                path, line = origins[0]
+                findings.append(
+                    rf_finding(
+                        "RF001",
+                        module.path,
+                        call,
+                        "draw consumes an RNG stream with no seeded "
+                        f"root (stream created unseeded at {path}:{line}); "
+                        "seed it from the run config",
+                    )
+                )
+        # -- RF002: streams crossing the repro.faults boundary ----------
+        caller_in_faults = _faults_domain(module.modname)
+        caller_in_sim = _sim_domain(module.modname)
+        for callee, param, stream, node in summary.rng_args:
+            callee_mod = callee.rsplit(".", 2)[0] if "." in callee else callee
+            callee_fn = program.functions.get(callee)
+            if callee_fn is not None:
+                callee_mod = callee_fn.module.modname
+            if not analysis.concrete(stream):
+                continue
+            if caller_in_sim and _faults_domain(callee_mod):
+                findings.append(
+                    rf_finding(
+                        "RF002",
+                        module.path,
+                        node,
+                        "simulation/runtime RNG stream passed into the "
+                        f"fault subsystem ({callee} parameter "
+                        f"{param!r}); fault randomness must live on its "
+                        "own streams (zero-RNG-when-disabled guarantee)",
+                    )
+                )
+            elif caller_in_faults and _sim_domain(callee_mod):
+                findings.append(
+                    rf_finding(
+                        "RF002",
+                        module.path,
+                        node,
+                        "fault-subsystem RNG stream passed into "
+                        f"simulation/runtime code ({callee} parameter "
+                        f"{param!r}); fault streams must never alias "
+                        "simulation streams",
+                    )
+                )
+        for callee, node in summary.calls:
+            callee_fn = program.functions.get(callee)
+            if callee_fn is None:
+                continue
+            callee_mod = callee_fn.module.modname
+            crossing = (
+                (caller_in_sim and _faults_domain(callee_mod))
+                or (caller_in_faults and _sim_domain(callee_mod))
+            )
+            if not crossing:
+                continue
+            returned = analysis.concrete(
+                analysis.summaries[callee].returns
+            )
+            if returned:
+                direction = (
+                    "escapes the fault subsystem into simulation code"
+                    if _faults_domain(callee_mod)
+                    else "is handed from simulation code to the fault "
+                    "subsystem caller"
+                )
+                findings.append(
+                    rf_finding(
+                        "RF002",
+                        module.path,
+                        node,
+                        f"RNG stream returned by {callee} {direction}; "
+                        "the fault and simulation stream domains must "
+                        "stay disjoint",
+                    )
+                )
+    return findings

@@ -263,15 +263,21 @@ def lint_source(
     active = list(ALL_RULES if rules is None else rules)
     try:
         tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
+    except (SyntaxError, ValueError, RecursionError) as exc:
+        # One finding per broken file, never an aborted run. ValueError
+        # covers null bytes on older interpreters; RecursionError covers
+        # pathological nesting blowing the parser's stack.
+        line = getattr(exc, "lineno", None) or 1
+        col = getattr(exc, "offset", None) or 0
+        msg = getattr(exc, "msg", None) or str(exc)
         return [
             Finding(
                 code="RL000",
                 severity="error",
                 path=path,
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                message=f"file does not parse: {exc.msg}",
+                line=line,
+                col=col,
+                message=f"file does not parse: {msg}",
             )
         ]
     ctx = Context(path, config)
