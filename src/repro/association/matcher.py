@@ -14,10 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.association.pairwise import PairwiseAssociator
-from repro.geometry.box import BBox
+from repro.geometry.box import BBox, iou_cost_rows
 from repro.ml.hungarian import hungarian
 
 
@@ -132,14 +130,13 @@ class CrossCameraMatcher:
         if model is None:
             return
         # One classifier call and one regressor call per camera pair per
-        # frame, instead of one of each per observation.
-        visible = model.predict_visible_batch([obs.bbox for obs in obs_a])
-        vis_idx = [idx for idx in range(len(obs_a)) if visible[idx]]
+        # frame — sharing one feature build — instead of one of each per
+        # observation.
+        vis_idx, predicted_boxes = model.predict_visible_boxes(
+            [obs.bbox for obs in obs_a]
+        )
         if not vis_idx:
             return
-        predicted_boxes = model.predict_boxes(
-            [obs_a[idx].bbox for idx in vis_idx]
-        )
         candidates: List[Tuple[int, BBox]] = [
             (idx, predicted)
             for idx, predicted in zip(vis_idx, predicted_boxes)
@@ -147,14 +144,15 @@ class CrossCameraMatcher:
         ]
         if not candidates:
             return
-        cost = np.array(
-            [
-                [1.0 - predicted.iou(b.bbox) for b in obs_b]
-                for _, predicted in candidates
-            ]
+        # Cost matrix as nested lists: iou_cost_rows is bit-identical to
+        # the per-pair ``1.0 - BBox.iou`` loop it replaces, and the list
+        # form feeds hungarian without an ndarray round-trip.
+        cost = iou_cost_rows(
+            [predicted for _, predicted in candidates],
+            [b.bbox for b in obs_b],
         )
         for row, col in hungarian(cost):
-            if cost[row, col] <= 1.0 - self.iou_threshold:
+            if cost[row][col] <= 1.0 - self.iou_threshold:
                 uf.union((cam_a, candidates[row][0]), (cam_b, col))
 
 

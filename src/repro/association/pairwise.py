@@ -88,8 +88,61 @@ class PairModel:
         if self.regressor is None or self.feature_scaler is None or not boxes:
             return [None] * len(boxes)
         feats = self._scaled_features_batch(boxes)
+        return self._regress_boxes(feats)
+
+    def predict_visible_boxes(
+        self, boxes: Sequence[BBox], threshold: float = 0.5
+    ) -> "tuple[List[int], List[Optional[BBox]]]":
+        """Fused :meth:`predict_visible_batch` + :meth:`predict_boxes`.
+
+        Returns ``(vis_idx, predicted)`` where ``vis_idx`` indexes the
+        boxes classified visible and ``predicted`` is aligned with it.
+        The scaled feature matrix is built once and fed to both models;
+        row slicing commutes with the elementwise scaler and the KNN
+        distance rows are independent, so both outputs are bit-identical
+        to the two separate calls this replaces.
+        """
+        n = len(boxes)
+        feats: Optional[np.ndarray] = None
+        if self.constant_label is not None:
+            vis_idx = list(range(n)) if self.constant_label else []
+        elif self.classifier is None or self.feature_scaler is None or n == 0:
+            vis_idx = []
+        else:
+            feats = self._scaled_features_batch(boxes)
+            proba = self.classifier.predict_proba(feats)
+            vis_idx = [i for i in range(n) if proba[i] >= threshold]
+        if not vis_idx:
+            return vis_idx, []
+        if self.regressor is None or self.feature_scaler is None:
+            return vis_idx, [None] * len(vis_idx)
+        if feats is None:
+            cand_feats = self._scaled_features_batch(
+                [boxes[i] for i in vis_idx]
+            )
+        elif len(vis_idx) == n:
+            cand_feats = feats
+        else:
+            cand_feats = feats[vis_idx]
+        return vis_idx, self._regress_boxes(cand_feats)
+
+    def _regress_boxes(self, feats: np.ndarray) -> List[BBox]:
+        """Regress scaled features to target-camera boxes."""
+        assert self.regressor is not None
         targets = self.regressor.predict(feats)
-        return [target_to_box(t) for t in targets]
+        # Vectorized target_to_box/from_xywh: the size clamp and the
+        # centre±half-size arithmetic mirror the scalar helpers exactly
+        # (np.maximum is the same selection as max; w >= 2.0 subsumes
+        # from_xywh's max(0.0, w)), so each BBox is bit-identical.
+        cx, cy = targets[:, 0], targets[:, 1]
+        w = np.maximum(targets[:, 2], 2.0)
+        h = np.maximum(targets[:, 3], 2.0)
+        x1, y1 = cx - w / 2.0, cy - h / 2.0
+        x2, y2 = cx + w / 2.0, cy + h / 2.0
+        return [
+            BBox(float(x1[i]), float(y1[i]), float(x2[i]), float(y2[i]))
+            for i in range(len(feats))
+        ]
 
     def _scaled_features(self, box: BBox) -> np.ndarray:
         assert self.feature_scaler is not None
@@ -98,7 +151,21 @@ class PairModel:
 
     def _scaled_features_batch(self, boxes: Sequence[BBox]) -> np.ndarray:
         assert self.feature_scaler is not None
-        raw = np.asarray([box_features(b) for b in boxes], dtype=float)
+        # Vectorized box_features: one corner gather + columnwise
+        # arithmetic instead of a per-box Python feature build. Every
+        # expression mirrors box_features/as_xywh exactly (np.maximum is
+        # the same exact selection as max), so rows are bit-identical.
+        corners = np.asarray(
+            [(b.x1, b.y1, b.x2, b.y2) for b in boxes], dtype=float
+        )
+        raw = np.empty((len(boxes), 5), dtype=float)
+        raw[:, 0] = (corners[:, 0] + corners[:, 2]) / 2.0  # cx
+        raw[:, 1] = (corners[:, 1] + corners[:, 3]) / 2.0  # cy
+        w = corners[:, 2] - corners[:, 0]
+        h = corners[:, 3] - corners[:, 1]
+        raw[:, 2] = w
+        raw[:, 3] = h
+        raw[:, 4] = w / np.maximum(h, 1e-6)
         return self.feature_scaler.transform(raw)
 
 
@@ -116,6 +183,10 @@ class PairwiseAssociator:
 
     def fit(self, dataset: AssociationDataset) -> "PairwiseAssociator":
         """Fit one classifier/regressor pair per ordered camera pair."""
+        # Invalidates downstream memos keyed on this instance's fitted
+        # state (e.g. the camera-mask cache); getattr-guarded so models
+        # unpickled from older artifacts start at token 0.
+        self._fit_token = getattr(self, "_fit_token", 0) + 1
         for key, pair_ds in dataset.pairs.items():
             self._models[key] = self._fit_pair(pair_ds)
         return self

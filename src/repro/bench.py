@@ -176,6 +176,30 @@ def _setup_event_pipeline_burst() -> Callable[[], object]:
     return lambda: run_policy(scenario, "balb", config, trained)
 
 
+#: Frames each ``e2e_frames_per_sec_*`` iteration simulates (horizon ×
+#: n_horizons of the benchmark config), for the frames/sec figure.
+E2E_FRAMES = 40
+
+
+def _setup_e2e_frames(scenario_name: str) -> Callable[[], object]:
+    """End-to-end sync-runtime frame loop on one scenario.
+
+    Training happens in setup so the timed body is exactly the per-frame
+    hot path: world stepping, projection, detection, tracking, and BALB
+    scheduling over ``E2E_FRAMES`` frames of the golden S1 shape.
+    """
+    from repro.runtime.pipeline import PipelineConfig, run_policy, train_models
+    from repro.scenarios.aic21 import get_scenario
+
+    config = PipelineConfig(
+        policy="balb", horizon=5, n_horizons=8, warmup_s=20.0,
+        train_duration_s=60.0, seed=0,
+    )
+    scenario = get_scenario(scenario_name, seed=0)
+    trained = train_models(scenario, config)
+    return lambda: run_policy(scenario, "balb", config, trained)
+
+
 #: Fleet size and frames each ``fleet_health_overhead`` iteration drives
 #: through the watchdog (the per-frame cost the scheduler pays under a
 #: sensor-fault preset, amortized over a representative episode).
@@ -220,12 +244,16 @@ def _setup_fleet_health() -> Callable[[], object]:
 
 
 def _setup_mask_build() -> Callable[[], object]:
-    from repro.core.masks import build_camera_masks
+    # Times the classifier sweep itself, bypassing the per-associator
+    # memo build_camera_masks consults on the runtime path.
+    from repro.core.masks import _build_camera_masks_uncached
 
     assoc = _trained_associator()
     frame_sizes = {0: (1280, 704), 1: (1280, 704)}
     sizes = {0: 55.0, 1: 55.0}
-    return lambda: build_camera_masks(frame_sizes, assoc, sizes, grid=(8, 6))
+    return lambda: _build_camera_masks_uncached(
+        frame_sizes, assoc, sizes, grid=(8, 6)
+    )
 
 
 BENCHMARKS: Dict[str, Tuple[Callable[[], Callable[[], object]], int]] = {
@@ -239,6 +267,9 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Callable[[], object]], int]] = {
     "mask_build_2cam": (_setup_mask_build, 5),
     "serving_fanout": (lambda: _setup_serving_fanout(1_000_000), 200),
     "event_pipeline_burst": (_setup_event_pipeline_burst, 1),
+    "e2e_frames_per_sec_s1": (lambda: _setup_e2e_frames("S1"), 1),
+    "e2e_frames_per_sec_s2": (lambda: _setup_e2e_frames("S2"), 1),
+    "e2e_frames_per_sec_s3": (lambda: _setup_e2e_frames("S3"), 1),
 }
 
 
@@ -316,6 +347,27 @@ def check_against_baseline(
     return failures
 
 
+def profile_benchmark(name: str, top: int = 20) -> None:
+    """Run one named benchmark under cProfile and print hot functions.
+
+    The setup phase is excluded so the profile covers only the timed
+    body, sorted by cumulative time (top ``top`` rows).
+    """
+    import cProfile
+    import pstats
+
+    setup, iters = BENCHMARKS[name]
+    body = setup()
+    body()  # warm caches outside the profile, same as run_benchmark
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(iters):
+        body()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench",
@@ -335,7 +387,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-regression", type=float, default=2.0,
         help="fail when median exceeds baseline by this ratio (default 2.0)",
     )
+    parser.add_argument(
+        "--profile", default=None, metavar="NAME", choices=sorted(BENCHMARKS),
+        help="profile one benchmark under cProfile (top-20 cumulative) "
+        "instead of running the suite",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        profile_benchmark(args.profile)
+        return 0
 
     results = run_suite(quick=args.quick)
     for result in results:
@@ -343,6 +404,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if result.name == "event_pipeline_burst" and result.median_ms > 0:
             fps = EVENT_BURST_FRAMES / (result.median_ms / 1e3)
             print(f"{'  sustained under burst':28s} {fps:10.1f} frames/s")
+        elif result.name.startswith("e2e_frames_per_sec") and result.median_ms > 0:
+            fps = E2E_FRAMES / (result.median_ms / 1e3)
+            print(f"{'  end-to-end throughput':28s} {fps:10.1f} frames/s")
     payload = results_payload(results)
     with open(args.out, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)

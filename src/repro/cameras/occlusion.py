@@ -15,7 +15,7 @@ of strictly closer objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cameras.camera import Camera
 from repro.geometry.box import BBox
@@ -23,18 +23,25 @@ from repro.world.entities import WorldObject
 
 
 def visible_fractions(
-    camera: Camera, objects: Sequence[WorldObject]
+    camera: Camera,
+    objects: Sequence[WorldObject],
+    boxes: Optional[Mapping[int, BBox]] = None,
 ) -> Dict[int, float]:
     """Per-object visible fraction in ``camera``'s view (0 = fully hidden).
 
     Only objects the camera geometrically sees are returned. Coverage by
     closer objects is accumulated with a union upper bound (summed overlap
     capped at 1), which is exact for disjoint occluders and conservative
-    when occluders themselves overlap.
+    when occluders themselves overlap. ``boxes`` optionally supplies the
+    frame's cached projection table; the coverage accumulation stays
+    scalar in object order so both paths sum in the same order.
     """
     projected: List[Tuple[int, float, BBox]] = []
     for obj in objects:
-        box = camera.project_object(obj)
+        if boxes is None:
+            box = camera.project_object(obj)
+        else:
+            box = boxes.get(obj.object_id)
         if box is None:
             continue
         distance = obj.distance_to(camera.pose.x, camera.pose.y)

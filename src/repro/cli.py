@@ -508,6 +508,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         argv.append("--quick")
     if args.baseline:
         argv += ["--baseline", args.baseline]
+    if args.profile:
+        argv += ["--profile", args.profile]
     return bench_main(argv)
 
 
@@ -749,6 +751,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--max-regression", type=float, default=2.0,
         help="fail when median exceeds baseline by this ratio (default 2.0)",
+    )
+    bench_parser.add_argument(
+        "--profile", default=None, metavar="NAME",
+        help="profile one named benchmark under cProfile and print the "
+        "top-20 cumulative functions instead of running the suite",
     )
     bench_parser.set_defaults(func=cmd_bench)
 

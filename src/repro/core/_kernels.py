@@ -1,0 +1,122 @@
+"""Guarded compiled kernels for scheduler inner loops.
+
+The BALB central stage's packing loop is pure scalar bookkeeping —
+exactly the shape a JIT compiles well. This module holds the flat-array
+formulation of that loop and, when available and requested, its
+numba-compiled twin. Kernel selection happens once at import time from
+the ``REPRO_KERNEL`` environment variable:
+
+``python``
+    Always use the pure-Python reference path (the dict-based loop in
+    :mod:`repro.core.balb`); never import numba.
+``numba``
+    Require the compiled kernel; raise ``ImportError`` if numba is not
+    installed.
+``auto`` (default, also when unset/empty)
+    Use numba when importable, fall back to pure Python otherwise.
+
+Both paths implement the same algorithm over the same iteration order
+with the same strict comparisons, so they produce identical schedules
+bit for bit; ``tests/core/test_balb_kernel.py`` proves the equivalence
+on a property-test corpus. :func:`balb_pack_loop` is deliberately plain
+Python with no numpy calls inside the loop: it runs unmodified under
+the interpreter and under ``numba.njit``.
+"""
+
+from __future__ import annotations
+
+import os
+
+_REQUESTED = os.environ.get("REPRO_KERNEL", "auto").strip().lower() or "auto"
+if _REQUESTED not in ("auto", "python", "numba"):
+    raise ValueError(
+        f"REPRO_KERNEL={_REQUESTED!r} is not a known kernel; "
+        "use 'python', 'numba' or 'auto'"
+    )
+
+_njit = None
+if _REQUESTED in ("auto", "numba"):
+    try:
+        from numba import njit as _njit  # type: ignore[no-redef]
+    except ImportError:
+        _njit = None
+        if _REQUESTED == "numba":
+            raise ImportError(
+                "REPRO_KERNEL=numba but numba is not installed; "
+                "install numba or select REPRO_KERNEL=python"
+            ) from None
+
+
+def balb_pack_loop(
+    cov_off,
+    cov_cams,
+    cov_sizes,
+    t_size,
+    limits,
+    open_slots,
+    latencies,
+    batch_aware,
+    chosen_cam,
+):
+    """Algorithm 1's packing loop over flattened coverage arrays.
+
+    Object ``j``'s coverage occupies ``cov_cams[cov_off[j]:cov_off[j+1]]``
+    (camera indices, ascending — the reference's ``sorted_coverage``
+    order) with the matching quantized-size indices in ``cov_sizes``.
+    ``t_size``/``limits`` are dense ``(n_cams, n_sizes)`` lookup tables;
+    ``open_slots`` (int64, zero-initialized) and ``latencies`` (float64,
+    seeded with each camera's starting latency) are updated in place.
+    ``chosen_cam[j]`` receives the index of the camera object ``j`` was
+    assigned to.
+
+    Mirrors the dict-based loop in :mod:`repro.core.balb` statement for
+    statement: the relative-capacity and latency argmins keep the same
+    scan order and the same strict ``>``/``<`` tie behaviour, and the
+    float arithmetic (one int/int division, one float add per opened
+    batch) is grouped identically — so the assignment, latencies and
+    priority order all come out bit-identical.
+    """
+    inf = float("inf")
+    n_objects = chosen_cam.shape[0]
+    for j in range(n_objects):
+        lo = cov_off[j]
+        hi = cov_off[j + 1]
+        chosen = -1
+        chosen_size = -1
+        if batch_aware:
+            best_capacity = -1.0
+            for p in range(lo, hi):
+                cam = cov_cams[p]
+                size = cov_sizes[p]
+                slots = open_slots[cam, size]
+                if slots > 0:
+                    capacity = slots / limits[cam, size]
+                    if capacity > best_capacity:
+                        best_capacity = capacity
+                        chosen = cam
+                        chosen_size = size
+        if chosen >= 0:
+            open_slots[chosen, chosen_size] -= 1
+        else:
+            best_latency = inf
+            for p in range(lo, hi):
+                cam = cov_cams[p]
+                size = cov_sizes[p]
+                candidate = latencies[cam] + t_size[cam, size]
+                if candidate < best_latency:
+                    best_latency = candidate
+                    chosen = cam
+                    chosen_size = size
+            latencies[chosen] += t_size[chosen, chosen_size]
+            open_slots[chosen, chosen_size] += limits[chosen, chosen_size] - 1
+        chosen_cam[j] = chosen
+
+
+#: Name of the selected kernel ("python" or "numba").
+KERNEL = "numba" if _njit is not None else "python"
+
+#: The packing loop under the selected kernel. Identical semantics on
+#: both paths; only the execution engine differs.
+PACK_LOOP = (
+    _njit(cache=True)(balb_pack_loop) if _njit is not None else balb_pack_loop
+)

@@ -3,6 +3,7 @@
 from repro.geometry.box import (
     DEFAULT_SIZE_SET,
     BBox,
+    iou_matrix,
     pairwise_iou_matrix,
     quantize_size,
     quantized_region,
@@ -15,6 +16,7 @@ __all__ = [
     "ConvexPolygon",
     "Homography",
     "DEFAULT_SIZE_SET",
+    "iou_matrix",
     "pairwise_iou_matrix",
     "quantize_size",
     "quantized_region",

@@ -17,6 +17,8 @@ from functools import lru_cache
 import math
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class BBox:
@@ -145,6 +147,16 @@ class BBox:
 
     def clip(self, frame_w: float, frame_h: float) -> "BBox":
         """Clip the box to a ``frame_w x frame_h`` image (may become empty)."""
+        if (
+            self.x1 >= 0.0
+            and self.y1 >= 0.0
+            and self.x2 <= frame_w
+            and self.y2 <= frame_h
+        ):
+            # Already in frame: every min/max below would return the
+            # original coordinate (Python's min/max keep the first
+            # argument on ties, so even signed zeros survive unchanged).
+            return self
         return BBox(
             min(max(self.x1, 0.0), frame_w),
             min(max(self.y1, 0.0), frame_h),
@@ -229,8 +241,77 @@ def quantized_region(
     return BBox.from_xywh(cx, cy, float(size), float(size)), size
 
 
+def iou_matrix(
+    boxes_a: Sequence[BBox], boxes_b: Sequence[BBox]
+) -> np.ndarray:
+    """Dense IoU matrix between two box lists (rows: a, cols: b).
+
+    Every entry is bit-identical to ``boxes_a[i].iou(boxes_b[j])``: the
+    batched expressions mirror :meth:`BBox.intersection`/:meth:`BBox.iou`
+    term for term (np.minimum/np.maximum are the same exact selections as
+    min/max, and the union grouping matches the scalar left-to-right
+    evaluation), so matchers built on either form agree exactly.
+    """
+    n, m = len(boxes_a), len(boxes_b)
+    if n == 0 or m == 0:
+        return np.zeros((n, m))
+    a = np.array([(b.x1, b.y1, b.x2, b.y2) for b in boxes_a]).reshape(-1, 1, 4)
+    b = np.array([(b.x1, b.y1, b.x2, b.y2) for b in boxes_b]).reshape(1, -1, 4)
+    iw = np.minimum(a[..., 2], b[..., 2]) - np.maximum(a[..., 0], b[..., 0])
+    ih = np.minimum(a[..., 3], b[..., 3]) - np.maximum(a[..., 1], b[..., 1])
+    inter = np.where((iw <= 0.0) | (ih <= 0.0), 0.0, iw * ih)
+    union = (
+        (a[..., 2] - a[..., 0]) * (a[..., 3] - a[..., 1])
+        + (b[..., 2] - b[..., 0]) * (b[..., 3] - b[..., 1])
+        - inter
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where((inter == 0.0) | (union <= 0.0), 0.0, inter / union)
+
+
+#: Below this many cells, the scalar mirror of the batched IoU chain is
+#: faster than paying numpy's fixed per-call overhead.
+_IOU_SCALAR_MAX_CELLS = 64
+
+
+def iou_cost_rows(
+    boxes_a: Sequence[BBox], boxes_b: Sequence[BBox]
+) -> List[List[float]]:
+    """``1.0 - IoU`` cost matrix as nested lists (rows: a, cols: b).
+
+    Bit-identical to ``(1.0 - iou_matrix(boxes_a, boxes_b)).tolist()``
+    on every entry: small matrices run a scalar mirror of the batched
+    expression — same min/max selections, same term grouping, same
+    ``1.0 - x`` subtraction — and larger ones take the batched path,
+    whose tolist round-trip is exact for float64.
+    """
+    n, m = len(boxes_a), len(boxes_b)
+    if n * m > _IOU_SCALAR_MAX_CELLS:
+        return (1.0 - iou_matrix(boxes_a, boxes_b)).tolist()
+    corners_b = [(b.x1, b.y1, b.x2, b.y2) for b in boxes_b]
+    rows: List[List[float]] = []
+    for a in boxes_a:
+        ax1, ay1, ax2, ay2 = a.x1, a.y1, a.x2, a.y2
+        area_a = (ax2 - ax1) * (ay2 - ay1)
+        row: List[float] = []
+        for bx1, by1, bx2, by2 in corners_b:
+            iw = (ax2 if ax2 < bx2 else bx2) - (ax1 if ax1 > bx1 else bx1)
+            ih = (ay2 if ay2 < by2 else by2) - (ay1 if ay1 > by1 else by1)
+            if iw <= 0.0 or ih <= 0.0:
+                row.append(1.0)
+                continue
+            inter = iw * ih
+            union = area_a + (bx2 - bx1) * (by2 - by1) - inter
+            if inter == 0.0 or union <= 0.0:
+                row.append(1.0)
+            else:
+                row.append(1.0 - inter / union)
+        rows.append(row)
+    return rows
+
+
 def pairwise_iou_matrix(
     boxes_a: Sequence[BBox], boxes_b: Sequence[BBox]
 ) -> List[List[float]]:
-    """Dense IoU matrix between two box lists (rows: a, cols: b)."""
-    return [[a.iou(b) for b in boxes_b] for a in boxes_a]
+    """Dense IoU matrix as nested lists (see :func:`iou_matrix`)."""
+    return iou_matrix(boxes_a, boxes_b).tolist()

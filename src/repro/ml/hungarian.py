@@ -8,67 +8,126 @@ formulation with dual potentials, supporting rectangular cost matrices.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from math import isfinite
+from typing import List, Tuple, Union
 
 import numpy as np
 
 
-def hungarian(cost: np.ndarray) -> List[Tuple[int, int]]:
+def hungarian(
+    cost: Union[np.ndarray, List[List[float]]]
+) -> List[Tuple[int, int]]:
     """Solve min-cost assignment on an ``(n, m)`` cost matrix.
 
     Returns a list of ``(row, col)`` pairs of length ``min(n, m)``, sorted
     by row. Costs must be finite. For rectangular matrices the smaller side
-    is fully matched.
+    is fully matched. ``cost`` may be an ndarray or a rectangular nested
+    list; the list form skips the ndarray round-trip, which dominates the
+    runtime on the tiny matrices the matchers produce.
     """
-    cost = np.asarray(cost, dtype=float)
-    if cost.ndim != 2:
-        raise ValueError("cost must be a 2-D matrix")
-    if cost.size == 0:
-        return []
-    if not np.all(np.isfinite(cost)):
-        raise ValueError("cost matrix contains non-finite entries")
+    if (
+        isinstance(cost, list)
+        and cost
+        and isinstance(cost[0], list)
+        and cost[0]
+        and all(len(r) == len(cost[0]) for r in cost)
+    ):
+        for r in cost:
+            for val in r:
+                if not isfinite(val):
+                    raise ValueError(
+                        "cost matrix contains non-finite entries"
+                    )
+        if len(cost) == 1:
+            # Single row: the augmenting-path machinery reduces to
+            # "first minimum wins", the same strict-< scan it performs.
+            row = cost[0]
+            best, best_val = 0, row[0]
+            for j in range(1, len(row)):
+                if row[j] < best_val:
+                    best, best_val = j, row[j]
+            return [(0, best)]
+        if len(cost[0]) == 1:
+            best, best_val = 0, cost[0][0]
+            for i in range(1, len(cost)):
+                if cost[i][0] < best_val:
+                    best, best_val = i, cost[i][0]
+            return [(best, 0)]
+        transposed = len(cost) > len(cost[0])
+        # The solver never mutates the rows, so the caller's lists are
+        # used as-is when no transpose is needed.
+        rows = (
+            [list(col) for col in zip(*cost)] if transposed else cost
+        )
+        n, m = len(rows), len(rows[0])
+    else:
+        cost = np.asarray(cost, dtype=float)
+        if cost.ndim != 2:
+            raise ValueError("cost must be a 2-D matrix")
+        if cost.size == 0:
+            return []
+        if not np.all(np.isfinite(cost)):
+            raise ValueError("cost matrix contains non-finite entries")
 
-    transposed = cost.shape[0] > cost.shape[1]
-    if transposed:
-        cost = cost.T
-    n, m = cost.shape  # n <= m
+        transposed = cost.shape[0] > cost.shape[1]
+        if transposed:
+            cost = cost.T
+        n, m = cost.shape  # n <= m
+
+        # The matrices here are tiny (detections per camera), where
+        # indexing an ndarray element-by-element dominates the runtime;
+        # plain Python lists are several times faster and tolist()
+        # round-trips float64 exactly, so the arithmetic — and the
+        # assignment — is unchanged.
+        rows = cost.tolist()
+    inf = float("inf")
 
     # 1-based arrays; match[j] is the row assigned to column j (0 = free).
     # Column 0 is a virtual column used to seed each augmentation.
-    u = np.zeros(n + 1)
-    v = np.zeros(m + 1)
-    match = np.zeros(m + 1, dtype=int)
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    match = [0] * (m + 1)
 
     for i in range(1, n + 1):
         match[0] = i
         j0 = 0
-        links = np.zeros(m + 1, dtype=int)
-        mins = np.full(m + 1, np.inf)
-        visited = np.zeros(m + 1, dtype=bool)
+        links = [0] * (m + 1)
+        mins = [inf] * (m + 1)
+        # The visited set is kept as two explicit column lists instead of
+        # a boolean array: the scan loop then touches only live columns.
+        # ``unvisited`` stays in ascending column order (removal preserves
+        # order), so delta ties break toward the same (smallest) column as
+        # the original ascending scan; the dual/slack updates are
+        # element-independent, so applying them per-list is bit-identical.
+        unvisited = list(range(1, m + 1))
+        vis_cols = [0]
         while True:
-            visited[j0] = True
             i0 = match[j0]
-            delta = np.inf
+            delta = inf
             j1 = 0
-            for j in range(1, m + 1):
-                if visited[j]:
-                    continue
-                reduced = cost[i0 - 1, j - 1] - u[i0] - v[j]
-                if reduced < mins[j]:
-                    mins[j] = reduced
+            j1_pos = 0
+            row = rows[i0 - 1]
+            u_i0 = u[i0]
+            for pos, j in enumerate(unvisited):
+                reduced = row[j - 1] - u_i0 - v[j]
+                mj = mins[j]
+                if reduced < mj:
+                    mins[j] = mj = reduced
                     links[j] = j0
-                if mins[j] < delta:
-                    delta = mins[j]
+                if mj < delta:
+                    delta = mj
                     j1 = j
-            for j in range(m + 1):
-                if visited[j]:
-                    u[match[j]] += delta
-                    v[j] -= delta
-                else:
-                    mins[j] -= delta
+                    j1_pos = pos
+            for j in vis_cols:
+                u[match[j]] += delta
+                v[j] -= delta
+            for j in unvisited:
+                mins[j] -= delta
             j0 = j1
             if match[j0] == 0:
                 break
+            del unvisited[j1_pos]
+            vis_cols.append(j0)
         # Augment along the alternating path back to the virtual column.
         while j0 != 0:
             j1 = links[j0]

@@ -8,6 +8,8 @@ generate the prediction" (Section II-C).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.ml.base import (
@@ -19,24 +21,57 @@ from repro.ml.base import (
 )
 
 
-def _k_nearest(train: np.ndarray, queries: np.ndarray, k: int) -> np.ndarray:
+def _k_nearest(
+    train: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    train_norms: Optional[np.ndarray] = None,
+    train_neg2: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Indices (n_queries, k) of the k nearest training rows per query.
 
     Brute-force Euclidean search; the association training sets are a few
     thousand rows, so this is both simple and fast enough.
+    ``train_norms`` optionally carries the precomputed per-row squared
+    norms of ``train`` (fit-time cache) — recomputing them per query was
+    most of the batch-query cost. ``train_neg2`` optionally carries
+    ``train * -2.0`` (same cache): scaling by a power of two is exact and
+    distributes over addition without rounding, and the pre-scaled array
+    has the same layout as ``train`` so the gemm kernel choice is
+    unchanged — the product is bit-identical to scaling afterwards.
     """
-    # (q, t) squared distances via the expansion |a-b|^2 = |a|^2 - 2ab + |b|^2.
-    d2 = (
-        np.sum(queries**2, axis=1)[:, None]
-        - 2.0 * queries @ train.T
-        + np.sum(train**2, axis=1)[None, :]
-    )
+    if train_norms is None:
+        train_norms = np.sum(train**2, axis=1)
+    # (q, t) squared distances via the expansion |a-b|^2 = |a|^2 - 2ab + |b|^2,
+    # built in place: gemm once, then scale-and-shift without temporaries.
+    # Bit-identical to the one-expression chain — float addition is
+    # commutative and the grouping ((-2g) + |a|^2) + |b|^2 matches the
+    # left-to-right evaluation of |a|^2 - 2g + |b|^2 exactly.
+    if train_neg2 is not None:
+        d2 = queries @ train_neg2.T
+    else:
+        d2 = queries @ train.T
+        d2 *= -2.0
+    d2 += np.sum(queries**2, axis=1)[:, None]
+    d2 += train_norms[None, :]
     k = min(k, len(train))
     idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
     # Sort the selected k by distance so weighting is stable.
-    rows = np.arange(len(queries))[:, None]
+    rows = _row_index(len(queries))
     order = np.argsort(d2[rows, idx], axis=1)
     return idx[rows, order]
+
+
+_ROW_INDEX = np.arange(0)[:, None]
+
+
+def _row_index(n: int) -> np.ndarray:
+    """Cached ``arange(n)[:, None]`` (row selector for fancy indexing)."""
+    global _ROW_INDEX
+    if len(_ROW_INDEX) < n:
+        _ROW_INDEX = np.arange(n)[:, None]
+        _ROW_INDEX.setflags(write=False)
+    return _ROW_INDEX[:n]
 
 
 class KNNClassifier(Classifier):
@@ -49,6 +84,10 @@ class KNNClassifier(Classifier):
         self.weighted = weighted
         self._x: np.ndarray | None = None
         self._y: np.ndarray | None = None
+        # Fit-time cache of per-row squared norms; getattr-guarded at
+        # query time so models unpickled from older artifacts still work.
+        self._x_norms: np.ndarray | None = None
+        self._x_neg2: np.ndarray | None = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
         x, y = check_xy(x, y)
@@ -57,13 +96,21 @@ class KNNClassifier(Classifier):
             raise ValueError("labels must be 0/1")
         self._x = x
         self._y = y
+        self._x_norms = np.sum(x**2, axis=1)
+        self._x_neg2 = x * -2.0
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         require_fitted(self, "_x")
         assert self._x is not None and self._y is not None
         x = check_features(x, self._x.shape[1])
-        idx = _k_nearest(self._x, x, self.k)
+        idx = _k_nearest(
+            self._x,
+            x,
+            self.k,
+            getattr(self, "_x_norms", None),
+            getattr(self, "_x_neg2", None),
+        )
         votes = self._y[idx]
         if not self.weighted:
             return votes.mean(axis=1)
@@ -82,18 +129,28 @@ class KNNRegressor(Regressor):
         self.weighted = weighted
         self._x: np.ndarray | None = None
         self._y: np.ndarray | None = None
+        self._x_norms: np.ndarray | None = None
+        self._x_neg2: np.ndarray | None = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNRegressor":
         x, y = check_xy(x, y, allow_vector_target=True)
         self._x = x
         self._y = y
+        self._x_norms = np.sum(x**2, axis=1)
+        self._x_neg2 = x * -2.0
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         require_fitted(self, "_x")
         assert self._x is not None and self._y is not None
         x = check_features(x, self._x.shape[1])
-        idx = _k_nearest(self._x, x, self.k)
+        idx = _k_nearest(
+            self._x,
+            x,
+            self.k,
+            getattr(self, "_x_norms", None),
+            getattr(self, "_x_neg2", None),
+        )
         targets = self._y[idx]  # (q, k, out)
         if not self.weighted:
             return targets.mean(axis=1)

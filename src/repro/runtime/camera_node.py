@@ -20,7 +20,7 @@ from repro.cameras.camera import Camera
 from repro.devices.gpu import GPUExecutor, greedy_plan
 from repro.devices.latency import LatencyModel
 from repro.devices.profiler import DeviceProfile
-from repro.geometry.box import BBox, quantize_size
+from repro.geometry.box import BBox, iou_cost_rows, quantize_size
 from repro.ml.hungarian import hungarian
 from repro.net.envelope import ChannelGuard
 from repro.obs.trace import get_tracer
@@ -37,7 +37,7 @@ class TrackStatus(enum.Enum):
     SHADOW = "shadow"  # tracked elsewhere; flow-predicted only
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeTrack:
     """One locally known object on this camera."""
 
@@ -122,17 +122,21 @@ class CameraNode:
         self,
         objects: Sequence[WorldObject],
         miss_multipliers: Optional[Dict[int, float]] = None,
+        boxes: Optional[Dict[int, BBox]] = None,
     ) -> KeyFrameOutcome:
         """Full-frame inspection + authoritative track refresh.
 
         ``miss_multipliers`` (per ground-truth object id) scale detection
-        miss probabilities — the occlusion model's hook.
+        miss probabilities — the occlusion model's hook. ``boxes`` is the
+        frame's cached projection table for this camera, if available.
         """
         tracer = get_tracer()
         inference_ms = self.executor.execute_full_frame()
         with tracer.span("camera.detect"):
             detections = self.detector.detect_full_frame(
-                objects, self._faded_multipliers(objects, miss_multipliers)
+                objects,
+                self._faded_multipliers(objects, miss_multipliers),
+                boxes=boxes,
             )
 
         with tracer.span("camera.track_refresh"):
@@ -206,6 +210,7 @@ class CameraNode:
         objects: Sequence[WorldObject],
         policy: RegularFramePolicy,
         miss_multipliers: Optional[Dict[int, float]] = None,
+        boxes: Optional[Dict[int, BBox]] = None,
     ) -> RegularFrameOutcome:
         """One regular-frame iteration under ``policy``."""
         tracer = get_tracer()
@@ -213,12 +218,18 @@ class CameraNode:
         #    optical flow runs on the whole frame anyway).
         with tracer.span("camera.flow_predict"):
             predicted: Dict[int, BBox] = {}
+            flow_predict = self.flow.predict
+            frame_w, frame_h = self.camera.frame_size
             for tid, track in list(self.tracks.items()):
-                box = self.flow.predict(tid)
+                box = flow_predict(tid)
                 if box is None:
                     box = track.bbox
                 track.bbox = box
-                if self._left_frame(box):
+                # Inline _left_frame: centre outside the frame drops the
+                # track (same grouping as BBox.center).
+                cx = (box.x1 + box.x2) / 2.0
+                cy = (box.y1 + box.y2) / 2.0
+                if not (0.0 <= cx <= frame_w and 0.0 <= cy <= frame_h):
                     self._drop_track(tid)
                     continue
                 predicted[tid] = box
@@ -228,18 +239,23 @@ class CameraNode:
         with tracer.span("camera.policy_select"):
             inspect: List[int] = []
             n_takeovers = 0
+            tracks = self.tracks
+            assigned_status = TrackStatus.ASSIGNED
+            shadow_status = TrackStatus.SHADOW
+            own_camera_id = self.camera.camera_id
+            inspect_track = policy.inspect_track
             for tid in sorted(predicted):
-                track = self.tracks[tid]
+                track = tracks[tid]
                 view = TrackView(
                     track_id=tid,
                     bbox=track.bbox,
-                    is_assigned=track.status is TrackStatus.ASSIGNED,
+                    is_assigned=track.status is assigned_status,
                     assigned_camera=track.assigned_camera,
                 )
-                if policy.inspect_track(view):
-                    if track.status is TrackStatus.SHADOW:
-                        track.status = TrackStatus.ASSIGNED
-                        track.assigned_camera = self.camera.camera_id
+                if inspect_track(view):
+                    if track.status is shadow_status:
+                        track.status = assigned_status
+                        track.assigned_camera = own_camera_id
                         n_takeovers += 1
                     inspect.append(tid)
 
@@ -253,6 +269,7 @@ class CameraNode:
                 self._rng,
                 noise=self.flow.noise,
                 dt=self.frame_dt,
+                boxes=boxes,
             )
             new_slices: List[Slice] = []
             for region in regions:
@@ -287,6 +304,7 @@ class CameraNode:
                 objects,
                 [s.region for s in slices],
                 self._faded_multipliers(objects, miss_multipliers),
+                boxes=boxes,
             )
         with tracer.span("camera.track_refresh"):
             inspected_boxes = {s.key: s.region for s in slices}
@@ -367,16 +385,17 @@ class CameraNode:
         if not reference_boxes or not detections:
             return [], list(detections)
         tids = sorted(reference_boxes)
-        cost = np.array(
-            [
-                [1.0 - reference_boxes[tid].iou(det.bbox) for det in detections]
-                for tid in tids
-            ]
+        # Cost matrix as nested lists: iou_cost_rows is bit-identical to
+        # the per-pair ``1.0 - BBox.iou`` loop it replaces, and the list
+        # form feeds hungarian without an ndarray round-trip.
+        cost = iou_cost_rows(
+            [reference_boxes[tid] for tid in tids],
+            [det.bbox for det in detections],
         )
         matched: List[Tuple[int, Detection]] = []
         used = set()
         for r, c in hungarian(cost):
-            if cost[r, c] <= 1.0 - self.iou_match_threshold:
+            if cost[r][c] <= 1.0 - self.iou_match_threshold:
                 matched.append((tids[r], detections[c]))
                 used.add(c)
         unmatched = [d for i, d in enumerate(detections) if i not in used]
@@ -403,6 +422,7 @@ class CameraNode:
         self.book.drop(tid)
 
     def _left_frame(self, box: BBox) -> bool:
+        """Centre-outside-frame test (inlined on the regular-frame path)."""
         w, h = self.camera.frame_size
         cx, cy = box.center
         return not (0.0 <= cx <= w and 0.0 <= cy <= h)

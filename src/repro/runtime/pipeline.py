@@ -13,8 +13,10 @@ Policies: ``full``, ``balb``, ``balb-cen``, ``balb-ind``, ``sp``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+import pickle
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -23,6 +25,7 @@ from repro.association.pairwise import PairwiseAssociator
 from repro.association.training import collect_association_dataset
 from repro.cache import ArtifactCache, get_active_cache
 from repro.cameras.occlusion import OcclusionModel, visible_fractions
+from repro.cameras.projection import FrameProjectionCache
 from repro.cameras.rig import CameraRig
 from repro.checkpoint import RunCheckpoint, save_checkpoint
 from repro.core.distributed import DistributedPolicy
@@ -69,6 +72,7 @@ from repro.runtime.synchronization import (
 )
 from repro.scenarios.builder import Scenario
 from repro.serving.edge import ServingEdge
+from repro.world.world import World
 
 POLICIES = ("full", "balb", "balb-cen", "balb-ind", "sp")
 _CENTRALIZED = ("balb", "balb-cen", "sp")
@@ -77,10 +81,47 @@ _CENTRALIZED = ("balb", "balb-cen", "sp")
 #: and the deterministic event kernel with a bounded ingest edge.
 RUNTIMES = ("sync", "event")
 
+#: Per-frame data paths: batched struct-of-arrays projections ("soa") or
+#: the retained per-object scalar reference path ("scalar"). Bit-identical
+#: by contract; see PipelineConfig.sim_path.
+SIM_PATHS = ("soa", "scalar")
+
 #: Event priorities: frame arrivals land in the ingest queues strictly
 #: before the dispatch that may consume them at the same simulated time.
 _EV_ARRIVAL = 0
 _EV_DISPATCH = 1
+
+
+#: Post-warmup world snapshots, keyed by (scenario identity, seed,
+#: warmup_s, dt). Warming a world replays a few hundred identical
+#: simulation steps before every run; the pickle round-trip restores
+#: float64 coordinates and Generator state exactly, so a restored world
+#: is interchangeable with a freshly warmed one. Every caller — the
+#: first included — receives the round-tripped object, keeping run
+#: provenance uniform. Bounded LRU so long test sessions with many
+#: throwaway scenarios cannot accumulate snapshots.
+_WARM_WORLD_CAP = 8
+_WARM_WORLD_MEMO: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+
+def _warmed_world(
+    scenario: Scenario, seed: int, warmup_s: float, dt: float
+) -> World:
+    """A freshly restored copy of the scenario's post-warmup world."""
+    key = (id(scenario), seed, warmup_s, dt)
+    entry = _WARM_WORLD_MEMO.get(key)
+    # The held scenario reference pins its id; an identity mismatch means
+    # the id was recycled after an eviction, so rebuild.
+    if entry is None or entry[0] is not scenario:
+        world = World(scenario.world_factory(seed))
+        world.run(warmup_s, dt)
+        entry = (scenario, pickle.dumps(world, pickle.HIGHEST_PROTOCOL))
+        _WARM_WORLD_MEMO[key] = entry
+        while len(_WARM_WORLD_MEMO) > _WARM_WORLD_CAP:
+            _WARM_WORLD_MEMO.popitem(last=False)
+    else:
+        _WARM_WORLD_MEMO.move_to_end(key)
+    return pickle.loads(entry[1])
 
 
 def _split_coverage(objects, down, coverage_fn) -> Tuple[frozenset, frozenset]:
@@ -175,6 +216,12 @@ class PipelineConfig:
     #: so every other run keeps its pre-watchdog byte-exact outputs.
     #: Disable to observe an unguarded fleet degrade.
     fleet_health: bool = True
+    #: Per-frame data path. ``soa`` batches each camera's projections over
+    #: a struct-of-arrays frame snapshot and shares the table across every
+    #: consumer; ``scalar`` is the retained per-object reference path. The
+    #: two are bit-identical (enforced by tests) — ``scalar`` exists as
+    #: the equivalence oracle, not as a supported production mode.
+    sim_path: str = "soa"
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -214,6 +261,10 @@ class PipelineConfig:
         if self.runtime not in RUNTIMES:
             raise ValueError(
                 f"unknown runtime {self.runtime!r}; options: {RUNTIMES}"
+            )
+        if self.sim_path not in SIM_PATHS:
+            raise ValueError(
+                f"unknown sim_path {self.sim_path!r}; options: {SIM_PATHS}"
             )
         if self.ingest_capacity < 1:
             raise ValueError("ingest_capacity must be >= 1")
@@ -503,9 +554,14 @@ class Pipeline:
         scenario = self.scenario
         dt = scenario.frame_interval
 
-        # Fresh test world, decorrelated from the training segment.
-        world, rig = scenario.build(seed=config.seed + 10_000)
-        world.run(config.warmup_s, dt)
+        # Fresh test world, decorrelated from the training segment. The
+        # post-warmup state comes from the snapshot memo; the rig is
+        # rebuilt directly so its cameras stay the scenario's own
+        # (static) camera objects, exactly as scenario.build does.
+        world = _warmed_world(
+            scenario, config.seed + 10_000, config.warmup_s, dt
+        )
+        rig = CameraRig(scenario.cameras)
 
         nodes = self._build_nodes(rig, dt)
         scheduler = self._build_scheduler(rig) if config.policy in _CENTRALIZED else None
@@ -1122,10 +1178,29 @@ class Pipeline:
                     self._apply_frozen_views(
                         state, frame_faults, lagged_objects
                     )
+                # One projection cache per frame: every consumer below
+                # (occlusion, coverage, detection, new regions, health)
+                # shares each camera's batched projection table instead
+                # of re-projecting the same objects. sim_path="scalar"
+                # keeps the per-object reference path as the
+                # bit-identity oracle.
+                cache = (
+                    FrameProjectionCache(rig.cameras)
+                    if config.sim_path == "soa"
+                    else None
+                )
                 multipliers: Dict[int, Dict[int, float]] = {}
                 if occlusion is not None:
                     fractions_by_cam = {
-                        cam.camera_id: visible_fractions(cam, objects)
+                        cam.camera_id: visible_fractions(
+                            cam,
+                            objects,
+                            boxes=(
+                                cache.boxes(cam, objects)
+                                if cache is not None
+                                else None
+                            ),
+                        )
                         for cam in rig
                     }
                     multipliers = {
@@ -1148,9 +1223,25 @@ class Pipeline:
                             )
                         ],
                     )
+                elif cache is not None:
+                    # Whole-frame coverage in one table pull; its keys
+                    # are exactly the ids some camera can observe, so
+                    # the fault-free split needs no per-object calls.
+                    table = cache.coverage_table(rig.cameras, objects)
+                    if effective_down:
+                        visible_gt, coverage_lost = _split_coverage(
+                            objects,
+                            effective_down,
+                            lambda o: table.get(o.object_id, ()),
+                        )
+                    else:
+                        visible_gt = frozenset(table)
+                        coverage_lost = frozenset()
                 else:
                     visible_gt, coverage_lost = _split_coverage(
-                        objects, effective_down, rig.coverage_set
+                        objects,
+                        effective_down,
+                        rig.coverage_set,
                     )
 
             inference: Dict[int, float] = {}
@@ -1181,6 +1272,14 @@ class Pipeline:
                             outcome = node.process_key_frame(
                                 lagged_objects[cam_id],
                                 multipliers.get(cam_id),
+                                boxes=(
+                                    cache.boxes(
+                                        node.camera,
+                                        lagged_objects[cam_id],
+                                    )
+                                    if cache is not None
+                                    else None
+                                ),
                             )
                         inference[cam_id] = outcome.inference_ms
                         detected.update(
@@ -1423,6 +1522,14 @@ class Pipeline:
                                 lagged_objects[cam_id],
                                 policies[cam_id],
                                 multipliers.get(cam_id),
+                                boxes=(
+                                    cache.boxes(
+                                        node.camera,
+                                        lagged_objects[cam_id],
+                                    )
+                                    if cache is not None
+                                    else None
+                                ),
                             )
                         inference[cam_id] = outcome.inference_ms
                         detected.update(
@@ -1459,6 +1566,7 @@ class Pipeline:
                     is_key,
                     key_detected,
                     overheads,
+                    cache,
                 )
 
         registry.counter("frames_total").inc()
@@ -1539,6 +1647,7 @@ class Pipeline:
         is_key: bool,
         key_detected: Dict[int, int],
         overheads: Dict[str, float],
+        cache: Optional[FrameProjectionCache] = None,
     ) -> None:
         """End-of-frame health pass: signals -> watchdog -> membership.
 
@@ -1558,8 +1667,16 @@ class Pipeline:
         if is_key:
             # Denominator of the report-quality signal: how many objects
             # each camera could have seen this frame.
-            for obj in objects:
-                for cam in state.rig.coverage_set(obj):
+            if cache is not None:
+                coverage = cache.coverage_table(
+                    state.rig.cameras, objects
+                ).values()
+            else:
+                coverage = (
+                    state.rig.coverage_set(obj) for obj in objects
+                )
+            for covered in coverage:
+                for cam in covered:
                     visible[cam] = visible.get(cam, 0) + 1
         drift_lags = (
             frame_faults.drift_lags if frame_faults is not None else {}

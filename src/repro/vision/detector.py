@@ -17,7 +17,7 @@ supervision only** — scheduling and association logic never reads it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -25,8 +25,10 @@ from repro.cameras.camera import Camera
 from repro.geometry.box import BBox
 from repro.world.entities import ObjectClass, WorldObject
 
+_INF = float("inf")
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Detection:
     """One detector output box on one camera."""
 
@@ -77,25 +79,34 @@ class SimulatedDetector:
         self,
         objects: Sequence[WorldObject],
         miss_multipliers: Optional[dict] = None,
+        boxes: Optional[Mapping[int, BBox]] = None,
     ) -> List[Detection]:
         """Full-frame inspection: sees every visible object, with noise.
 
         ``miss_multipliers`` optionally scales each object's miss
         probability (e.g. from the occlusion model); ``inf`` forces a miss.
+        ``boxes`` optionally supplies the frame's cached projection table
+        (visible object id -> true box) so nothing is re-projected here;
+        invisible objects draw no noise on either path.
         """
-        detections = [
-            d
-            for obj in objects
-            if (
-                d := self._detect_object(
-                    obj,
-                    miss_multiplier=(miss_multipliers or {}).get(
-                        obj.object_id, 1.0
-                    ),
-                )
+        multipliers_get = (miss_multipliers or {}).get
+        detections: List[Detection] = []
+        boxes_get = boxes.get if boxes is not None else None
+        detect_object = self._detect_object
+        for obj in objects:
+            if boxes_get is None:
+                true_box = self.camera.project_object(obj)
+            else:
+                true_box = boxes_get(obj.object_id)
+            if true_box is None:
+                continue
+            det = detect_object(
+                obj,
+                true_box=true_box,
+                miss_multiplier=multipliers_get(obj.object_id, 1.0),
             )
-            is not None
-        ]
+            if det is not None:
+                detections.append(det)
         detections.extend(self._false_positives())
         return detections
 
@@ -104,6 +115,7 @@ class SimulatedDetector:
         objects: Sequence[WorldObject],
         regions: Sequence[BBox],
         miss_multipliers: Optional[dict] = None,
+        boxes: Optional[Mapping[int, BBox]] = None,
     ) -> List[Detection]:
         """Partial-frame inspection: only objects whose true box centre lies
         in some region are detectable. One object yields at most one
@@ -111,24 +123,37 @@ class SimulatedDetector:
         """
         detections: List[Detection] = []
         seen: set[int] = set()
+        # Region corners unpacked once; the inner test walks them with
+        # the same comparisons and short-circuit order as
+        # BBox.contains_point.
+        rects = [(r.x1, r.y1, r.x2, r.y2) for r in regions]
+        multipliers_get = (miss_multipliers or {}).get
+        boxes_get = boxes.get if boxes is not None else None
+        detect_object = self._detect_object
         for obj in objects:
-            if obj.object_id in seen:
+            obj_id = obj.object_id
+            if obj_id in seen:
                 continue
-            true_box = self.camera.project_object(obj)
+            if boxes_get is None:
+                true_box = self.camera.project_object(obj)
+            else:
+                true_box = boxes_get(obj_id)
             if true_box is None:
                 continue
-            cx, cy = true_box.center
-            if not any(r.contains_point(cx, cy) for r in regions):
+            cx = (true_box.x1 + true_box.x2) / 2.0
+            cy = (true_box.y1 + true_box.y2) / 2.0
+            for rx1, ry1, rx2, ry2 in rects:
+                if rx1 <= cx <= rx2 and ry1 <= cy <= ry2:
+                    break
+            else:
                 continue
-            det = self._detect_object(
+            det = detect_object(
                 obj,
                 true_box=true_box,
-                miss_multiplier=(miss_multipliers or {}).get(
-                    obj.object_id, 1.0
-                ),
+                miss_multiplier=multipliers_get(obj_id, 1.0),
             )
             if det is not None:
-                seen.add(obj.object_id)
+                seen.add(obj_id)
                 detections.append(det)
         return detections
 
@@ -142,19 +167,39 @@ class SimulatedDetector:
         box = true_box if true_box is not None else self.camera.project_object(obj)
         if box is None:
             return None
-        miss_prob = self.errors.miss_probability(box) * miss_multiplier
-        if miss_multiplier == float("inf") or self._rng.random() < min(
-            miss_prob, 1.0
-        ):
+        # errors.miss_probability inlined: min()/property calls were a
+        # visible slice of the per-detection cost. Python min/max keep
+        # the first argument on ties, so the conditional forms below
+        # select the same values bit-for-bit.
+        errors = self.errors
+        bw = box.x2 - box.x1
+        bh = box.y2 - box.y1
+        side = bw if bw < bh else bh
+        p = errors.base_miss_prob
+        small = errors.small_box_pixels
+        if side < small:
+            p += errors.small_box_extra_miss * (1.0 - side / small)
+        if p > 0.95:
+            p = 0.95
+        miss_prob = p * miss_multiplier
+        if miss_prob > 1.0:
+            miss_prob = 1.0
+        if miss_multiplier == _INF or self._rng.random() < miss_prob:
             return None
         noisy = self._jitter_box(box)
         w, h = self.camera.frame_size
         noisy = noisy.clip(float(w), float(h))
         if noisy.is_empty():
             return None
-        confidence = float(
-            np.clip(self._rng.normal(0.85, 0.08), self.errors.min_confidence, 0.99)
-        )
+        # Scalar clamp written as min(max(v, lo), hi) — the exact
+        # element rule of the np.clip call it replaces, without the
+        # array round-trip.
+        confidence = float(self._rng.normal(0.85, 0.08))
+        lo = self.errors.min_confidence
+        if confidence < lo:
+            confidence = lo
+        if confidence > 0.99:
+            confidence = 0.99
         return Detection(
             bbox=noisy,
             confidence=confidence,
@@ -164,15 +209,24 @@ class SimulatedDetector:
         )
 
     def _jitter_box(self, box: BBox) -> BBox:
-        cx, cy = box.center
-        w, h = box.width, box.height
-        cj = self.errors.center_jitter_frac
-        sj = self.errors.size_jitter_frac
-        ncx = cx + self._rng.normal(0.0, cj * w)
-        ncy = cy + self._rng.normal(0.0, cj * h)
-        nw = max(2.0, w * (1.0 + self._rng.normal(0.0, sj)))
-        nh = max(2.0, h * (1.0 + self._rng.normal(0.0, sj)))
-        return BBox.from_xywh(ncx, ncy, nw, nh)
+        # Inlined center/size/from_xywh arithmetic with the exact same
+        # grouping (the jittered sizes are >= 2, so from_xywh's
+        # non-negative clamp was always a no-op).
+        x1, y1, x2, y2 = box.x1, box.y1, box.x2, box.y2
+        cx = (x1 + x2) / 2.0
+        cy = (y1 + y2) / 2.0
+        w = x2 - x1
+        h = y2 - y1
+        rng = self._rng
+        errors = self.errors
+        ncx = cx + rng.normal(0.0, errors.center_jitter_frac * w)
+        ncy = cy + rng.normal(0.0, errors.center_jitter_frac * h)
+        sj = errors.size_jitter_frac
+        nw = max(2.0, w * (1.0 + rng.normal(0.0, sj)))
+        nh = max(2.0, h * (1.0 + rng.normal(0.0, sj)))
+        return BBox(
+            ncx - nw / 2.0, ncy - nh / 2.0, ncx + nw / 2.0, ncy + nh / 2.0
+        )
 
     def _false_positives(self) -> List[Detection]:
         n = int(self._rng.poisson(self.errors.false_positive_rate))

@@ -16,7 +16,7 @@ Section II-B). We reproduce both contracts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.geometry.box import BBox
 from repro.world.entities import WorldObject
 
 
-@dataclass
+@dataclass(slots=True)
 class TrackState:
     """Per-object motion state maintained by the predictor."""
 
@@ -65,9 +65,15 @@ class FlowPredictor:
         """Feed a confirmed detection for ``key`` (a local track id)."""
         prev = self._states.get(key)
         if prev is not None:
-            pcx, pcy = prev.bbox.center
-            ccx, ccy = bbox.center
-            frames = max(1, prev.frames_since_update + 1)
+            # Centres inlined with BBox.center's exact grouping.
+            pbox = prev.bbox
+            pcx = (pbox.x1 + pbox.x2) / 2.0
+            pcy = (pbox.y1 + pbox.y2) / 2.0
+            ccx = (bbox.x1 + bbox.x2) / 2.0
+            ccy = (bbox.y1 + bbox.y2) / 2.0
+            frames = prev.frames_since_update + 1
+            if frames < 1:
+                frames = 1
             velocity = ((ccx - pcx) / frames, (ccy - pcy) / frames)
         else:
             velocity = (0.0, 0.0)
@@ -78,13 +84,22 @@ class FlowPredictor:
         state = self._states.get(key)
         if state is None:
             return None
-        state.frames_since_update += 1
-        sigma = self.noise.base_sigma_px * (
-            self.noise.drift_growth ** (state.frames_since_update - 1)
+        unobserved = state.frames_since_update + 1
+        state.frames_since_update = unobserved
+        # The common case is a track observed last frame: growth**0 is
+        # exactly 1.0 and multiplying by it is exact, so the pow can be
+        # skipped without changing a bit.
+        sigma = self.noise.base_sigma_px
+        if unobserved != 1:
+            sigma = sigma * (self.noise.drift_growth ** (unobserved - 1))
+        rng = self._rng
+        vx, vy = state.velocity
+        dx = vx + rng.normal(0.0, sigma)
+        dy = vy + rng.normal(0.0, sigma)
+        box = state.bbox
+        predicted = BBox(
+            box.x1 + dx, box.y1 + dy, box.x2 + dx, box.y2 + dy
         )
-        dx = state.velocity[0] + self._rng.normal(0.0, sigma)
-        dy = state.velocity[1] + self._rng.normal(0.0, sigma)
-        predicted = state.bbox.translate(dx, dy)
         state.bbox = predicted
         return predicted
 
@@ -109,25 +124,43 @@ def find_new_regions(
     rng: np.random.Generator,
     noise: Optional[FlowNoiseModel] = None,
     dt: float = 0.1,
+    boxes: Optional[Mapping[int, BBox]] = None,
 ) -> List[BBox]:
     """Regions of moving pixels not explained by any predicted box.
 
     For each visible, sufficiently fast-moving object whose true box centre
     is not covered by a predicted box, emit a loose region around it (the
     pixel-motion cluster). This is how new arrivals get detected at their
-    first appearance instead of waiting for the next key frame.
+    first appearance instead of waiting for the next key frame. ``boxes``
+    optionally supplies the frame's cached projection table; RNG draws
+    happen per emitted region only, in object order, on both paths.
     """
     noise = noise or FlowNoiseModel()
     regions: List[BBox] = []
+    # Predicted-box corners unpacked once; the coverage test walks them
+    # with the same comparisons and short-circuit order as
+    # BBox.contains_point.
+    rects = [(p.x1, p.y1, p.x2, p.y2) for p in predicted_boxes]
+    boxes_get = boxes.get if boxes is not None else None
+    min_speed = noise.min_apparent_speed_px
     for obj in objects:
-        box = camera.project_object(obj)
+        if boxes_get is None:
+            box = camera.project_object(obj)
+        else:
+            box = boxes_get(obj.object_id)
         if box is None:
             continue
-        cx, cy = box.center
-        if any(p.contains_point(cx, cy) for p in predicted_boxes):
+        cx = (box.x1 + box.x2) / 2.0
+        cy = (box.y1 + box.y2) / 2.0
+        covered = False
+        for px1, py1, px2, py2 in rects:
+            if px1 <= cx <= px2 and py1 <= cy <= py2:
+                covered = True
+                break
+        if covered:
             continue
         apparent_speed = _apparent_speed_px(camera, obj, dt)
-        if apparent_speed < noise.min_apparent_speed_px:
+        if apparent_speed < min_speed:
             continue  # flow can't see near-static targets
         # Flow clusters are coarse: inflate and jitter the region.
         inflate = 1.0 + float(rng.uniform(0.1, 0.4))

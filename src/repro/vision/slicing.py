@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.geometry.box import DEFAULT_SIZE_SET, BBox, quantize_size
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Slice:
     """One partial-frame inspection task: a search region + batching key."""
 

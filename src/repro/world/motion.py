@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 Point = Tuple[float, float]
 
@@ -37,6 +37,28 @@ class Route:
             total += seg
         object.__setattr__(self, "_segment_lengths", tuple(lengths))
         object.__setattr__(self, "_total_length", total)
+        # pose_at runs per object per simulation step; precompute each
+        # segment's origin, delta, length and heading once so the hot
+        # path is a plain tuple walk with no per-call trig or zips.
+        # ``terminal`` preserves the original loop's by-value comparison
+        # against the last segment (not just its index).
+        last = (self.waypoints[-2], self.waypoints[-1])
+        segments = []
+        for (a, b), seg_len in zip(
+            zip(self.waypoints, self.waypoints[1:]), lengths
+        ):
+            segments.append(
+                (
+                    a[0],
+                    a[1],
+                    b[0] - a[0],
+                    b[1] - a[1],
+                    seg_len,
+                    math.atan2(b[1] - a[1], b[0] - a[0]),
+                    (a, b) == last,
+                )
+            )
+        object.__setattr__(self, "_segments", tuple(segments))
 
     @property
     def length(self) -> float:
@@ -48,20 +70,17 @@ class Route:
         return (x, y)
 
     def pose_at(self, s: float) -> Tuple[float, float, float]:
-        """Position and heading (radians) at arc length ``s``."""
-        s = min(max(s, 0.0), self.length)
-        remaining = s
-        segments: Sequence[float] = self._segment_lengths  # type: ignore[attr-defined]
-        for (a, b), seg_len in zip(zip(self.waypoints, self.waypoints[1:]), segments):
-            if remaining <= seg_len or (a, b) == (
-                self.waypoints[-2],
-                self.waypoints[-1],
-            ):
+        """Position and heading (radians) at arc length ``s``.
+
+        Walks the precomputed segment table; the sequential ``remaining``
+        subtraction is kept (a prefix-sum lookup would round differently)
+        so coordinates match the original waypoint walk bit for bit.
+        """
+        remaining = min(max(s, 0.0), self._total_length)  # type: ignore[attr-defined]
+        for ax, ay, dx, dy, seg_len, heading, terminal in self._segments:  # type: ignore[attr-defined]
+            if remaining <= seg_len or terminal:
                 frac = min(remaining / seg_len, 1.0)
-                x = a[0] + frac * (b[0] - a[0])
-                y = a[1] + frac * (b[1] - a[1])
-                heading = math.atan2(b[1] - a[1], b[0] - a[0])
-                return (x, y, heading)
+                return (ax + frac * dx, ay + frac * dy, heading)
             remaining -= seg_len
         # Unreachable: the last segment always returns above.
         bx, by = self.waypoints[-1]

@@ -1,0 +1,97 @@
+"""Struct-of-arrays view of one frame's objects.
+
+The simulator's entities are Python dataclasses (:class:`WorldObject`),
+which is the right shape for the sequential motion model but a poor shape
+for the per-frame hot path: every camera used to walk the object list and
+project 8 corners per object through per-call numpy allocations.
+
+:class:`FrameArrays` repacks one frame's object list into contiguous
+numpy columns — ids, class codes, centres, extents — plus the derived
+``(n, 8)`` corner arrays shared by every camera that projects the frame.
+It is a read-only snapshot: build it after the world steps, use it for
+the frame, throw it away.
+
+Bitwise-identity contract: the per-object trigonometry (``cos``/``sin``
+of the heading) is computed with ``math.cos``/``math.sin`` — the same
+libm calls :meth:`WorldObject.footprint_corners` makes — and the corner
+arithmetic mirrors the scalar expression grouping exactly, so the corner
+arrays are bit-for-bit equal to the scalar path's corner tuples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.world.entities import ObjectClass, WorldObject
+
+#: Stable small-int codes for object classes (SoA column encoding).
+CLASS_CODES: Dict[ObjectClass, int] = {
+    cls: code for code, cls in enumerate(ObjectClass)
+}
+
+
+class FrameArrays:
+    """Contiguous per-frame columns for a snapshot of world objects."""
+
+    __slots__ = (
+        "objects",
+        "n",
+        "id_list",
+        "object_ids",
+        "class_codes",
+        "x",
+        "y",
+        "heights",
+        "corners_x",
+        "corners_y",
+        "corners_z",
+    )
+
+    def __init__(self, objects: Sequence[WorldObject]) -> None:
+        objs = list(objects)
+        self.objects: List[WorldObject] = objs
+        n = len(objs)
+        self.n = n
+        # Columns are built from Python lists in one np.array call each;
+        # per-element ndarray stores are an order of magnitude slower.
+        self.id_list: List[int] = [o.object_id for o in objs]
+        self.object_ids = np.array(self.id_list, dtype=np.int64)
+        self.class_codes = np.array(
+            [CLASS_CODES[o.object_class] for o in objs], dtype=np.int64
+        )
+        self.x = np.array([o.x for o in objs], dtype=np.float64)
+        self.y = np.array([o.y for o in objs], dtype=np.float64)
+        self.heights = np.array([o.height for o in objs], dtype=np.float64)
+        # math.cos/math.sin, NOT np.cos/np.sin: numpy's SIMD routines
+        # are allowed to differ from libm in the last ulp, which would
+        # break bit-identity with the scalar path.
+        cos_h = np.array([math.cos(o.heading) for o in objs], dtype=np.float64)
+        sin_h = np.array([math.sin(o.heading) for o in objs], dtype=np.float64)
+        half_l = np.array([o.length / 2.0 for o in objs], dtype=np.float64)
+        half_w = np.array([o.width / 2.0 for o in objs], dtype=np.float64)
+
+        # The 8 box corners per object: the 4 oriented footprint corners
+        # at z=0 followed by the same 4 at z=height, in the exact order
+        # (and with the exact expression grouping) of
+        # WorldObject.footprint_corners / corners_3d.
+        cx = np.empty((n, 8), dtype=np.float64)
+        cy = np.empty((n, 8), dtype=np.float64)
+        cz = np.empty((n, 8), dtype=np.float64)
+        for j, (sl, sw) in enumerate(((1.0, 1.0), (1.0, -1.0),
+                                      (-1.0, -1.0), (-1.0, 1.0))):
+            dl = half_l if sl > 0 else -half_l
+            dw = half_w if sw > 0 else -half_w
+            col_x = (self.x + dl * cos_h) - dw * sin_h
+            col_y = (self.y + dl * sin_h) + dw * cos_h
+            cx[:, j] = col_x
+            cy[:, j] = col_y
+            cx[:, j + 4] = col_x
+            cy[:, j + 4] = col_y
+        cz[:, :4] = 0.0
+        cz[:, 4:] = self.heights[:, None]
+        self.corners_x = cx
+        self.corners_y = cy
+        self.corners_z = cz

@@ -55,6 +55,10 @@ class World:
         self._routes_by_id = {r.route_id: r for r in config.routes}
         if len(self._routes_by_id) != len(config.routes):
             raise ValueError("duplicate route ids")
+        # Despawn threshold per route, hoisted out of the per-step scan.
+        self._route_end = {
+            rid: r.length - 1e-6 for rid, r in self._routes_by_id.items()
+        }
         self._departed: List[WorldObject] = []
 
     # ------------------------------------------------------------------
@@ -94,6 +98,7 @@ class World:
     def _move_objects(self, dt: float) -> None:
         params = self.config.motion
         light = self.config.traffic_light
+        now = self.time
         by_route: Dict[int, List[WorldObject]] = {}
         for obj in self._objects.values():
             by_route.setdefault(obj.route_id, []).append(obj)
@@ -105,34 +110,42 @@ class World:
             # Process front-to-back so each follower sees its leader's
             # *previous* position — a stable explicit update.
             members.sort(key=lambda o: -o.route_progress)
+            # Both limit rules return ``cruise`` when inactive (no leader
+            # / green light), and min(target, cruise) with target already
+            # at cruise is the identity — so the calls are skipped
+            # outright in those cases. The light phase depends only on
+            # (route, time), so it is decided once per route per step.
+            red = light is not None and not light.is_green(route_id, now)
             leader: Optional[WorldObject] = None
             for obj in members:
                 cruise = float(obj.attributes.get("cruise_speed", obj.speed))
                 target = cruise
-                target = min(
-                    target,
-                    gap_limited_speed(
-                        obj.route_progress,
-                        obj.length / 2.0,
-                        leader.route_progress if leader else None,
-                        leader.length / 2.0 if leader else 0.0,
-                        cruise,
-                        dt,
-                        params,
-                    ),
-                )
-                target = min(
-                    target,
-                    light_limited_speed(
-                        obj.route_progress,
-                        cruise,
-                        light,
-                        route_id,
-                        self.time,
-                        dt,
-                        params,
-                    ),
-                )
+                if leader is not None:
+                    target = min(
+                        target,
+                        gap_limited_speed(
+                            obj.route_progress,
+                            obj.length / 2.0,
+                            leader.route_progress,
+                            leader.length / 2.0,
+                            cruise,
+                            dt,
+                            params,
+                        ),
+                    )
+                if red:
+                    target = min(
+                        target,
+                        light_limited_speed(
+                            obj.route_progress,
+                            cruise,
+                            light,
+                            route_id,
+                            now,
+                            dt,
+                            params,
+                        ),
+                    )
                 obj.speed = advance_speed(obj.speed, target, dt, params)
                 obj.route_progress += obj.speed * dt
                 x, y, heading = route.pose_at(obj.route_progress)
@@ -140,11 +153,11 @@ class World:
                 leader = obj
 
     def _despawn_finished(self) -> None:
+        route_end = self._route_end
         finished = [
             oid
             for oid, obj in self._objects.items()
-            if obj.route_progress
-            >= self._routes_by_id[obj.route_id].length - 1e-6
+            if obj.route_progress >= route_end[obj.route_id]
         ]
         for oid in finished:
             obj = self._objects.pop(oid)

@@ -1,0 +1,165 @@
+"""Parity of the flat-array BALB packing kernel with the dict reference.
+
+The central stage has two interchangeable engines: the dict-based
+reference loop (``_balb_central``) and the flat-array kernel
+(``_balb_central_kernel``) that runs compiled under ``REPRO_KERNEL=numba``.
+These tests prove, on the property-test corpus, that the two produce
+bit-identical schedules — assignments, camera latencies (exact float
+equality) and priority orders — under every flag combination, and that
+the environment-selected kernel actually drives ``balb_central``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core import _kernels
+from repro.core.balb import _balb_central, _balb_central_kernel, balb_central
+
+from tests.core.test_balb_properties import mvs_instances
+
+KERNELS = ("python", "numba")
+
+
+class TestKernelParity:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        mvs_instances(),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_kernel_bitwise_matches_reference(
+        self, inst, include_full, batch_aware, coverage_ordered
+    ):
+        ref = _balb_central(inst, include_full, batch_aware, coverage_ordered)
+        ker = _balb_central_kernel(
+            inst, include_full, batch_aware, coverage_ordered
+        )
+        assert ker.assignment == ref.assignment
+        # Exact equality: the kernel's float arithmetic is grouped
+        # identically, so not even the last ulp may differ.
+        assert ker.camera_latencies == ref.camera_latencies
+        assert ker.priority_order == ref.priority_order
+
+    @settings(max_examples=50, deadline=None)
+    @given(mvs_instances())
+    def test_active_kernel_drives_balb_central(self, inst):
+        via_public = balb_central(inst)
+        ref = _balb_central(inst, True, True, True)
+        assert via_public.assignment == ref.assignment
+        assert via_public.camera_latencies == ref.camera_latencies
+
+
+# A deterministic instance built identically in-process and in the
+# REPRO_KERNEL subprocesses below.
+_INSTANCE_SRC = textwrap.dedent(
+    """
+    from repro.core.problem import MVSInstance, SchedObject
+    from repro.devices.profiler import DeviceProfile
+
+    def make_instance():
+        sizes = (64, 128, 256)
+        profiles = {
+            cam: DeviceProfile(
+                device_name=f"dev{cam}",
+                size_set=sizes,
+                t_full=80.0 + 13.0 * cam,
+                batch_latency_ms={
+                    64: 3.0 + cam,
+                    128: 7.5 + 0.5 * cam,
+                    256: 19.25 + cam,
+                },
+                batch_limits={64: 4, 128: 3, 256: 2},
+            )
+            for cam in range(3)
+        }
+        objects = tuple(
+            SchedObject(
+                key=key,
+                target_sizes={
+                    cam: sizes[(key + cam) % 3]
+                    for cam in range(3)
+                    if (key + cam) % 4 != 0
+                },
+            )
+            for key in range(9)
+            if any((key + cam) % 4 != 0 for cam in range(3))
+        )
+        return MVSInstance(profiles=profiles, objects=objects)
+    """
+)
+
+_SUBPROCESS_SRC = _INSTANCE_SRC + textwrap.dedent(
+    """
+    import json
+    from repro.core import _kernels
+    from repro.core.balb import balb_central
+
+    result = balb_central(make_instance())
+    print(json.dumps({
+        "kernel": _kernels.KERNEL,
+        "assignment": sorted(result.assignment.items()),
+        "latencies": sorted(
+            (cam, lat.hex()) for cam, lat in result.camera_latencies.items()
+        ),
+        "priority": list(result.priority_order),
+    }))
+    """
+)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_env_selected_kernel_is_bit_identical(kernel):
+    """``REPRO_KERNEL=<kernel>`` selects that engine and changes nothing."""
+    if kernel == "numba":
+        pytest.importorskip("numba")
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = {
+        **os.environ,
+        "REPRO_KERNEL": kernel,
+        "PYTHONPATH": src_root + os.pathsep + os.environ.get("PYTHONPATH", ""),
+    }
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SRC],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    reported = json.loads(proc.stdout)
+    assert reported["kernel"] == kernel
+
+    namespace: dict = {}
+    exec(_INSTANCE_SRC, namespace)
+    ref = _balb_central(namespace["make_instance"](), True, True, True)
+    # JSON round-trips tuples as lists; normalize both sides.
+    assert reported["assignment"] == [
+        list(item) for item in sorted(ref.assignment.items())
+    ]
+    assert reported["latencies"] == [
+        [cam, lat.hex()]
+        for cam, lat in sorted(ref.camera_latencies.items())
+    ]
+    assert reported["priority"] == list(ref.priority_order)
+
+
+def test_unknown_kernel_name_is_rejected():
+    env = {**os.environ, "REPRO_KERNEL": "cuda"}
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", "import repro.core._kernels"],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode != 0
+    assert "REPRO_KERNEL" in proc.stderr
